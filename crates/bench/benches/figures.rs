@@ -1,0 +1,32 @@
+//! End-to-end benchmarks of every figure experiment: each iteration
+//! regenerates the full series the corresponding paper figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_x264_phases", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig2()));
+    });
+    group.bench_function("fig3_fig4_adaptive_encoder", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig3_fig4()));
+    });
+    group.bench_function("fig5_bodytrack_scheduler", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig5()));
+    });
+    group.bench_function("fig6_streamcluster_scheduler", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig6()));
+    });
+    group.bench_function("fig7_x264_scheduler", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig7()));
+    });
+    group.bench_function("fig8_fault_tolerance", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig8()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Ablation A1: the paper's step heuristic vs a PI controller on the
+//! Figure 5 and Figure 7 scheduling scenarios.
+
+use hb_bench::experiments;
+
+fn main() {
+    println!("== Ablation: step heuristic vs PI controller ==\n");
+    let table = experiments::controller_ablation_table();
+    println!("{}", table.to_aligned());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,11 @@
+//! Ablation A3: heart-rate window-size sensitivity — detection delay after a
+//! phase change vs estimate stability under jitter.
+
+use hb_bench::experiments;
+
+fn main() {
+    println!("== Ablation: rate-estimation window size ==\n");
+    let table = experiments::window_ablation_table();
+    println!("{}", table.to_aligned());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 2: the 20-beat moving-average heart rate of the x264
+//! PARSEC workload on eight cores, showing its three performance phases.
+
+use hb_bench::experiments;
+
+fn main() {
+    let result = experiments::fig2();
+    println!("== Figure 2: heart rate of the x264 PARSEC workload (native input, 8 cores) ==\n");
+    println!(
+        "phase 1 (beats <100):    {:>6.1} beat/s   (paper: 12-14)",
+        result.phase1_mean_bps
+    );
+    println!(
+        "phase 2 (beats 100-330): {:>6.1} beat/s   (paper: 23-29)",
+        result.phase2_mean_bps
+    );
+    println!(
+        "phase 3 (beats >330):    {:>6.1} beat/s   (paper: 12-14)",
+        result.phase3_mean_bps
+    );
+    println!("\nCSV:\n{}", result.series.to_csv());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 3: the adaptive encoder's 40-beat moving-average heart
+//! rate climbing from ~8.8 beat/s to its 30 beat/s goal.
+
+use hb_bench::experiments;
+
+fn main() {
+    let result = experiments::fig3_fig4();
+    println!("== Figure 3: heart rate of the adaptive x264 encoder ==\n");
+    println!("configuration changes: {}", result.adaptations);
+    println!(
+        "final 40-frame rate:   {:.1} beat/s (goal: >= 30, paper settles above 35)",
+        result.final_rate_bps
+    );
+    println!("\nCSV:\n{}", result.fig3.to_csv());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 4: the per-frame PSNR difference between the adaptive
+//! encoder and the unmodified demanding encoder.
+
+use hb_bench::experiments;
+
+fn main() {
+    let result = experiments::fig3_fig4();
+    println!("== Figure 4: PSNR difference (adaptive - unmodified), dB ==\n");
+    println!(
+        "mean difference:  {:>6.2} dB  (paper: about -0.5 dB)",
+        result.mean_psnr_diff_db
+    );
+    println!(
+        "worst difference: {:>6.2} dB  (paper: about -1.0 dB)",
+        result.worst_psnr_diff_db
+    );
+    println!("\nCSV:\n{}", result.fig4.to_csv());
+}

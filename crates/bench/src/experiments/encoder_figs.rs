@@ -1,0 +1,295 @@
+//! Experiments E3–E5 and E9: the x264 phase study (Figure 2), the adaptive
+//! encoder (Figures 3 and 4) and the fault-tolerance demonstration
+//! (Figure 8).
+
+use encoder::{AdaptiveEncoder, EncoderConfig, EncoderModel, HbEncoder, VideoTrace};
+use heartbeats::MovingRate;
+use scheduler::FaultInjector;
+use simcore::{FailurePlan, Machine, Series, SeriesSet};
+use workloads::{parsec, SimWorkload};
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug)]
+pub struct Fig2Result {
+    /// `heart_rate` over beats (20-beat moving average).
+    pub series: SeriesSet,
+    /// Mean rate over the first ~100 beats (slow phase).
+    pub phase1_mean_bps: f64,
+    /// Mean rate over beats ~100–330 (fast phase).
+    pub phase2_mean_bps: f64,
+    /// Mean rate after beat ~330 (slow again).
+    pub phase3_mean_bps: f64,
+}
+
+/// Figure 2: the x264 PARSEC workload on eight cores shows three distinct
+/// performance phases in its 20-beat moving-average heart rate.
+pub fn fig2() -> Fig2Result {
+    let machine = Machine::paper_testbed();
+    let mut workload = SimWorkload::with_window(parsec::x264(), &machine, 20);
+    let mut moving = MovingRate::new(20);
+    let mut rate_series = Series::new("heart_rate");
+    while let Some(outcome) = workload.step(8) {
+        if let Some(rate) = moving.push(workload.heartbeat().last_beat_ns().unwrap_or(0)) {
+            rate_series.push((outcome.item + 1) as f64, rate);
+        }
+    }
+    let phase_mean = |lo: f64, hi: f64| {
+        let values: Vec<f64> = rate_series
+            .points
+            .iter()
+            .filter(|&&(x, _)| x >= lo && x < hi)
+            .map(|&(_, y)| y)
+            .collect();
+        heartbeats::stats::mean(&values)
+    };
+    let phase1_mean_bps = phase_mean(20.0, 100.0);
+    let phase2_mean_bps = phase_mean(120.0, 330.0);
+    let phase3_mean_bps = phase_mean(350.0, f64::MAX);
+    let mut series = SeriesSet::new("beat");
+    series.add(rate_series);
+    Fig2Result {
+        series,
+        phase1_mean_bps,
+        phase2_mean_bps,
+        phase3_mean_bps,
+    }
+}
+
+/// Result of the adaptive-encoder experiment (Figures 3 and 4 share one run).
+#[derive(Debug)]
+pub struct Fig3Fig4Result {
+    /// Figure 3: `heart_rate` (40-beat moving average) and `goal` over beats.
+    pub fig3: SeriesSet,
+    /// Figure 4: `psnr_diff` (adaptive − unmodified baseline, dB) over beats.
+    pub fig4: SeriesSet,
+    /// Rate over the final 40 frames.
+    pub final_rate_bps: f64,
+    /// Mean PSNR difference across the run (dB; negative = quality loss).
+    pub mean_psnr_diff_db: f64,
+    /// Worst (most negative) PSNR difference (dB).
+    pub worst_psnr_diff_db: f64,
+    /// Number of configuration changes the encoder made.
+    pub adaptations: usize,
+}
+
+/// Figures 3 and 4: the adaptive encoder starts with the demanding parameter
+/// set (~8.8 beat/s), raises its heart rate to the 30 beat/s goal by trading
+/// quality, and loses at most about 1 dB of PSNR versus the unmodified
+/// encoder.
+pub fn fig3_fig4() -> Fig3Fig4Result {
+    let frames = 640;
+    let trace = VideoTrace::demanding_uniform(frames, 0xF1);
+
+    // Adaptive run.
+    let machine_a = Machine::paper_testbed();
+    let mut adaptive = AdaptiveEncoder::paper_configuration(trace.clone(), &machine_a);
+    let mut moving = MovingRate::new(40);
+    let mut rate_series = Series::new("heart_rate");
+    let mut goal_series = Series::new("goal");
+    let mut adaptive_psnr = Vec::with_capacity(frames);
+    while let Some(encoded) = adaptive.encode_next(8) {
+        adaptive_psnr.push(encoded.psnr_db);
+        let beat = adaptive.frames_encoded() as f64;
+        if let Some(rate) = moving.push(adaptive.heartbeat().last_beat_ns().unwrap_or(0)) {
+            rate_series.push(beat, rate);
+        }
+        goal_series.push(beat, adaptive.target_min_bps());
+    }
+    let final_rate_bps = adaptive.reader().current_rate(40).unwrap_or(0.0);
+
+    // Unmodified baseline on an identical trace.
+    let machine_b = Machine::paper_testbed();
+    let mut baseline = HbEncoder::new(
+        trace,
+        EncoderModel::paper(),
+        EncoderConfig::paper_demanding(),
+        &machine_b,
+    );
+    let baseline_frames = baseline.encode_all(8);
+
+    let mut psnr_series = Series::new("psnr_diff");
+    let mut worst = f64::INFINITY;
+    let mut sum = 0.0;
+    for (i, (a, b)) in adaptive_psnr.iter().zip(baseline_frames.iter()).enumerate() {
+        let diff = a - b.psnr_db;
+        worst = worst.min(diff);
+        sum += diff;
+        psnr_series.push((i + 1) as f64, diff);
+    }
+    let mean = sum / adaptive_psnr.len().max(1) as f64;
+
+    let mut fig3 = SeriesSet::new("beat");
+    fig3.add(rate_series);
+    fig3.add(goal_series);
+    let mut fig4 = SeriesSet::new("beat");
+    fig4.add(psnr_series);
+
+    Fig3Fig4Result {
+        fig3,
+        fig4,
+        final_rate_bps,
+        mean_psnr_diff_db: mean,
+        worst_psnr_diff_db: worst,
+        adaptations: adaptive.adaptations().len(),
+    }
+}
+
+/// Result of the fault-tolerance experiment (Figure 8).
+#[derive(Debug)]
+pub struct Fig8Result {
+    /// `healthy`, `unhealthy` and `adaptive` heart-rate series (20-beat
+    /// moving averages) over beats.
+    pub series: SeriesSet,
+    /// Final 40-frame rate of the healthy (no failures) run.
+    pub healthy_final_bps: f64,
+    /// Final 40-frame rate of the unmodified encoder with core failures.
+    pub unhealthy_final_bps: f64,
+    /// Final 40-frame rate of the adaptive encoder with core failures.
+    pub adaptive_final_bps: f64,
+}
+
+fn run_fixed_encoder(trace: VideoTrace, failures: FailurePlan, label: &str) -> (Series, f64) {
+    let mut machine = Machine::paper_testbed();
+    let mut injector = FaultInjector::new(failures);
+    let mut encoder = HbEncoder::new(
+        trace,
+        EncoderModel::figure8(),
+        EncoderConfig::paper_demanding(),
+        &machine.clone(),
+    );
+    let mut moving = MovingRate::new(20);
+    let mut series = Series::new(label);
+    while !encoder.is_done() {
+        injector.apply(encoder.frames_encoded(), &mut machine);
+        let cores = machine.working_cores();
+        encoder.encode_next(cores);
+        if let Some(rate) = moving.push(encoder.heartbeat().last_beat_ns().unwrap_or(0)) {
+            series.push(encoder.frames_encoded() as f64, rate);
+        }
+    }
+    let final_rate = encoder.reader().current_rate(40).unwrap_or(0.0);
+    (series, final_rate)
+}
+
+/// Figure 8: the healthy encoder holds ~30+ beat/s, the unmodified encoder
+/// falls below its goal as cores die at beats 160/320/480, and the adaptive
+/// encoder absorbs the failures by trading quality for speed.
+pub fn fig8() -> Fig8Result {
+    let frames = 640;
+    let trace = VideoTrace::demanding_uniform(frames, 0xF8);
+
+    let (healthy_series, healthy_final) =
+        run_fixed_encoder(trace.clone(), FailurePlan::none(), "healthy");
+    let (unhealthy_series, unhealthy_final) =
+        run_fixed_encoder(trace.clone(), FailurePlan::paper_figure8(), "unhealthy");
+
+    // Adaptive run under the same failure schedule.
+    let mut machine = Machine::paper_testbed();
+    let mut injector = FaultInjector::paper_figure8();
+    let mut adaptive = AdaptiveEncoder::new(
+        trace,
+        EncoderModel::figure8(),
+        &machine.clone(),
+        encoder::DEFAULT_CHECK_EVERY,
+        encoder::DEFAULT_TARGET_MIN_BPS,
+    );
+    let mut moving = MovingRate::new(20);
+    let mut adaptive_series = Series::new("adaptive");
+    while !adaptive.is_done() {
+        injector.apply(adaptive.frames_encoded(), &mut machine);
+        let cores = machine.working_cores();
+        adaptive.encode_next(cores);
+        if let Some(rate) = moving.push(adaptive.heartbeat().last_beat_ns().unwrap_or(0)) {
+            adaptive_series.push(adaptive.frames_encoded() as f64, rate);
+        }
+    }
+    let adaptive_final = adaptive.reader().current_rate(40).unwrap_or(0.0);
+
+    let mut series = SeriesSet::new("beat");
+    series.add(healthy_series);
+    series.add(unhealthy_series);
+    series.add(adaptive_series);
+
+    Fig8Result {
+        series,
+        healthy_final_bps: healthy_final,
+        unhealthy_final_bps: unhealthy_final,
+        adaptive_final_bps: adaptive_final,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shows_three_phases() {
+        let result = fig2();
+        // Paper: ~12-14 beat/s, then ~23-29 beat/s, then ~12-14 beat/s.
+        assert!(
+            (9.0..17.0).contains(&result.phase1_mean_bps),
+            "phase 1 mean {:.1}",
+            result.phase1_mean_bps
+        );
+        assert!(
+            (19.0..31.0).contains(&result.phase2_mean_bps),
+            "phase 2 mean {:.1}",
+            result.phase2_mean_bps
+        );
+        assert!(
+            (9.0..17.0).contains(&result.phase3_mean_bps),
+            "phase 3 mean {:.1}",
+            result.phase3_mean_bps
+        );
+        assert!(result.phase2_mean_bps > 1.5 * result.phase1_mean_bps);
+        assert!(result.series.get("heart_rate").unwrap().len() > 400);
+    }
+
+    #[test]
+    fn fig3_reaches_the_goal_and_fig4_stays_within_a_db() {
+        let result = fig3_fig4();
+        assert!(result.adaptations > 0);
+        assert!(
+            result.final_rate_bps >= 30.0,
+            "final rate {:.1}",
+            result.final_rate_bps
+        );
+        // Figure 4's quality cost: worst about -1 dB, average about -0.5 dB.
+        assert!(
+            result.worst_psnr_diff_db >= -1.5 && result.worst_psnr_diff_db < 0.0,
+            "worst diff {:.2}",
+            result.worst_psnr_diff_db
+        );
+        assert!(
+            result.mean_psnr_diff_db <= 0.0 && result.mean_psnr_diff_db >= -0.9,
+            "mean diff {:.2}",
+            result.mean_psnr_diff_db
+        );
+        // The early heart rate starts well below the goal (paper: 8.8).
+        let rate = result.fig3.get("heart_rate").unwrap();
+        let early = rate.value_at(60.0).unwrap();
+        assert!(early < 20.0, "early rate {early:.1}");
+    }
+
+    #[test]
+    fn fig8_adaptive_outlives_the_failures() {
+        let result = fig8();
+        assert!(
+            result.healthy_final_bps >= 30.0,
+            "healthy {:.1}",
+            result.healthy_final_bps
+        );
+        assert!(
+            result.unhealthy_final_bps < 27.0,
+            "unhealthy {:.1}",
+            result.unhealthy_final_bps
+        );
+        assert!(
+            result.adaptive_final_bps >= 29.0,
+            "adaptive {:.1}",
+            result.adaptive_final_bps
+        );
+        assert!(result.adaptive_final_bps > result.unhealthy_final_bps);
+        assert_eq!(result.series.series().len(), 3);
+    }
+}

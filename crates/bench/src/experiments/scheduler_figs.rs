@@ -1,0 +1,86 @@
+//! Experiments E6–E8: the external scheduler driving bodytrack (Figure 5),
+//! streamcluster (Figure 6) and x264 (Figure 7).
+
+use scheduler::{run_scheduled_step, ScheduledRunConfig, ScheduledRunResult};
+use simcore::{FailurePlan, Machine};
+use workloads::parsec;
+
+/// Figure 5: bodytrack under the external scheduler with a 2.5–3.5 beat/s
+/// target. The scheduler climbs to seven cores, briefly needs the eighth
+/// around beat 102, and reclaims cores down to one after the load drop at
+/// beat 141.
+pub fn fig5() -> ScheduledRunResult {
+    let mut machine = Machine::paper_testbed();
+    let config = ScheduledRunConfig {
+        target: (2.5, 3.5),
+        scheduler_window: 10,
+        check_every: 3,
+        plot_window: 20,
+        failures: FailurePlan::none(),
+    };
+    run_scheduled_step(parsec::bodytrack_fig5(), &mut machine, &config)
+}
+
+/// Figure 6: streamcluster under the external scheduler with the narrow
+/// 0.5–0.55 beat/s target; the target is reached by roughly the 22nd beat.
+pub fn fig6() -> ScheduledRunResult {
+    let mut machine = Machine::paper_testbed();
+    let config = ScheduledRunConfig {
+        target: (0.5, 0.55),
+        scheduler_window: 6,
+        check_every: 2,
+        plot_window: 10,
+        failures: FailurePlan::none(),
+    };
+    run_scheduled_step(parsec::streamcluster_fig6(), &mut machine, &config)
+}
+
+/// Figure 7: x264 with light parameters under the external scheduler with a
+/// 30–35 beat/s target; four to six cores hold the window and the easy
+/// stretches produce brief spikes above 40 beat/s.
+pub fn fig7() -> ScheduledRunResult {
+    let mut machine = Machine::paper_testbed();
+    let config = ScheduledRunConfig {
+        target: (30.0, 35.0),
+        scheduler_window: 20,
+        check_every: 5,
+        plot_window: 20,
+        failures: FailurePlan::none(),
+    };
+    run_scheduled_step(parsec::x264_fig7(), &mut machine, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_matches_the_paper_shape() {
+        let result = fig5();
+        assert!(result.peak_cores >= 7, "peak {}", result.peak_cores);
+        assert_eq!(result.final_cores, 1, "final {}", result.final_cores);
+        assert!(result.settled_fraction_in_target > 0.5);
+    }
+
+    #[test]
+    fn fig6_reaches_its_narrow_window_quickly() {
+        let result = fig6();
+        assert!((4..=6).contains(&result.final_cores));
+        let rate = result.series.get("heart_rate").unwrap();
+        let first_in = rate
+            .points
+            .iter()
+            .find(|&&(_, y)| (0.5..=0.55).contains(&y))
+            .map(|&(x, _)| x)
+            .unwrap_or(f64::MAX);
+        assert!(first_in <= 30.0, "first in-target beat {first_in}");
+    }
+
+    #[test]
+    fn fig7_uses_four_to_six_cores_with_spikes() {
+        let result = fig7();
+        assert!((4..=6).contains(&result.final_cores));
+        assert!(result.series.get("heart_rate").unwrap().max_y().unwrap() > 40.0);
+        assert!(result.settled_fraction_in_target > 0.45);
+    }
+}

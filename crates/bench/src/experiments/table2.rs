@@ -1,0 +1,191 @@
+//! Experiment E1/E2: the Table 2 reproduction and the Section 5.1 overhead
+//! study.
+
+use simcore::{Machine, TextTable};
+use workloads::{measure_overhead, parsec, Kernel, SimWorkload, PAPER_TESTBED_CORES};
+
+/// One row of the reproduced Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Where the heartbeat is registered.
+    pub heartbeat_location: String,
+    /// Average heart rate the paper reports (beats/s).
+    pub paper_rate_bps: f64,
+    /// Average heart rate measured by the simulated run (beats/s).
+    pub measured_rate_bps: f64,
+}
+
+impl Table2Row {
+    /// Relative error of the measured rate vs the paper's value.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured_rate_bps - self.paper_rate_bps).abs() / self.paper_rate_bps
+    }
+}
+
+/// Runs every Table 2 workload on the simulated eight-core testbed and
+/// returns the measured average heart rates next to the paper's values.
+pub fn table2_rows() -> Vec<Table2Row> {
+    parsec::all_table2()
+        .into_iter()
+        .map(|spec| {
+            let paper = parsec::paper_rate(&spec.name).expect("Table 2 benchmark");
+            let location = spec.heartbeat_location.clone();
+            let name = spec.name.clone();
+            let machine = Machine::paper_testbed();
+            let mut workload = SimWorkload::new(spec, &machine);
+            let summary = workload.run_to_completion(PAPER_TESTBED_CORES);
+            Table2Row {
+                benchmark: name,
+                heartbeat_location: location,
+                paper_rate_bps: paper,
+                measured_rate_bps: summary.average_rate_bps,
+            }
+        })
+        .collect()
+}
+
+/// Renders the reproduced Table 2 as a text table (paper vs measured).
+pub fn table2() -> TextTable {
+    let mut table = TextTable::new(&[
+        "Benchmark",
+        "Heartbeat Location",
+        "Paper Rate (beat/s)",
+        "Measured Rate (beat/s)",
+        "Rel. Error",
+    ]);
+    for row in table2_rows() {
+        table.add_row(vec![
+            row.benchmark.clone(),
+            row.heartbeat_location.clone(),
+            format!("{:.2}", row.paper_rate_bps),
+            format!("{:.2}", row.measured_rate_bps),
+            format!("{:.1}%", row.relative_error() * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Result of the heartbeat-overhead study for one kernel.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Wall-clock seconds without any heartbeats.
+    pub baseline_secs: f64,
+    /// Wall-clock seconds with the paper's coarse beat granularity.
+    pub coarse_secs: f64,
+    /// Wall-clock seconds with a beat after every item.
+    pub fine_secs: f64,
+}
+
+impl OverheadRow {
+    /// Relative overhead of the coarse instrumentation.
+    pub fn coarse_overhead(&self) -> f64 {
+        self.coarse_secs / self.baseline_secs - 1.0
+    }
+
+    /// Slow-down factor of the per-item instrumentation.
+    pub fn fine_slowdown(&self) -> f64 {
+        self.fine_secs / self.baseline_secs
+    }
+}
+
+/// Reproduces the Section 5.1 overhead observations with real kernels:
+/// blackscholes with one beat per 25 000 options vs one beat per option, and
+/// facesim with one beat per frame.
+///
+/// `options` controls how many options the blackscholes run prices (use a
+/// small number in tests, a large one in the bench binary).
+pub fn overhead_study(options: usize, facesim_frames: usize) -> Vec<OverheadRow> {
+    let coarse_every = 25_000.min(options.max(2) / 2).max(1);
+    let (base, coarse, fine) = measure_overhead(Kernel::Blackscholes, options, 1, coarse_every, 1);
+    let blackscholes = OverheadRow {
+        benchmark: "blackscholes".to_string(),
+        baseline_secs: base,
+        coarse_secs: coarse,
+        fine_secs: fine,
+    };
+    let (base, coarse, fine) =
+        measure_overhead(Kernel::Facesim, facesim_frames.max(2), 20_000, 1, 1);
+    let facesim = OverheadRow {
+        benchmark: "facesim".to_string(),
+        baseline_secs: base,
+        coarse_secs: coarse,
+        fine_secs: fine,
+    };
+    vec![blackscholes, facesim]
+}
+
+/// Renders the overhead study as a text table.
+pub fn overhead_table(options: usize, facesim_frames: usize) -> TextTable {
+    let mut table = TextTable::new(&[
+        "Benchmark",
+        "Baseline (s)",
+        "Coarse beats (s)",
+        "Per-item beats (s)",
+        "Coarse overhead",
+        "Per-item slowdown",
+    ]);
+    for row in overhead_study(options, facesim_frames) {
+        table.add_row(vec![
+            row.benchmark.clone(),
+            format!("{:.4}", row.baseline_secs),
+            format!("{:.4}", row.coarse_secs),
+            format!("{:.4}", row.fine_secs),
+            format!("{:+.1}%", row.coarse_overhead() * 100.0),
+            format!("{:.2}x", row.fine_slowdown()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_ten_benchmarks_in_order() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].benchmark, "blackscholes");
+        assert_eq!(rows[9].benchmark, "x264");
+    }
+
+    #[test]
+    fn measured_rates_track_the_paper() {
+        for row in table2_rows() {
+            assert!(
+                row.relative_error() < 0.25,
+                "{}: measured {:.3} vs paper {:.3}",
+                row.benchmark,
+                row.measured_rate_bps,
+                row.paper_rate_bps
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_table_mentions_every_benchmark() {
+        let rendered = table2().to_aligned();
+        for (name, _, _) in parsec::PAPER_TABLE2 {
+            assert!(rendered.contains(name), "missing {name}");
+        }
+        assert!(table2().to_csv().lines().count() == 11);
+    }
+
+    #[test]
+    fn overhead_study_produces_two_rows() {
+        let rows = overhead_study(2_000, 3);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].benchmark, "blackscholes");
+        assert_eq!(rows[1].benchmark, "facesim");
+        for row in &rows {
+            assert!(row.baseline_secs > 0.0);
+            assert!(row.fine_slowdown() > 0.0);
+        }
+        let table = overhead_table(2_000, 3);
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hb-bench — the evaluation harness
+//!
+//! Every table and figure of the Application Heartbeats paper has a
+//! corresponding experiment here (see DESIGN.md §3 for the index):
+//!
+//! | Paper artifact | Function | Binary |
+//! |----------------|----------|--------|
+//! | Table 2        | [`experiments::table2`] | `table2` |
+//! | Section 5.1 overhead | [`experiments::overhead_table`] | `table2 -- --overhead` / `overhead` bench |
+//! | Figure 2       | [`experiments::fig2`] | `fig2` |
+//! | Figure 3       | [`experiments::fig3_fig4`] | `fig3` |
+//! | Figure 4       | [`experiments::fig3_fig4`] | `fig4` |
+//! | Figure 5       | [`experiments::fig5`] | `fig5` |
+//! | Figure 6       | [`experiments::fig6`] | `fig6` |
+//! | Figure 7       | [`experiments::fig7`] | `fig7` |
+//! | Figure 8       | [`experiments::fig8`] | `fig8` |
+//! | Ablation: controllers | [`experiments::controller_ablation_table`] | `ablation_controllers` |
+//! | Ablation: window size | [`experiments::window_ablation_table`] | `ablation_window` |
+//!
+//! Each binary prints a human-readable summary followed by the CSV series the
+//! corresponding figure plots, so results can be regenerated and compared to
+//! the paper with `cargo run -p hb-bench --bin figN`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;

@@ -1,0 +1,150 @@
+//! Actuators: the things a controller can change.
+//!
+//! In the paper the actuators are the number of cores allocated to an
+//! application (external scheduler, Section 5.3) and the encoder's algorithm
+//! knobs (internal adaptation, Section 5.2). [`Actuator`] abstracts over
+//! both: a controller produces a continuous desired level and the actuator
+//! clamps and quantizes it to what the underlying mechanism supports.
+
+/// Something with a bounded, adjustable level.
+pub trait Actuator: Send + std::fmt::Debug {
+    /// Current level.
+    fn level(&self) -> f64;
+
+    /// Smallest level the actuator supports.
+    fn min_level(&self) -> f64;
+
+    /// Largest level the actuator supports.
+    fn max_level(&self) -> f64;
+
+    /// Applies a desired level, clamping/quantizing as needed, and returns
+    /// the level actually in effect afterwards.
+    fn apply(&mut self, desired: f64) -> f64;
+
+    /// True if the actuator is already at its maximum.
+    fn saturated_high(&self) -> bool {
+        self.level() >= self.max_level()
+    }
+
+    /// True if the actuator is already at its minimum.
+    fn saturated_low(&self) -> bool {
+        self.level() <= self.min_level()
+    }
+}
+
+/// An integer-valued actuator over `[min, max]` (e.g. a core count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscreteActuator {
+    level: usize,
+    min: usize,
+    max: usize,
+}
+
+impl DiscreteActuator {
+    /// Creates an actuator spanning `[min, max]` starting at `initial`
+    /// (clamped into range). Panics if `min > max`.
+    pub fn new(min: usize, max: usize, initial: usize) -> Self {
+        assert!(min <= max, "min level must not exceed max level");
+        DiscreteActuator {
+            level: initial.clamp(min, max),
+            min,
+            max,
+        }
+    }
+
+    /// The current integer level.
+    pub fn value(&self) -> usize {
+        self.level
+    }
+
+    /// Directly sets the maximum (e.g. when cores fail), clamping the current
+    /// level if necessary. The minimum is never raised above the new maximum.
+    pub fn set_max(&mut self, max: usize) {
+        self.max = max.max(self.min);
+        self.level = self.level.min(self.max);
+    }
+}
+
+impl Actuator for DiscreteActuator {
+    fn level(&self) -> f64 {
+        self.level as f64
+    }
+
+    fn min_level(&self) -> f64 {
+        self.min as f64
+    }
+
+    fn max_level(&self) -> f64 {
+        self.max as f64
+    }
+
+    fn apply(&mut self, desired: f64) -> f64 {
+        let rounded = desired.round();
+        let clamped = if rounded.is_nan() {
+            self.level as f64
+        } else {
+            rounded.clamp(self.min as f64, self.max as f64)
+        };
+        self.level = clamped as usize;
+        self.level as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_actuator_clamps_and_rounds() {
+        let mut a = DiscreteActuator::new(1, 8, 1);
+        assert_eq!(a.value(), 1);
+        assert_eq!(a.apply(3.4), 3.0);
+        assert_eq!(a.value(), 3);
+        assert_eq!(a.apply(3.6), 4.0);
+        assert_eq!(a.apply(100.0), 8.0);
+        assert_eq!(a.apply(-5.0), 1.0);
+        assert_eq!(a.min_level(), 1.0);
+        assert_eq!(a.max_level(), 8.0);
+    }
+
+    #[test]
+    fn initial_level_is_clamped() {
+        let a = DiscreteActuator::new(2, 6, 100);
+        assert_eq!(a.value(), 6);
+        let b = DiscreteActuator::new(2, 6, 0);
+        assert_eq!(b.value(), 2);
+    }
+
+    #[test]
+    fn saturation_flags() {
+        let mut a = DiscreteActuator::new(1, 4, 1);
+        assert!(a.saturated_low());
+        assert!(!a.saturated_high());
+        a.apply(4.0);
+        assert!(a.saturated_high());
+    }
+
+    #[test]
+    fn set_max_shrinks_level() {
+        let mut a = DiscreteActuator::new(1, 8, 7);
+        a.set_max(5);
+        assert_eq!(a.value(), 5);
+        assert_eq!(a.max_level(), 5.0);
+        // Max never drops below min.
+        a.set_max(0);
+        assert_eq!(a.max_level(), 1.0);
+        assert_eq!(a.value(), 1);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut a = DiscreteActuator::new(1, 8, 4);
+        assert_eq!(a.apply(f64::NAN), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min level")]
+    fn inverted_bounds_panic() {
+        DiscreteActuator::new(5, 2, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! # control — adaptation machinery for heartbeat-driven systems
+//!
+//! The Heartbeats framework supplies the *measurement*; something still has
+//! to *decide* and *act*. This crate provides the reusable pieces the paper's
+//! adaptive systems are built from:
+//!
+//! * [`RateMonitor`] — samples an application's heart rate every N beats
+//!   (the adaptive encoder checks every 40 frames; the scheduler samples
+//!   between allocation decisions).
+//! * [`Controller`] — policy turning `(rate, target, current level)` into a
+//!   desired level: [`StepController`] is the paper's add-one/remove-one
+//!   heuristic, [`PiController`] a proportional–integral alternative used as
+//!   an ablation.
+//! * [`Actuator`] — a bounded adjustable level (core count, encoder knob
+//!   index); [`DiscreteActuator`] is the integer-valued implementation.
+//! * [`ControlLoop`] — observe → decide → act, with an event log.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod actuator;
+mod control_loop;
+mod controller;
+mod monitor;
+
+pub use actuator::{Actuator, DiscreteActuator};
+pub use control_loop::{ControlEvent, ControlLoop};
+pub use controller::{Controller, PiController, StepController};
+pub use monitor::{Observation, RateMonitor};

@@ -1,0 +1,36 @@
+//! # encoder — an adaptive, heartbeat-driven H.264-like encoder
+//!
+//! Sections 5.2 and 5.4 of the Heartbeats paper build an adaptive x264: a
+//! heartbeat is registered after every encoded frame, the encoder checks its
+//! heart rate every 40 frames, and when the rate falls below the 30 beat/s
+//! goal it trades encoding quality for speed (cheaper motion-estimation
+//! search, no sub-macroblock partitioning, lighter sub-pixel refinement).
+//! The same mechanism that recovers from slow inputs also absorbs core
+//! failures, because the encoder only ever looks at its own heart rate.
+//!
+//! This crate models that encoder:
+//!
+//! * [`EncoderConfig`] / [`MotionEstimation`] — the knob ladder.
+//! * [`VideoTrace`] / [`Frame`] / [`FrameType`] — synthetic input videos
+//!   (the demanding uniform sequence and a PARSEC-native-like sequence with
+//!   Figure 2's phase structure).
+//! * [`EncoderModel`] — the calibrated cost/PSNR model.
+//! * [`HbEncoder`] — the instrumented but non-adaptive encoder (the paper's
+//!   "unmodified x264" baseline).
+//! * [`AdaptiveEncoder`] — the self-optimizing encoder of Figures 3, 4 and 8.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod adaptive;
+#[allow(clippy::module_inception)]
+mod encoder;
+mod knobs;
+mod model;
+mod video;
+
+pub use adaptive::{Adaptation, AdaptiveEncoder, DEFAULT_CHECK_EVERY, DEFAULT_TARGET_MIN_BPS};
+pub use encoder::{EncodedFrame, HbEncoder};
+pub use knobs::{EncoderConfig, MotionEstimation, MAX_REFERENCE_FRAMES, MAX_SUBPIXEL};
+pub use model::{EncoderModel, PAPER_DEMANDING_RATE_BPS, PAPER_TESTBED_CORES};
+pub use video::{Frame, FrameType, VideoTrace};

@@ -1,0 +1,175 @@
+//! The standard shared-memory layout for heartbeat data.
+//!
+//! Section 3 of the paper anticipates hardware that reads heartbeat buffers
+//! directly and notes that *"a standard must be established specifying the
+//! components and layout of the heartbeat data structures in memory"*, leaving
+//! that standard to future work. This module defines such a layout: a fixed
+//! header followed by a power-of-two-free array of fixed-size record slots
+//! forming a circular buffer, with per-slot sequence stamps (a seqlock) so
+//! readers in other processes — or hardware agents — can take torn-free
+//! snapshots without ever blocking the producer.
+//!
+//! All fields are little-endian `u64`s at 8-byte-aligned offsets, updated
+//! exclusively with atomic operations.
+//!
+//! ```text
+//! offset  field
+//! ------  -----------------------------------------------------------
+//!   0     magic            0x4842_5348_4D31_0001 ("HBSHM1", version 1)
+//!   8     version          layout version (currently 1)
+//!  16     capacity         number of record slots
+//!  24     head             total number of beats ever recorded
+//!  32     target_min_bits  f64 bit pattern of the min target rate
+//!  40     target_max_bits  f64 bit pattern of the max target rate
+//!  48     first_timestamp  ns timestamp of the first beat (u64::MAX = none)
+//!  56     default_window   default window registered by the application
+//!  64..   reserved         zeroed, reserved for future layout versions
+//! 128     slot[0]          first record slot
+//! ...
+//! 128 + i*32   slot[i]
+//! ```
+//!
+//! Each 32-byte slot:
+//!
+//! ```text
+//! offset  field
+//! ------  -----------------------------------------------------
+//!   0     state        seqlock stamp: 2*seq+1 writing, 2*seq+2 stable
+//!   8     timestamp    beat timestamp in nanoseconds
+//!  16     tag          user tag
+//!  24     thread       dense thread id of the producer
+//! ```
+
+/// Magic value identifying a heartbeat shared-memory segment ("HBSHM1" + 0001).
+pub const MAGIC: u64 = 0x4842_5348_4D31_0001;
+
+/// Current layout version.
+pub const VERSION: u64 = 1;
+
+/// Size of the segment header in bytes.
+pub const HEADER_SIZE: usize = 128;
+
+/// Size of one record slot in bytes.
+pub const SLOT_SIZE: usize = 32;
+
+/// Sentinel stored in `first_timestamp` when no beat has been recorded.
+pub const NO_TIMESTAMP: u64 = u64::MAX;
+
+/// Value stored in the target fields when no target has been set
+/// (bit pattern of -1.0).
+pub fn unset_target_bits() -> u64 {
+    (-1.0f64).to_bits()
+}
+
+/// Byte offsets of the header fields.
+pub mod offsets {
+    /// Magic value.
+    pub const MAGIC: usize = 0;
+    /// Layout version.
+    pub const VERSION: usize = 8;
+    /// Number of record slots.
+    pub const CAPACITY: usize = 16;
+    /// Total beats recorded.
+    pub const HEAD: usize = 24;
+    /// Bit pattern of the minimum target rate.
+    pub const TARGET_MIN: usize = 32;
+    /// Bit pattern of the maximum target rate.
+    pub const TARGET_MAX: usize = 40;
+    /// Timestamp of the first beat.
+    pub const FIRST_TIMESTAMP: usize = 48;
+    /// Default window registered by the application.
+    pub const DEFAULT_WINDOW: usize = 56;
+}
+
+/// Byte offsets of the fields inside a slot (relative to the slot start).
+pub mod slot_offsets {
+    /// Seqlock stamp.
+    pub const STATE: usize = 0;
+    /// Beat timestamp (ns).
+    pub const TIMESTAMP: usize = 8;
+    /// User tag.
+    pub const TAG: usize = 16;
+    /// Producer thread id.
+    pub const THREAD: usize = 24;
+}
+
+/// Total size in bytes of a segment with `capacity` slots.
+pub fn segment_size(capacity: usize) -> usize {
+    HEADER_SIZE + capacity * SLOT_SIZE
+}
+
+/// Byte offset of slot `index`.
+pub fn slot_offset(index: usize) -> usize {
+    HEADER_SIZE + index * SLOT_SIZE
+}
+
+/// Seqlock stamp marking a slot as being written for sequence `seq`.
+pub fn writing_state(seq: u64) -> u64 {
+    seq.wrapping_mul(2).wrapping_add(1)
+}
+
+/// Seqlock stamp marking a slot as holding the stable record for `seq`.
+pub fn stable_state(seq: u64) -> u64 {
+    seq.wrapping_mul(2).wrapping_add(2)
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fits_reserved_space() {
+        assert!(offsets::DEFAULT_WINDOW + 8 <= HEADER_SIZE);
+    }
+
+    #[test]
+    fn header_offsets_are_aligned_and_distinct() {
+        let all = [
+            offsets::MAGIC,
+            offsets::VERSION,
+            offsets::CAPACITY,
+            offsets::HEAD,
+            offsets::TARGET_MIN,
+            offsets::TARGET_MAX,
+            offsets::FIRST_TIMESTAMP,
+            offsets::DEFAULT_WINDOW,
+        ];
+        for (i, &a) in all.iter().enumerate() {
+            assert_eq!(a % 8, 0);
+            for &b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_offsets_are_within_slot() {
+        assert!(slot_offsets::THREAD + 8 <= SLOT_SIZE);
+        assert_eq!(slot_offsets::STATE, 0);
+    }
+
+    #[test]
+    fn segment_size_scales_with_capacity() {
+        assert_eq!(segment_size(0), HEADER_SIZE);
+        assert_eq!(segment_size(4), HEADER_SIZE + 4 * SLOT_SIZE);
+        assert_eq!(slot_offset(0), HEADER_SIZE);
+        assert_eq!(slot_offset(3), HEADER_SIZE + 3 * SLOT_SIZE);
+    }
+
+    #[test]
+    fn seqlock_states_are_distinct_per_seq() {
+        for seq in [0u64, 1, 2, 1_000_000] {
+            assert_ne!(writing_state(seq), stable_state(seq));
+            assert_eq!(writing_state(seq) % 2, 1);
+            assert_eq!(stable_state(seq) % 2, 0);
+            assert_ne!(stable_state(seq), 0, "0 is reserved for never-written");
+        }
+        assert_ne!(stable_state(0), stable_state(1));
+    }
+
+    #[test]
+    fn unset_target_bits_decode_to_negative() {
+        assert!(f64::from_bits(unset_target_bits()) < 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # hb-shm — external observability backends for Application Heartbeats
+//!
+//! The Heartbeats paper requires that "the global buffer must be in a
+//! universally accessible location such as coherent shared memory or a disk
+//! file" so that external observers — the OS, other applications, hardware —
+//! can read an application's progress and goals. This crate provides both
+//! options:
+//!
+//! * [`FileBackend`] / [`FileObserver`] — a line-oriented log file, matching
+//!   the reference C implementation described in Section 4 of the paper.
+//! * [`ShmBackend`] / [`ShmObserver`] / [`ShmSegment`] — a POSIX shared-memory
+//!   segment with a documented fixed layout ([`layout`]), realizing the
+//!   "standard memory layout" the paper leaves as future work. Producers are
+//!   lock-free; observers take torn-free snapshots via per-slot seqlocks.
+//!
+//! Both plug into the core crate through the
+//! [`Backend`](heartbeats::Backend) trait:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use heartbeats::HeartbeatBuilder;
+//! use hb_shm::ShmBackend;
+//!
+//! let backend = ShmBackend::create("my-app-heartbeats", 4096, 20).unwrap();
+//! let hb = HeartbeatBuilder::new("my-app")
+//!     .window(20)
+//!     .backend(Arc::new(backend))
+//!     .build()
+//!     .unwrap();
+//! hb.heartbeat();
+//! ```
+//!
+//! and an external process attaches with:
+//!
+//! ```no_run
+//! use hb_shm::ShmObserver;
+//! let observer = ShmObserver::attach("my-app-heartbeats").unwrap();
+//! println!("rate = {:?}", observer.current_rate(0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod file;
+pub mod layout;
+pub mod posix;
+mod shm;
+
+pub use file::{parse_line, FileBackend, FileObserver, LogEntry};
+pub use posix::ShmRegion;
+pub use shm::{ShmBackend, ShmObserver, ShmSegment};

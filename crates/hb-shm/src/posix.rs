@@ -1,0 +1,266 @@
+//! Thin, safe wrappers around the POSIX shared-memory primitives
+//! (`shm_open`, `ftruncate`, `mmap`, `munmap`, `shm_unlink`, `close`).
+//!
+//! Only the small surface needed by the heartbeat shared-memory backend is
+//! wrapped; everything else in this crate works with safe Rust on top of
+//! [`ShmRegion`].
+
+use std::io;
+use std::os::raw::c_int;
+
+use heartbeats::{HeartbeatError, Result};
+
+/// Normalizes a shared-memory object name to the `/name` form required by
+/// POSIX (a single leading slash, no other slashes).
+pub fn normalize_name(name: &str) -> String {
+    let trimmed = name.trim_start_matches('/');
+    let sanitized: String = trimmed
+        .chars()
+        .map(|c| if c == '/' { '_' } else { c })
+        .collect();
+    format!("/{sanitized}")
+}
+
+fn last_error(context: &str) -> HeartbeatError {
+    HeartbeatError::Backend(format!("{context}: {}", io::Error::last_os_error()))
+}
+
+/// A mapped POSIX shared-memory object.
+///
+/// The mapping is removed and the file descriptor closed on drop; the
+/// underlying object persists until [`ShmRegion::unlink`] is called (by
+/// whichever process owns the object's lifecycle).
+#[derive(Debug)]
+pub struct ShmRegion {
+    name: String,
+    ptr: *mut u8,
+    len: usize,
+    fd: c_int,
+}
+
+// SAFETY: the raw mapping is only ever accessed through atomic operations (or
+// before the region is shared, during initialization), so concurrent access
+// from multiple threads is sound.
+unsafe impl Send for ShmRegion {}
+unsafe impl Sync for ShmRegion {}
+
+impl ShmRegion {
+    /// Creates (or re-opens and resizes) a shared-memory object of `len`
+    /// bytes and maps it read-write.
+    pub fn create(name: &str, len: usize) -> Result<Self> {
+        let name = normalize_name(name);
+        let c_name = std::ffi::CString::new(name.clone())
+            .map_err(|_| HeartbeatError::Backend("shm name contains NUL".into()))?;
+        // SAFETY: c_name is a valid NUL-terminated string; flags and mode are
+        // plain integers.
+        let fd = unsafe {
+            libc::shm_open(
+                c_name.as_ptr(),
+                libc::O_CREAT | libc::O_RDWR,
+                (libc::S_IRUSR | libc::S_IWUSR) as libc::mode_t,
+            )
+        };
+        if fd < 0 {
+            return Err(last_error("shm_open(create)"));
+        }
+        // SAFETY: fd is a valid descriptor we just opened.
+        if unsafe { libc::ftruncate(fd, len as libc::off_t) } != 0 {
+            let err = last_error("ftruncate");
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+        Self::map(name, fd, len)
+    }
+
+    /// Opens an existing shared-memory object and maps it read-write.
+    ///
+    /// `expected_min_len` guards against mapping an object that is too small
+    /// to contain a valid header.
+    pub fn open(name: &str, expected_min_len: usize) -> Result<Self> {
+        let name = normalize_name(name);
+        let c_name = std::ffi::CString::new(name.clone())
+            .map_err(|_| HeartbeatError::Backend("shm name contains NUL".into()))?;
+        // SAFETY: c_name is a valid NUL-terminated string.
+        let fd = unsafe { libc::shm_open(c_name.as_ptr(), libc::O_RDWR, 0) };
+        if fd < 0 {
+            return Err(last_error("shm_open(open)"));
+        }
+        // SAFETY: fd is valid; stat is a plain output struct.
+        let mut stat: libc::stat = unsafe { std::mem::zeroed() };
+        if unsafe { libc::fstat(fd, &mut stat) } != 0 {
+            let err = last_error("fstat");
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+        let len = stat.st_size as usize;
+        if len < expected_min_len {
+            unsafe { libc::close(fd) };
+            return Err(HeartbeatError::Backend(format!(
+                "shared-memory object {name} is too small ({len} bytes)"
+            )));
+        }
+        Self::map(name, fd, len)
+    }
+
+    fn map(name: String, fd: c_int, len: usize) -> Result<Self> {
+        // SAFETY: fd is a valid shm descriptor of at least `len` bytes.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            let err = last_error("mmap");
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+        Ok(ShmRegion {
+            name,
+            ptr: ptr as *mut u8,
+            len,
+            fd,
+        })
+    }
+
+    /// Removes the named object from the system namespace. Existing mappings
+    /// stay valid until they are unmapped.
+    pub fn unlink(name: &str) -> Result<()> {
+        let name = normalize_name(name);
+        let c_name = std::ffi::CString::new(name)
+            .map_err(|_| HeartbeatError::Backend("shm name contains NUL".into()))?;
+        // SAFETY: c_name is a valid NUL-terminated string.
+        if unsafe { libc::shm_unlink(c_name.as_ptr()) } != 0 {
+            return Err(last_error("shm_unlink"));
+        }
+        Ok(())
+    }
+
+    /// The normalized object name (`/something`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping has zero length (never the case for valid regions).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a reference to an [`AtomicU64`](std::sync::atomic::AtomicU64)
+    /// living at `offset` bytes into the region.
+    ///
+    /// Panics if the offset is out of bounds or not 8-byte aligned.
+    pub fn atomic_u64(&self, offset: usize) -> &std::sync::atomic::AtomicU64 {
+        assert!(
+            offset + 8 <= self.len,
+            "offset {offset} out of bounds for region of {} bytes",
+            self.len
+        );
+        assert_eq!(offset % 8, 0, "offset {offset} is not 8-byte aligned");
+        // SAFETY: the mapping is page-aligned, the offset is 8-byte aligned
+        // and in bounds, and all concurrent access goes through atomics.
+        unsafe { &*(self.ptr.add(offset) as *const std::sync::atomic::AtomicU64) }
+    }
+}
+
+impl Drop for ShmRegion {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len describe the mapping created in `map`; fd is ours.
+        unsafe {
+            libc::munmap(self.ptr as *mut libc::c_void, self.len);
+            libc::close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn unique_name(tag: &str) -> String {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        format!(
+            "hb-posix-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    #[test]
+    fn normalize_name_adds_single_slash() {
+        assert_eq!(normalize_name("foo"), "/foo");
+        assert_eq!(normalize_name("/foo"), "/foo");
+        assert_eq!(normalize_name("//foo"), "/foo");
+        assert_eq!(normalize_name("a/b"), "/a_b");
+    }
+
+    #[test]
+    fn create_map_and_reopen() {
+        let name = unique_name("roundtrip");
+        {
+            let region = ShmRegion::create(&name, 4096).unwrap();
+            assert_eq!(region.len(), 4096);
+            assert!(!region.is_empty());
+            assert!(region.name().starts_with('/'));
+            region.atomic_u64(0).store(0xDEADBEEF, Ordering::Release);
+            region.atomic_u64(4088).store(42, Ordering::Release);
+        }
+        {
+            let region = ShmRegion::open(&name, 4096).unwrap();
+            assert_eq!(region.atomic_u64(0).load(Ordering::Acquire), 0xDEADBEEF);
+            assert_eq!(region.atomic_u64(4088).load(Ordering::Acquire), 42);
+        }
+        ShmRegion::unlink(&name).unwrap();
+    }
+
+    #[test]
+    fn open_missing_object_fails() {
+        assert!(ShmRegion::open(&unique_name("missing"), 64).is_err());
+    }
+
+    #[test]
+    fn open_too_small_object_fails() {
+        let name = unique_name("small");
+        let _region = ShmRegion::create(&name, 64).unwrap();
+        assert!(ShmRegion::open(&name, 4096).is_err());
+        ShmRegion::unlink(&name).unwrap();
+    }
+
+    #[test]
+    fn unlink_twice_fails_second_time() {
+        let name = unique_name("unlink");
+        let _region = ShmRegion::create(&name, 128).unwrap();
+        assert!(ShmRegion::unlink(&name).is_ok());
+        assert!(ShmRegion::unlink(&name).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn atomic_out_of_bounds_panics() {
+        let name = unique_name("oob");
+        let region = ShmRegion::create(&name, 64).unwrap();
+        ShmRegion::unlink(&name).ok();
+        region.atomic_u64(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn atomic_misaligned_panics() {
+        let name = unique_name("misaligned");
+        let region = ShmRegion::create(&name, 64).unwrap();
+        ShmRegion::unlink(&name).ok();
+        region.atomic_u64(12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Mirroring backends.
+//!
+//! Every heartbeat is always recorded in the in-memory history buffers; a
+//! [`Backend`] additionally mirrors the stream somewhere an *external*
+//! observer can reach it — a file (the paper's reference implementation
+//! writes one record per line to a per-application file) or a shared-memory
+//! segment (`hb-shm` crate). Backends also receive target-rate changes so an
+//! external scheduler can read the application's goals.
+
+use crate::record::HeartbeatRecord;
+use crate::Result;
+
+/// Whether a mirrored beat was a global (per-application) or local
+/// (per-thread) heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeatScope {
+    /// Counted against the application-wide history.
+    Global,
+    /// Counted only against the issuing thread's private history.
+    Local,
+}
+
+/// A sink that mirrors heartbeat activity for external observers.
+///
+/// Implementations must be cheap: `on_beat` is called from the application's
+/// hot path. Backends that perform I/O should buffer internally and expose
+/// [`Backend::flush`].
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Called for every heartbeat after it has been recorded in memory.
+    fn on_beat(&self, app: &str, record: &HeartbeatRecord, scope: BeatScope);
+
+    /// Called when the application changes its target heart-rate range.
+    fn on_target_change(&self, _app: &str, _min_bps: f64, _max_bps: f64) {}
+
+    /// Flushes any buffered state to the underlying medium.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A backend that discards everything. Useful as a placeholder and in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullBackend;
+
+impl Backend for NullBackend {
+    fn on_beat(&self, _app: &str, _record: &HeartbeatRecord, _scope: BeatScope) {}
+}
+
+/// A backend that stores mirrored events in memory. Primarily used in tests
+/// and by in-process observers that want the full uncompacted stream.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    events: parking_lot::Mutex<Vec<MirroredBeat>>,
+    targets: parking_lot::Mutex<Vec<(String, f64, f64)>>,
+}
+
+/// A mirrored heartbeat as captured by [`MemoryBackend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirroredBeat {
+    /// Application name the beat belongs to.
+    pub app: String,
+    /// The heartbeat record.
+    pub record: HeartbeatRecord,
+    /// Global or local.
+    pub scope: BeatScope,
+}
+
+impl MemoryBackend {
+    /// Creates an empty memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mirrored beats.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no beats were mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a copy of all mirrored beats.
+    pub fn beats(&self) -> Vec<MirroredBeat> {
+        self.events.lock().clone()
+    }
+
+    /// Returns all recorded target changes as `(app, min, max)` tuples.
+    pub fn target_changes(&self) -> Vec<(String, f64, f64)> {
+        self.targets.lock().clone()
+    }
+}
+
+impl Backend for MemoryBackend {
+    fn on_beat(&self, app: &str, record: &HeartbeatRecord, scope: BeatScope) {
+        self.events.lock().push(MirroredBeat {
+            app: app.to_string(),
+            record: *record,
+            scope,
+        });
+    }
+
+    fn on_target_change(&self, app: &str, min_bps: f64, max_bps: f64) {
+        self.targets.lock().push((app.to_string(), min_bps, max_bps));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BeatThreadId, Tag};
+
+    fn record(seq: u64) -> HeartbeatRecord {
+        HeartbeatRecord::new(seq, seq * 10, Tag::new(seq), BeatThreadId(0))
+    }
+
+    #[test]
+    fn null_backend_accepts_everything() {
+        let backend = NullBackend;
+        backend.on_beat("app", &record(0), BeatScope::Global);
+        backend.on_target_change("app", 1.0, 2.0);
+        assert!(backend.flush().is_ok());
+    }
+
+    #[test]
+    fn memory_backend_records_beats_in_order() {
+        let backend = MemoryBackend::new();
+        assert!(backend.is_empty());
+        backend.on_beat("x264", &record(0), BeatScope::Global);
+        backend.on_beat("x264", &record(1), BeatScope::Local);
+        assert_eq!(backend.len(), 2);
+        let beats = backend.beats();
+        assert_eq!(beats[0].record.seq, 0);
+        assert_eq!(beats[0].scope, BeatScope::Global);
+        assert_eq!(beats[1].scope, BeatScope::Local);
+        assert_eq!(beats[1].app, "x264");
+    }
+
+    #[test]
+    fn memory_backend_records_target_changes() {
+        let backend = MemoryBackend::new();
+        backend.on_target_change("bodytrack", 2.5, 3.5);
+        backend.on_target_change("bodytrack", 3.0, 4.0);
+        let targets = backend.target_changes();
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0], ("bodytrack".to_string(), 2.5, 3.5));
+        assert_eq!(targets[1].1, 3.0);
+    }
+
+    #[test]
+    fn memory_backend_flush_is_ok() {
+        assert!(MemoryBackend::new().flush().is_ok());
+    }
+}

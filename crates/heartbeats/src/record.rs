@@ -1,0 +1,172 @@
+//! Heartbeat records: the unit of information produced by every call to
+//! [`Heartbeat::heartbeat`](crate::Heartbeat::heartbeat).
+//!
+//! The paper specifies that each heartbeat is automatically stamped with the
+//! current time and the thread id of the caller, and may carry a user-supplied
+//! *tag* (e.g. an H.264 frame type, or a sequence number when beats may be
+//! dropped or reordered).
+
+use std::fmt;
+
+/// A user-supplied tag attached to a heartbeat.
+///
+/// Tags are opaque 64-bit values. Applications typically use them as small
+/// enums (frame type), sequence numbers, or item identifiers. The framework
+/// never interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// Tag used when the application does not supply one.
+    pub const NONE: Tag = Tag(0);
+
+    /// Creates a tag from a raw value.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        Tag(value)
+    }
+
+    /// Returns the raw tag value.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(value: u64) -> Self {
+        Tag(value)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of the thread that issued a heartbeat.
+///
+/// The framework assigns each OS thread a small dense integer the first time
+/// it issues a heartbeat; this keeps records `Copy` and lets per-thread (local)
+/// buffers be indexed cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BeatThreadId(pub u32);
+
+impl BeatThreadId {
+    /// Returns the raw thread index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BeatThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A single heartbeat event.
+///
+/// This is the record returned by `HB_get_history`: a timestamp, a tag and the
+/// issuing thread, plus a monotonically increasing sequence number assigned by
+/// the buffer the record was pushed into (global records carry the global
+/// sequence, local records the per-thread sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatRecord {
+    /// Position of this beat in its buffer's stream (0-based).
+    pub seq: u64,
+    /// Timestamp in nanoseconds on the clock the heartbeat was created with.
+    pub timestamp_ns: u64,
+    /// User-supplied tag ([`Tag::NONE`] if none was given).
+    pub tag: Tag,
+    /// Dense id of the issuing thread.
+    pub thread: BeatThreadId,
+}
+
+impl HeartbeatRecord {
+    /// Creates a record. Mostly useful for tests and backends replaying logs.
+    pub const fn new(seq: u64, timestamp_ns: u64, tag: Tag, thread: BeatThreadId) -> Self {
+        HeartbeatRecord {
+            seq,
+            timestamp_ns,
+            tag,
+            thread,
+        }
+    }
+
+    /// Timestamp expressed in seconds.
+    #[inline]
+    pub fn timestamp_secs(&self) -> f64 {
+        self.timestamp_ns as f64 / 1e9
+    }
+
+    /// Interval in nanoseconds between `earlier` and `self`.
+    ///
+    /// Returns `None` if `earlier` does not precede `self` in time.
+    pub fn interval_since(&self, earlier: &HeartbeatRecord) -> Option<u64> {
+        self.timestamp_ns.checked_sub(earlier.timestamp_ns)
+    }
+}
+
+impl fmt::Display for HeartbeatRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "beat #{} @ {:.6}s tag={} thread={}",
+            self.seq,
+            self.timestamp_secs(),
+            self.tag,
+            self.thread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let t = Tag::new(42);
+        assert_eq!(t.value(), 42);
+        assert_eq!(Tag::from(42u64), t);
+        assert_eq!(t.to_string(), "42");
+    }
+
+    #[test]
+    fn tag_none_is_zero() {
+        assert_eq!(Tag::NONE.value(), 0);
+        assert_eq!(Tag::default(), Tag::NONE);
+    }
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(BeatThreadId(3).to_string(), "t3");
+        assert_eq!(BeatThreadId(3).index(), 3);
+    }
+
+    #[test]
+    fn record_timestamp_secs() {
+        let r = HeartbeatRecord::new(0, 2_500_000_000, Tag::NONE, BeatThreadId(0));
+        assert!((r.timestamp_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_interval_since() {
+        let a = HeartbeatRecord::new(0, 1_000, Tag::NONE, BeatThreadId(0));
+        let b = HeartbeatRecord::new(1, 4_000, Tag::NONE, BeatThreadId(0));
+        assert_eq!(b.interval_since(&a), Some(3_000));
+        assert_eq!(a.interval_since(&b), None);
+    }
+
+    #[test]
+    fn record_display_contains_fields() {
+        let r = HeartbeatRecord::new(7, 1_000_000_000, Tag::new(9), BeatThreadId(2));
+        let s = r.to_string();
+        assert!(s.contains("#7"));
+        assert!(s.contains("tag=9"));
+        assert!(s.contains("t2"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Small statistics helpers used for heart-rate summaries and the evaluation
+//! harness (means, variance, percentiles, online accumulation).
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by observers that want running statistics over heartbeat intervals
+/// without retaining the whole history.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice (0 for fewer than two values).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Linear-interpolation percentile (`p` in `[0, 100]`) of a slice.
+///
+/// Returns `None` for an empty slice. The input does not need to be sorted.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Simple exponentially weighted moving average.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    /// Values outside the range are clamped.
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// Adds a sample and returns the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, if any samples have been pushed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean(&values)).abs() < 1e-12);
+        assert!((s.stddev() - stddev(&values)).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_pass() {
+        let a_values = [1.0, 2.0, 3.0];
+        let b_values = [10.0, 20.0, 30.0, 40.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for v in a_values {
+            a.push(v);
+        }
+        for v in b_values {
+            b.push(v);
+        }
+        let mut combined = OnlineStats::new();
+        for v in a_values.iter().chain(b_values.iter()) {
+            combined.push(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert!((a.mean() - combined.mean()).abs() < 1e-9);
+        assert!((a.variance() - combined.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn mean_and_stddev_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[7.0]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_basic() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        assert_eq!(percentile(&values, 50.0), Some(3.0));
+        assert_eq!(percentile(&values, 100.0), Some(5.0));
+        assert_eq!(percentile(&values, 25.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let values = [0.0, 10.0];
+        assert_eq!(percentile(&values, 50.0), Some(5.0));
+        assert_eq!(percentile(&values, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let values = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&values, -10.0), Some(1.0));
+        assert_eq!(percentile(&values, 200.0), Some(3.0));
+    }
+
+    #[test]
+    fn ewma_first_sample_is_identity() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut e = Ewma::new(0.5);
+        e.push(0.0);
+        let v = e.push(10.0);
+        assert!((v - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_input() {
+        let mut e = Ewma::new(1.0);
+        e.push(1.0);
+        assert_eq!(e.push(100.0), 100.0);
+    }
+
+    #[test]
+    fn ewma_alpha_clamped() {
+        let mut e = Ewma::new(5.0);
+        e.push(1.0);
+        assert_eq!(e.push(3.0), 3.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Target heart-rate ranges (`HB_set_target_rate` / `HB_get_target_min` /
+//! `HB_get_target_max`).
+//!
+//! The application declares the heart-rate window it wants to stay inside;
+//! observers (the application itself, the OS scheduler, hardware, a cloud
+//! manager...) read it and act when the measured rate leaves the window.
+//! The range is stored in two atomics so producers and observers in different
+//! threads (or, through the shm backend, different processes) never block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Value used when no target has been set.
+pub const UNSET_TARGET: f64 = -1.0;
+
+/// An atomically readable/writable `[min, max]` heart-rate goal in beats/s.
+#[derive(Debug)]
+pub struct TargetRate {
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for TargetRate {
+    fn default() -> Self {
+        Self::unset()
+    }
+}
+
+impl TargetRate {
+    /// Creates an unset target (both bounds read back as [`UNSET_TARGET`]).
+    pub fn unset() -> Self {
+        TargetRate {
+            min_bits: AtomicU64::new(UNSET_TARGET.to_bits()),
+            max_bits: AtomicU64::new(UNSET_TARGET.to_bits()),
+        }
+    }
+
+    /// Creates a target with the given bounds.
+    ///
+    /// Returns an error if the bounds are not finite, negative, or `min > max`.
+    pub fn new(min_bps: f64, max_bps: f64) -> Result<Self, crate::HeartbeatError> {
+        let target = Self::unset();
+        target.set(min_bps, max_bps)?;
+        Ok(target)
+    }
+
+    /// Sets the target range.
+    pub fn set(&self, min_bps: f64, max_bps: f64) -> Result<(), crate::HeartbeatError> {
+        if !min_bps.is_finite() || !max_bps.is_finite() {
+            return Err(crate::HeartbeatError::InvalidConfig(
+                "target rates must be finite".into(),
+            ));
+        }
+        if min_bps < 0.0 || max_bps < 0.0 {
+            return Err(crate::HeartbeatError::InvalidConfig(
+                "target rates must be non-negative".into(),
+            ));
+        }
+        if min_bps > max_bps {
+            return Err(crate::HeartbeatError::InvalidConfig(format!(
+                "target min ({min_bps}) must not exceed target max ({max_bps})"
+            )));
+        }
+        self.min_bits.store(min_bps.to_bits(), Ordering::Release);
+        self.max_bits.store(max_bps.to_bits(), Ordering::Release);
+        Ok(())
+    }
+
+    /// Clears the target back to the unset state.
+    pub fn clear(&self) {
+        self.min_bits
+            .store(UNSET_TARGET.to_bits(), Ordering::Release);
+        self.max_bits
+            .store(UNSET_TARGET.to_bits(), Ordering::Release);
+    }
+
+    /// Minimum target rate, or [`UNSET_TARGET`] if none was set.
+    pub fn min_bps(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Acquire))
+    }
+
+    /// Maximum target rate, or [`UNSET_TARGET`] if none was set.
+    pub fn max_bps(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Acquire))
+    }
+
+    /// Whether a target has been set.
+    pub fn is_set(&self) -> bool {
+        self.min_bps() >= 0.0 && self.max_bps() >= 0.0
+    }
+
+    /// Returns the target as a `(min, max)` pair if set.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.is_set() {
+            Some((self.min_bps(), self.max_bps()))
+        } else {
+            None
+        }
+    }
+
+    /// Classifies a measured rate relative to the target window.
+    pub fn classify(&self, rate_bps: f64) -> TargetStatus {
+        match self.range() {
+            None => TargetStatus::NoTarget,
+            Some((min, max)) => {
+                if rate_bps < min {
+                    TargetStatus::BelowTarget
+                } else if rate_bps > max {
+                    TargetStatus::AboveTarget
+                } else {
+                    TargetStatus::WithinTarget
+                }
+            }
+        }
+    }
+}
+
+/// Relationship of a measured heart rate to the application's declared goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetStatus {
+    /// No goal has been declared.
+    NoTarget,
+    /// The rate is below the minimum: the application is missing its goal and
+    /// needs more resources or a cheaper algorithm.
+    BelowTarget,
+    /// The rate is inside the declared window.
+    WithinTarget,
+    /// The rate exceeds the maximum: resources can be reclaimed or quality
+    /// increased.
+    AboveTarget,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_target_reads_negative() {
+        let t = TargetRate::unset();
+        assert_eq!(t.min_bps(), UNSET_TARGET);
+        assert_eq!(t.max_bps(), UNSET_TARGET);
+        assert!(!t.is_set());
+        assert_eq!(t.range(), None);
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let t = TargetRate::unset();
+        t.set(2.5, 3.5).unwrap();
+        assert!(t.is_set());
+        assert_eq!(t.range(), Some((2.5, 3.5)));
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(TargetRate::new(30.0, 35.0).is_ok());
+        assert!(TargetRate::new(35.0, 30.0).is_err());
+        assert!(TargetRate::new(-1.0, 5.0).is_err());
+        assert!(TargetRate::new(f64::NAN, 5.0).is_err());
+        assert!(TargetRate::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn equal_bounds_are_allowed() {
+        let t = TargetRate::new(30.0, 30.0).unwrap();
+        assert_eq!(t.classify(30.0), TargetStatus::WithinTarget);
+    }
+
+    #[test]
+    fn clear_unsets() {
+        let t = TargetRate::new(1.0, 2.0).unwrap();
+        t.clear();
+        assert!(!t.is_set());
+        assert_eq!(t.classify(1.5), TargetStatus::NoTarget);
+    }
+
+    #[test]
+    fn classify_relative_to_window() {
+        let t = TargetRate::new(30.0, 35.0).unwrap();
+        assert_eq!(t.classify(25.0), TargetStatus::BelowTarget);
+        assert_eq!(t.classify(30.0), TargetStatus::WithinTarget);
+        assert_eq!(t.classify(33.0), TargetStatus::WithinTarget);
+        assert_eq!(t.classify(35.0), TargetStatus::WithinTarget);
+        assert_eq!(t.classify(40.0), TargetStatus::AboveTarget);
+    }
+
+    #[test]
+    fn zero_target_is_valid() {
+        let t = TargetRate::new(0.0, 0.0).unwrap();
+        assert!(t.is_set());
+        assert_eq!(t.classify(0.1), TargetStatus::AboveTarget);
+    }
+
+    #[test]
+    fn failed_set_leaves_previous_value() {
+        let t = TargetRate::new(10.0, 20.0).unwrap();
+        assert!(t.set(30.0, 5.0).is_err());
+        assert_eq!(t.range(), Some((10.0, 20.0)));
+    }
+}

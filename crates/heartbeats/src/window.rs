@@ -1,0 +1,292 @@
+//! Heart-rate estimation over windows of heartbeats.
+//!
+//! `HB_current_rate` in the paper returns "the average heart rate calculated
+//! from the last *window* heartbeats". With `w` beats in a window there are
+//! `w − 1` inter-beat intervals, so the windowed rate is
+//! `(w − 1) / (t_last − t_first)` beats per second. The same convention is
+//! used by the figures in the paper (e.g. Figure 2's 20-beat moving average).
+
+use crate::record::HeartbeatRecord;
+use crate::stats::OnlineStats;
+
+/// Summary of the inter-beat intervals inside a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Number of heartbeats in the window.
+    pub beats: usize,
+    /// Average heart rate over the window, in beats per second.
+    pub rate_bps: f64,
+    /// Mean inter-beat interval in nanoseconds.
+    pub mean_interval_ns: f64,
+    /// Smallest inter-beat interval in nanoseconds.
+    pub min_interval_ns: u64,
+    /// Largest inter-beat interval in nanoseconds.
+    pub max_interval_ns: u64,
+    /// Standard deviation of the inter-beat intervals in nanoseconds.
+    pub stddev_interval_ns: f64,
+}
+
+/// Computes the average heart rate (beats/second) over a chronological slice
+/// of heartbeat records.
+///
+/// Returns `None` if the slice has fewer than two records or spans zero time
+/// (the rate is undefined in both cases, matching the behaviour of
+/// `HB_current_rate` before enough beats exist).
+pub fn windowed_rate(records: &[HeartbeatRecord]) -> Option<f64> {
+    if records.len() < 2 {
+        return None;
+    }
+    let first = records.first().expect("len >= 2");
+    let last = records.last().expect("len >= 2");
+    let span_ns = last.timestamp_ns.checked_sub(first.timestamp_ns)?;
+    if span_ns == 0 {
+        return None;
+    }
+    Some((records.len() - 1) as f64 / (span_ns as f64 / 1e9))
+}
+
+/// Computes the lifetime average heart rate from the total number of beats
+/// and the time span between the first beat and `now_ns`.
+///
+/// This is the quantity reported in Table 2 of the paper ("Average Heart
+/// Rate" over the whole execution). Returns `None` when fewer than one beat
+/// has been produced or no time has elapsed.
+pub fn global_rate(total_beats: u64, first_beat_ns: u64, now_ns: u64) -> Option<f64> {
+    if total_beats == 0 {
+        return None;
+    }
+    let span_ns = now_ns.checked_sub(first_beat_ns)?;
+    if span_ns == 0 {
+        return None;
+    }
+    Some(total_beats as f64 / (span_ns as f64 / 1e9))
+}
+
+/// Computes interval statistics over a chronological slice of records.
+///
+/// Returns `None` if there are fewer than two records.
+pub fn window_stats(records: &[HeartbeatRecord]) -> Option<WindowStats> {
+    if records.len() < 2 {
+        return None;
+    }
+    let mut stats = OnlineStats::new();
+    let mut min_interval = u64::MAX;
+    let mut max_interval = 0u64;
+    for pair in records.windows(2) {
+        let interval = pair[1].timestamp_ns.saturating_sub(pair[0].timestamp_ns);
+        stats.push(interval as f64);
+        min_interval = min_interval.min(interval);
+        max_interval = max_interval.max(interval);
+    }
+    let rate = windowed_rate(records).unwrap_or(0.0);
+    Some(WindowStats {
+        beats: records.len(),
+        rate_bps: rate,
+        mean_interval_ns: stats.mean(),
+        min_interval_ns: min_interval,
+        max_interval_ns: max_interval,
+        stddev_interval_ns: stats.stddev(),
+    })
+}
+
+/// Moving-average heart rate over a fixed-size beat window.
+///
+/// Feed beat timestamps one at a time (chronological order); after each push
+/// the tracker reports the rate over the most recent `window` beats. This is
+/// exactly how the figures in the paper are produced ("a moving average of
+/// heart rate for the x264 benchmark using a 20 beat window").
+#[derive(Debug, Clone)]
+pub struct MovingRate {
+    window: usize,
+    timestamps_ns: std::collections::VecDeque<u64>,
+}
+
+impl MovingRate {
+    /// Creates a tracker over `window` beats (minimum 2).
+    pub fn new(window: usize) -> Self {
+        MovingRate {
+            window: window.max(2),
+            timestamps_ns: std::collections::VecDeque::with_capacity(window.max(2)),
+        }
+    }
+
+    /// Number of beats the moving window covers.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records a beat at `timestamp_ns` and returns the current windowed
+    /// rate, if at least two beats are available.
+    pub fn push(&mut self, timestamp_ns: u64) -> Option<f64> {
+        if self.timestamps_ns.len() == self.window {
+            self.timestamps_ns.pop_front();
+        }
+        self.timestamps_ns.push_back(timestamp_ns);
+        self.rate()
+    }
+
+    /// Current windowed rate, if at least two beats are available.
+    pub fn rate(&self) -> Option<f64> {
+        if self.timestamps_ns.len() < 2 {
+            return None;
+        }
+        let first = *self.timestamps_ns.front().expect("non-empty");
+        let last = *self.timestamps_ns.back().expect("non-empty");
+        let span_ns = last.checked_sub(first)?;
+        if span_ns == 0 {
+            return None;
+        }
+        Some((self.timestamps_ns.len() - 1) as f64 / (span_ns as f64 / 1e9))
+    }
+
+    /// Number of beats currently tracked.
+    pub fn len(&self) -> usize {
+        self.timestamps_ns.len()
+    }
+
+    /// True if no beats have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps_ns.is_empty()
+    }
+
+    /// Clears all tracked beats.
+    pub fn clear(&mut self) {
+        self.timestamps_ns.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BeatThreadId, Tag};
+
+    fn records_at(timestamps: &[u64]) -> Vec<HeartbeatRecord> {
+        timestamps
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| HeartbeatRecord::new(i as u64, t, Tag::NONE, BeatThreadId(0)))
+            .collect()
+    }
+
+    #[test]
+    fn windowed_rate_needs_two_beats() {
+        assert_eq!(windowed_rate(&[]), None);
+        assert_eq!(windowed_rate(&records_at(&[100])), None);
+    }
+
+    #[test]
+    fn windowed_rate_uniform_beats() {
+        // Beats every 100 ms -> 10 beats per second.
+        let records = records_at(&[0, 100_000_000, 200_000_000, 300_000_000]);
+        let rate = windowed_rate(&records).unwrap();
+        assert!((rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_rate_zero_span_is_none() {
+        let records = records_at(&[500, 500, 500]);
+        assert_eq!(windowed_rate(&records), None);
+    }
+
+    #[test]
+    fn windowed_rate_two_beats() {
+        // 1 interval of 0.5 s -> 2 beats/s.
+        let records = records_at(&[0, 500_000_000]);
+        assert!((windowed_rate(&records).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_rate_basic() {
+        // 30 beats over 2 seconds -> 15 beats/s.
+        let rate = global_rate(30, 1_000_000_000, 3_000_000_000).unwrap();
+        assert!((rate - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_rate_edge_cases() {
+        assert_eq!(global_rate(0, 0, 1_000_000_000), None);
+        assert_eq!(global_rate(10, 500, 500), None);
+        assert_eq!(global_rate(10, 1_000, 500), None);
+    }
+
+    #[test]
+    fn window_stats_uniform() {
+        let records = records_at(&[0, 1_000_000, 2_000_000, 3_000_000]);
+        let stats = window_stats(&records).unwrap();
+        assert_eq!(stats.beats, 4);
+        assert_eq!(stats.min_interval_ns, 1_000_000);
+        assert_eq!(stats.max_interval_ns, 1_000_000);
+        assert!((stats.mean_interval_ns - 1_000_000.0).abs() < 1e-6);
+        assert!(stats.stddev_interval_ns < 1e-6);
+        assert!((stats.rate_bps - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_stats_irregular() {
+        let records = records_at(&[0, 1_000_000, 5_000_000]);
+        let stats = window_stats(&records).unwrap();
+        assert_eq!(stats.min_interval_ns, 1_000_000);
+        assert_eq!(stats.max_interval_ns, 4_000_000);
+        assert!(stats.stddev_interval_ns > 0.0);
+    }
+
+    #[test]
+    fn window_stats_needs_two() {
+        assert!(window_stats(&records_at(&[1])).is_none());
+    }
+
+    #[test]
+    fn moving_rate_tracks_fixed_window() {
+        let mut tracker = MovingRate::new(3);
+        assert_eq!(tracker.window(), 3);
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.push(0), None);
+        assert!(!tracker.is_empty());
+        // Two beats, 1 s apart -> 1 beat/s.
+        assert!((tracker.push(1_000_000_000).unwrap() - 1.0).abs() < 1e-9);
+        // Three beats over 2 s -> 1 beat/s.
+        assert!((tracker.push(2_000_000_000).unwrap() - 1.0).abs() < 1e-9);
+        // Window slides: beats at 1, 2, 2.5 s -> 2 intervals over 1.5 s.
+        let rate = tracker.push(2_500_000_000).unwrap();
+        assert!((rate - 2.0 / 1.5).abs() < 1e-9);
+        assert_eq!(tracker.len(), 3);
+    }
+
+    #[test]
+    fn moving_rate_window_minimum_is_two() {
+        let tracker = MovingRate::new(0);
+        assert_eq!(tracker.window(), 2);
+    }
+
+    #[test]
+    fn moving_rate_clear() {
+        let mut tracker = MovingRate::new(4);
+        tracker.push(0);
+        tracker.push(1_000);
+        tracker.clear();
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.rate(), None);
+    }
+
+    #[test]
+    fn moving_rate_speedup_is_visible() {
+        // Beats accelerate; the windowed rate must increase.
+        let mut tracker = MovingRate::new(5);
+        let mut t = 0u64;
+        let mut slow_rate = 0.0;
+        for _ in 0..5 {
+            t += 200_000_000; // 5 beats/s
+            if let Some(r) = tracker.push(t) {
+                slow_rate = r;
+            }
+        }
+        let mut fast_rate = 0.0;
+        for _ in 0..10 {
+            t += 50_000_000; // 20 beats/s
+            if let Some(r) = tracker.push(t) {
+                fast_rate = r;
+            }
+        }
+        assert!(fast_rate > slow_rate * 3.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Core-failure injection (Section 5.4).
+//!
+//! The paper simulates core failures by restricting the scheduler to fewer
+//! cores at frames 160, 320 and 480. [`FaultInjector`] wraps a
+//! [`FailurePlan`] and applies it to a [`Machine`], keeping a log of what
+//! failed and when so the fault-tolerance figures can annotate their series.
+
+use simcore::{FailurePlan, Machine};
+
+/// A recorded failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Beat count at which the failure was injected.
+    pub at_beat: u64,
+    /// Number of cores that failed at this event.
+    pub cores_failed: usize,
+    /// Working cores remaining after the event.
+    pub working_after: usize,
+}
+
+/// Applies a [`FailurePlan`] to a machine as an application progresses.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FailurePlan,
+    log: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a failure plan.
+    pub fn new(plan: FailurePlan) -> Self {
+        FaultInjector {
+            plan,
+            log: Vec::new(),
+        }
+    }
+
+    /// The paper's Figure 8 plan: one core fails at beats 160, 320 and 480.
+    pub fn paper_figure8() -> Self {
+        Self::new(FailurePlan::paper_figure8())
+    }
+
+    /// Checks whether failures are due at `beats_completed` and applies them
+    /// to the machine. Returns the event if any core failed.
+    pub fn apply(&mut self, beats_completed: u64, machine: &mut Machine) -> Option<FaultEvent> {
+        let due = self.plan.due(beats_completed);
+        if due == 0 {
+            return None;
+        }
+        let failed = machine.fail_cores(due);
+        let event = FaultEvent {
+            at_beat: beats_completed,
+            cores_failed: failed,
+            working_after: machine.working_cores(),
+        };
+        self.log.push(event);
+        Some(event)
+    }
+
+    /// Every failure applied so far.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// True once every planned failure has been delivered.
+    pub fn exhausted(&self) -> bool {
+        self.plan.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_applies_failures_at_the_planned_beats() {
+        let mut machine = Machine::paper_testbed();
+        let mut injector = FaultInjector::paper_figure8();
+        assert!(injector.apply(100, &mut machine).is_none());
+        assert_eq!(machine.working_cores(), 8);
+
+        let first = injector.apply(160, &mut machine).unwrap();
+        assert_eq!(first.cores_failed, 1);
+        assert_eq!(first.working_after, 7);
+        assert_eq!(machine.working_cores(), 7);
+
+        assert!(injector.apply(200, &mut machine).is_none());
+        injector.apply(320, &mut machine).unwrap();
+        injector.apply(480, &mut machine).unwrap();
+        assert_eq!(machine.working_cores(), 5);
+        assert!(injector.exhausted());
+        assert_eq!(injector.log().len(), 3);
+    }
+
+    #[test]
+    fn skipped_beats_deliver_accumulated_failures() {
+        let mut machine = Machine::paper_testbed();
+        let mut injector = FaultInjector::new(FailurePlan::at_beats(vec![(10, 1), (20, 2)]));
+        let event = injector.apply(25, &mut machine).unwrap();
+        assert_eq!(event.cores_failed, 3);
+        assert_eq!(machine.working_cores(), 5);
+    }
+
+    #[test]
+    fn machine_never_loses_its_last_core() {
+        let mut machine = Machine::new(2);
+        let mut injector = FaultInjector::new(FailurePlan::at_beats(vec![(1, 10)]));
+        let event = injector.apply(5, &mut machine).unwrap();
+        assert_eq!(event.working_after, 1);
+        assert_eq!(event.cores_failed, 1);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut machine = Machine::paper_testbed();
+        let mut injector = FaultInjector::new(FailurePlan::none());
+        assert!(injector.apply(1_000, &mut machine).is_none());
+        assert!(injector.exhausted());
+        assert!(injector.log().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # scheduler — external heartbeat-driven resource management
+//!
+//! Section 5.3 of the Heartbeats paper demonstrates "optimization by an
+//! external observer": an OS-level scheduler reads an application's heart
+//! rate and target range through the Heartbeats interface and adjusts the
+//! number of cores allocated to it, using the minimum resources that keep the
+//! application inside its declared performance window. Section 5.4 reuses the
+//! same machinery to demonstrate fault tolerance under simulated core
+//! failures.
+//!
+//! * [`ExternalScheduler`] — the single-application core allocator (starts on
+//!   one core, steps up/down based on the observed rate vs the target).
+//! * [`run_scheduled`] / [`run_scheduled_step`] — drivers coupling a
+//!   simulated workload to the scheduler and recording the Figure 5/6/7
+//!   series.
+//! * [`FaultInjector`] — applies the paper's core-failure schedule.
+//! * [`MultiAppScheduler`] — arbitration of cores between several
+//!   heartbeat-enabled applications (the "organic OS" use case).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod driver;
+mod faults;
+mod multi;
+#[allow(clippy::module_inception)]
+mod scheduler;
+
+pub use driver::{run_scheduled, run_scheduled_step, ScheduledRunConfig, ScheduledRunResult};
+pub use faults::{FaultEvent, FaultInjector};
+pub use multi::{Grant, MultiAppScheduler};
+pub use scheduler::{ExternalScheduler, SchedulerEvent};

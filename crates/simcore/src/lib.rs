@@ -1,0 +1,42 @@
+//! # simcore — the simulation substrate for the Heartbeats evaluation
+//!
+//! The paper's experiments ran on an eight-core Xeon server with real PARSEC
+//! binaries, a real x264 encoder, and Linux processor affinity. This crate
+//! provides the deterministic, laptop-scale stand-ins that the reproduction
+//! builds its experiments on:
+//!
+//! * [`Machine`] — a virtual-time multicore with failable cores
+//!   ([`FailurePlan`]) and per-application core bookkeeping ([`CoreLedger`]).
+//! * [`SpeedupModel`] ([`Amdahl`], [`Linear`], [`TableSpeedup`]) — how a
+//!   workload's throughput scales with allocated cores.
+//! * [`PhaseSchedule`] — piecewise-constant load phases that reproduce the
+//!   input-dependent behaviour visible in Figures 2 and 5.
+//! * [`ResizablePool`] — a real thread pool whose effective parallelism can
+//!   be changed at runtime, for real-execution (non-virtual-time) runs.
+//! * [`SplitMix64`] — deterministic randomness for workload generation.
+//! * [`Series`], [`SeriesSet`], [`TextTable`] — containers the bench harness
+//!   uses to emit the paper's figures and tables as CSV/text.
+//!
+//! The virtual clock itself is [`heartbeats::ManualClock`]; simulations share
+//! one clock between the machine, the workloads and their heartbeats so that
+//! heart rates computed by the core crate are exact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod machine;
+mod phases;
+mod pool;
+mod rng;
+mod series;
+mod speedup;
+
+pub use machine::{CoreLedger, FailurePlan, Machine};
+pub use phases::{Phase, PhaseSchedule};
+pub use pool::ResizablePool;
+pub use rng::SplitMix64;
+pub use series::{Series, SeriesSet, TextTable};
+pub use speedup::{Amdahl, Linear, SpeedupModel, TableSpeedup};
+
+/// Re-export of the virtual clock used throughout the simulation.
+pub use heartbeats::ManualClock as SimClock;

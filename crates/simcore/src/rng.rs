@@ -1,0 +1,144 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! Every experiment in the benchmark harness must be exactly reproducible, so
+//! the simulation substrate carries its own tiny, seedable generator
+//! (SplitMix64) instead of relying on ambient randomness. The statistical
+//! quality is more than sufficient for workload-trace generation.
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        // Modulo bias is negligible for the workload-generation use cases.
+        self.next_u64() % n
+    }
+
+    /// Approximately normally distributed sample (mean 0, stddev 1) using the
+    /// sum of twelve uniforms (Irwin–Hall).
+    pub fn gaussian(&mut self) -> f64 {
+        let mut sum = 0.0;
+        for _ in 0..12 {
+            sum += self.next_f64();
+        }
+        sum - 6.0
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        mean + stddev * self.gaussian()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let x = rng.uniform(5.0, 6.5);
+            assert!((5.0..6.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_reasonable() {
+        let mut rng = SplitMix64::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform(0.0, 10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..1_000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(rng.below(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(1).below(0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = SplitMix64::new(19);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(100.0, 10.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5);
+    }
+}

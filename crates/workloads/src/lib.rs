@@ -1,0 +1,31 @@
+//! # workloads — PARSEC-like benchmarks instrumented with Application Heartbeats
+//!
+//! Section 5.1 of the paper instruments the PARSEC 1.0 suite with heartbeats
+//! (Table 2) and the scheduler experiments of Section 5.3 drive three of
+//! those benchmarks under an external observer. This crate provides the
+//! stand-ins used by the reproduction:
+//!
+//! * [`WorkloadSpec`] — a calibrated description of one benchmark: where the
+//!   heartbeat goes, how many items the native input has, how the workload
+//!   scales with cores (Amdahl), what its load phases look like.
+//! * [`parsec`] — the ten Table 2 benchmarks plus the figure-specific input
+//!   variants (`bodytrack_fig5`, `streamcluster_fig6`, `x264_fig7`).
+//! * [`SimWorkload`] — virtual-time execution: each item advances the shared
+//!   clock by its cost and registers one heartbeat, so the heart rate the
+//!   core crate computes is exact and deterministic.
+//! * [`kernels`] / [`runner`] — real computational kernels and a real-time
+//!   runner used for the overhead study (Section 5.1) and real-execution
+//!   examples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kernels;
+pub mod parsec;
+pub mod runner;
+mod sim;
+mod spec;
+
+pub use runner::{measure_overhead, run_real, Kernel, RealRunConfig, RealRunResult};
+pub use sim::{RunSummary, SimWorkload, StepOutcome};
+pub use spec::{WorkloadSpec, PAPER_TESTBED_CORES};

@@ -1,0 +1,385 @@
+//! PARSEC-like workload definitions (Table 2 of the paper) and the input
+//! variants used by the figure experiments.
+//!
+//! Table 2 reports, for each PARSEC 1.0 benchmark, where the heartbeat was
+//! inserted and the average heart rate achieved on the eight-core testbed
+//! with the native input. The constructors below reproduce those rows as
+//! calibrated [`WorkloadSpec`]s; the `*_fig*` variants reproduce the
+//! modified inputs used in Sections 5.1 and 5.3 (different beat granularity
+//! for `streamcluster`, lighter x264 parameters, explicit load phases).
+
+use simcore::PhaseSchedule;
+
+use crate::spec::WorkloadSpec;
+
+/// `(benchmark, heartbeat location, average heart rate)` exactly as printed
+/// in Table 2 of the paper. `freqmine` and `vips` are absent because they did
+/// not compile on the authors' testbed.
+pub const PAPER_TABLE2: &[(&str, &str, f64)] = &[
+    ("blackscholes", "Every 25000 options", 561.03),
+    ("bodytrack", "Every frame", 4.31),
+    ("canneal", "Every 1875 moves", 1043.76),
+    ("dedup", "Every \"chunk\"", 264.30),
+    ("facesim", "Every frame", 0.72),
+    ("ferret", "Every query", 40.78),
+    ("fluidanimate", "Every frame", 41.25),
+    ("streamcluster", "Every 200000 points", 0.02),
+    ("swaptions", "Every \"swaption\"", 2.27),
+    ("x264", "Every frame", 11.32),
+];
+
+/// Looks up the paper's reported heart rate for a Table 2 benchmark.
+pub fn paper_rate(name: &str) -> Option<f64> {
+    PAPER_TABLE2
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, _, rate)| rate)
+}
+
+/// blackscholes: option pricing; one beat per 25 000 options, 400 beats for
+/// the ten-million-option native input.
+pub fn blackscholes() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "blackscholes",
+        "Every 25000 options",
+        400,
+        561.03,
+        0.99,
+        0.95,
+        PhaseSchedule::uniform(),
+        0.02,
+    )
+}
+
+/// bodytrack: computer-vision body tracking; one beat per frame.
+pub fn bodytrack() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "bodytrack",
+        "Every frame",
+        261,
+        4.31,
+        0.95,
+        0.90,
+        PhaseSchedule::uniform(),
+        0.05,
+    )
+}
+
+/// canneal: simulated annealing for routing; one beat per 1 875 moves.
+pub fn canneal() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "canneal",
+        "Every 1875 moves",
+        1000,
+        1043.76,
+        0.80,
+        0.85,
+        PhaseSchedule::uniform(),
+        0.03,
+    )
+}
+
+/// dedup: pipeline compression/deduplication; one beat per chunk.
+pub fn dedup() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "dedup",
+        "Every \"chunk\"",
+        800,
+        264.30,
+        0.90,
+        0.85,
+        PhaseSchedule::uniform(),
+        0.08,
+    )
+}
+
+/// facesim: physical face simulation; one beat per frame.
+pub fn facesim() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "facesim",
+        "Every frame",
+        100,
+        0.72,
+        0.92,
+        0.90,
+        PhaseSchedule::uniform(),
+        0.02,
+    )
+}
+
+/// ferret: content-based similarity search; one beat per query.
+pub fn ferret() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "ferret",
+        "Every query",
+        500,
+        40.78,
+        0.95,
+        0.90,
+        PhaseSchedule::uniform(),
+        0.10,
+    )
+}
+
+/// fluidanimate: SPH fluid simulation; one beat per frame.
+pub fn fluidanimate() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "fluidanimate",
+        "Every frame",
+        500,
+        41.25,
+        0.97,
+        0.92,
+        PhaseSchedule::uniform(),
+        0.02,
+    )
+}
+
+/// streamcluster: online clustering; one beat per 200 000 points (native
+/// input granularity used for Table 2).
+pub fn streamcluster() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "streamcluster",
+        "Every 200000 points",
+        16,
+        0.02,
+        0.98,
+        0.92,
+        PhaseSchedule::uniform(),
+        0.02,
+    )
+}
+
+/// swaptions: Monte-Carlo swaption pricing; one beat per swaption.
+pub fn swaptions() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "swaptions",
+        "Every \"swaption\"",
+        128,
+        2.27,
+        0.99,
+        0.95,
+        PhaseSchedule::uniform(),
+        0.01,
+    )
+}
+
+/// x264: H.264 encoding of the PARSEC native input; one beat per frame.
+///
+/// The phase schedule reproduces Figure 2: roughly 12–14 beat/s for the first
+/// ~100 frames, 23–29 beat/s between frames ~100 and ~330, then back to the
+/// original range. Work multipliers below 1.0 correspond to the easier
+/// middle section.
+pub fn x264() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "x264",
+        "Every frame",
+        512,
+        11.32,
+        0.93,
+        0.88,
+        PhaseSchedule::from_breakpoints(&[(0, 1.15), (100, 0.55), (330, 1.10)]),
+        0.06,
+    )
+}
+
+/// All ten Table 2 workloads, in the paper's order.
+pub fn all_table2() -> Vec<WorkloadSpec> {
+    vec![
+        blackscholes(),
+        bodytrack(),
+        canneal(),
+        dedup(),
+        facesim(),
+        ferret(),
+        fluidanimate(),
+        streamcluster(),
+        swaptions(),
+        x264(),
+    ]
+}
+
+/// bodytrack as used in Figure 5: the external scheduler keeps it between
+/// 2.5 and 3.5 beat/s; the computational load drops sharply at beat ~141, to
+/// the point that a single core eventually suffices.
+pub fn bodytrack_fig5() -> WorkloadSpec {
+    bodytrack()
+        .with_items(261)
+        .with_phases(PhaseSchedule::from_breakpoints(&[
+            // Heavy opening phase: seven cores are needed to reach 2.5-3.5.
+            (0, 1.45),
+            // Extra-heavy stretch that forces the scheduler to the 8th core
+            // around beat 102 (as in the paper).
+            (95, 1.70),
+            // Sudden load decrease at beat 141; the scheduler reclaims cores
+            // and eventually a single core is enough to hold 2.5-3.5 beat/s.
+            (141, 0.55),
+            (180, 0.28),
+        ]))
+        .with_noise(0.03)
+        .with_seed(0xB0D7)
+}
+
+/// streamcluster as used in Figure 6: one beat per 5 000 points (finer than
+/// the Table 2 granularity), ~0.75 beat/s on eight cores, target 0.5–0.55.
+pub fn streamcluster_fig6() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "streamcluster",
+        "Every 5000 points",
+        90,
+        0.75,
+        0.97,
+        0.92,
+        PhaseSchedule::from_breakpoints(&[(0, 1.0), (45, 0.95), (70, 1.04)]),
+        0.02,
+    )
+    .with_seed(0x57C6)
+}
+
+/// x264 as used in Figure 7: lighter encoding parameters that reach more than
+/// 40 beat/s on eight cores; the scheduler holds 30–35 beat/s with four to
+/// six cores. Two brief easy stretches produce the >45 beat/s spikes visible
+/// in the figure.
+pub fn x264_fig7() -> WorkloadSpec {
+    WorkloadSpec::calibrated(
+        "x264",
+        "Every frame",
+        600,
+        43.0,
+        0.93,
+        0.88,
+        PhaseSchedule::from_breakpoints(&[
+            (0, 1.0),
+            (200, 0.68),
+            (230, 1.0),
+            (420, 0.66),
+            (450, 1.0),
+        ]),
+        0.05,
+    )
+    .with_seed(0xF164)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimWorkload;
+    use crate::spec::PAPER_TESTBED_CORES;
+    use simcore::Machine;
+
+    #[test]
+    fn table2_has_ten_benchmarks() {
+        assert_eq!(PAPER_TABLE2.len(), 10);
+        assert_eq!(all_table2().len(), 10);
+    }
+
+    #[test]
+    fn paper_rate_lookup() {
+        assert_eq!(paper_rate("x264"), Some(11.32));
+        assert_eq!(paper_rate("facesim"), Some(0.72));
+        assert_eq!(paper_rate("vips"), None);
+    }
+
+    #[test]
+    fn every_spec_matches_its_table2_row() {
+        for spec in all_table2() {
+            let expected = paper_rate(&spec.name).unwrap();
+            assert!(
+                (spec.expected_rate_8core() - expected).abs() / expected < 1e-9,
+                "{} calibration mismatch",
+                spec.name
+            );
+            let (_, location, _) = PAPER_TABLE2
+                .iter()
+                .find(|(n, _, _)| *n == spec.name)
+                .unwrap();
+            assert_eq!(&spec.heartbeat_location, location);
+        }
+    }
+
+    #[test]
+    fn specs_have_distinct_names() {
+        let mut names: Vec<String> = all_table2().iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn simulated_x264_average_is_near_paper_value() {
+        // The x264 spec has phases; the overall average over the native run
+        // should still land in the paper's ballpark (11.32 beat/s).
+        let machine = Machine::paper_testbed();
+        let mut workload = SimWorkload::new(x264(), &machine);
+        let summary = workload.run_to_completion(PAPER_TESTBED_CORES);
+        assert!(
+            summary.average_rate_bps > 8.0 && summary.average_rate_bps < 16.0,
+            "x264 average {:.2} outside the expected band",
+            summary.average_rate_bps
+        );
+    }
+
+    #[test]
+    fn simulated_uniform_benchmarks_land_on_table2() {
+        // Benchmarks with uniform phases and low noise should reproduce the
+        // Table 2 value within a few percent.
+        for spec in [blackscholes(), canneal(), ferret(), swaptions(), facesim()] {
+            let expected = paper_rate(&spec.name).unwrap();
+            let machine = Machine::paper_testbed();
+            let mut workload = SimWorkload::new(spec.clone(), &machine);
+            let summary = workload.run_to_completion(PAPER_TESTBED_CORES);
+            let error = (summary.average_rate_bps - expected).abs() / expected;
+            assert!(
+                error < 0.05,
+                "{}: simulated {:.3} vs paper {:.3} ({}% off)",
+                spec.name,
+                summary.average_rate_bps,
+                expected,
+                (error * 100.0).round()
+            );
+        }
+    }
+
+    #[test]
+    fn bodytrack_fig5_load_drops_after_beat_141() {
+        let spec = bodytrack_fig5();
+        assert!(spec.phases.multiplier(100) > spec.phases.multiplier(150));
+        assert!(spec.phases.multiplier(150) > spec.phases.multiplier(200));
+        // On eight cores the early phase exceeds 4 beat/s (paper: "over four
+        // beats per second"), and after the drop one core can hold 2.5.
+        assert!(spec.expected_rate(8, 1.0) > 4.0);
+        assert!(spec.expected_rate(1, spec.phases.multiplier(200)) >= 2.5);
+    }
+
+    #[test]
+    fn streamcluster_fig6_is_slower_than_one_beat_per_second() {
+        let spec = streamcluster_fig6();
+        assert!(spec.expected_rate_8core() < 1.0);
+        assert!(spec.expected_rate_8core() > 0.5);
+        // The 0.5..0.55 target must be reachable with fewer than 8 cores.
+        let needed = spec.cores_needed_for(0.5, 1.0, 8).unwrap();
+        assert!(needed < 8);
+    }
+
+    #[test]
+    fn x264_fig7_exceeds_forty_beats_on_eight_cores() {
+        let spec = x264_fig7();
+        assert!(spec.expected_rate_8core() > 40.0);
+        // 30-35 beat/s should be sustainable with 4-6 cores.
+        let needed = spec.cores_needed_for(30.0, 1.0, 8).unwrap();
+        assert!((4..=6).contains(&needed), "needed {needed} cores");
+    }
+
+    #[test]
+    fn x264_fig2_phases_follow_the_figure() {
+        let spec = x264();
+        // Middle section is substantially lighter than the ends.
+        assert!(spec.phases.multiplier(200) < spec.phases.multiplier(50));
+        assert!(spec.phases.multiplier(200) < spec.phases.multiplier(400));
+        // Expected rates: ~12-14 at the ends, ~23-29 in the middle.
+        let slow = spec.expected_rate(8, spec.phases.multiplier(50));
+        let fast = spec.expected_rate(8, spec.phases.multiplier(200));
+        assert!((9.0..16.0).contains(&slow), "slow phase rate {slow:.1}");
+        assert!((20.0..30.0).contains(&fast), "fast phase rate {fast:.1}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The Section 2.6 "cloud computing" scenario: a load balancer that routes
+//! requests to worker nodes based on their heartbeats, detects a failing node
+//! from its slowing heart rate, and fails over before the node dies entirely.
+//!
+//! Run with: `cargo run --example cloud_load_balancer`
+
+use std::sync::Arc;
+
+use app_heartbeats::heartbeats::{
+    HealthStatus, Heartbeat, HeartbeatBuilder, ManualClock, Registry, Tag,
+};
+
+/// One simulated worker node: serves requests at `requests_per_sec`, beating
+/// once per request. A node can degrade (slow down) or die (stop beating).
+struct WorkerNode {
+    name: String,
+    hb: Heartbeat,
+    clock: ManualClock,
+    requests_per_sec: f64,
+    alive: bool,
+}
+
+impl WorkerNode {
+    fn new(registry: &Registry, name: &str, requests_per_sec: f64) -> Self {
+        let clock = ManualClock::new();
+        let hb = HeartbeatBuilder::new(name)
+            .window(20)
+            .clock(Arc::new(clock.clone()))
+            .register_in(registry)
+            .build()
+            .unwrap();
+        // Every node promises at least 50 requests/s to the balancer.
+        hb.set_target_rate(50.0, 500.0).unwrap();
+        WorkerNode {
+            name: name.to_string(),
+            hb,
+            clock,
+            requests_per_sec,
+            alive: true,
+        }
+    }
+
+    /// Serves `n` requests (or silently drops them if the node has died —
+    /// time still passes, but no heartbeats are produced).
+    fn serve(&self, n: u64) {
+        for i in 0..n {
+            self.clock.advance_secs(1.0 / self.requests_per_sec);
+            if self.alive {
+                self.hb.heartbeat_tagged(Tag::new(i));
+            }
+        }
+        if !self.alive {
+            // Even a dead node's wall clock advances while the balancer waits.
+            self.clock.advance_secs(n as f64 / self.requests_per_sec);
+        }
+    }
+}
+
+fn main() {
+    let registry = Registry::new();
+    let mut nodes = vec![
+        WorkerNode::new(&registry, "node-a", 120.0),
+        WorkerNode::new(&registry, "node-b", 110.0),
+        WorkerNode::new(&registry, "node-c", 130.0),
+    ];
+
+    println!("round  node-a        node-b        node-c        balancer decision");
+    for round in 1..=8 {
+        // Inject trouble: node-b degrades at round 3 and dies at round 6.
+        if round == 3 {
+            nodes[1].requests_per_sec = 30.0;
+        }
+        if round == 6 {
+            nodes[1].alive = false;
+        }
+
+        // Every node serves a batch of requests.
+        for node in &nodes {
+            node.serve(40);
+        }
+
+        // The balancer only looks at heartbeat data: rate vs the declared
+        // target, and time since the last beat.
+        let mut statuses = Vec::new();
+        let mut decision = String::new();
+        for node in &nodes {
+            let reader = registry.attach(&node.name).unwrap();
+            let rate = reader.current_rate(0).unwrap_or(0.0);
+            let stale_after = 1_000_000_000; // 1 s without a beat = presumed dead
+            let health = reader.health(stale_after);
+            let label = match health {
+                HealthStatus::Alive if rate >= reader.target_min() => format!("{rate:6.1} ok  "),
+                HealthStatus::Alive => format!("{rate:6.1} SLOW"),
+                HealthStatus::Stalled => "  ---  DEAD".to_string(),
+                HealthStatus::NeverBeat => "  ---  new ".to_string(),
+            };
+            statuses.push(label);
+            match health {
+                HealthStatus::Stalled => {
+                    decision = format!("fail over: drain {} and restart it", node.name)
+                }
+                HealthStatus::Alive if rate < reader.target_min() && decision.is_empty() => {
+                    decision = format!("shift new traffic away from {}", node.name)
+                }
+                _ => {}
+            }
+        }
+        if decision.is_empty() {
+            decision = "all nodes healthy: route round-robin".to_string();
+        }
+        println!(
+            "{round:>5}  {}  {}  {}  {}",
+            statuses[0], statuses[1], statuses[2], decision
+        );
+    }
+
+    println!(
+        "\nThe balancer never inspects CPU load or machine metrics — only heart rates vs\n\
+         declared goals (slow node) and beat staleness (dead node), as proposed in the\n\
+         paper's cloud-computing discussion."
+    );
+}
