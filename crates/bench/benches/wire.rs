@@ -1,0 +1,65 @@
+//! Wire-protocol microbenchmarks: encode and decode throughput for
+//! heartbeat batches (records/second), plus the CRC-32 primitive.
+//!
+//! Target: >= 1M records/second encode on release builds (the seed
+//! machine encodes tens of millions per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_net::wire::{BeatBatch, Frame, WireBeat};
+use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+fn batch(n: usize) -> Frame {
+    Frame::Beats(BeatBatch {
+        dropped_total: 42,
+        beats: (0..n as u64)
+            .map(|i| WireBeat {
+                record: HeartbeatRecord::new(i, i * 1_000_000, Tag::new(i), BeatThreadId(0)),
+                scope: BeatScope::Global,
+            })
+            .collect(),
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for n in [1usize, 64, 256, 1024] {
+        let frame = batch(n);
+        let mut buf = Vec::with_capacity(64 + n * 29);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &frame, |b, frame| {
+            b.iter(|| {
+                buf.clear();
+                frame.encode_into(&mut buf);
+                std::hint::black_box(buf.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for n in [1usize, 64, 256, 1024] {
+        let bytes = batch(n).encode();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bytes, |b, bytes| {
+            b.iter(|| std::hint::black_box(Frame::decode(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    for len in [64usize, 4096] {
+        let data = vec![0xA5u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, data| {
+            b.iter(|| std::hint::black_box(hb_net::crc::crc32(data)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Minimal, API-compatible subset of the `libc` crate (Linux only).
+//!
+//! Only the symbols the `hb-shm` crate uses are provided. To stay independent
+//! of the platform's C struct layouts, the file-descriptor calls (`shm_open`,
+//! `ftruncate`, `fstat`, `close`, `shm_unlink`) are implemented in Rust on top
+//! of `std::fs` against `/dev/shm` — the same object namespace glibc's
+//! `shm_open` uses — and the [`stat`] struct carries only the fields callers
+//! read. `mmap`/`munmap` have stable, layout-free signatures and are linked
+//! from the system C library directly.
+
+#![allow(non_camel_case_types)]
+
+use std::ffi::CStr;
+use std::fs::OpenOptions;
+use std::io;
+use std::mem::ManuallyDrop;
+use std::os::fd::{FromRawFd, IntoRawFd};
+use std::os::unix::fs::OpenOptionsExt;
+
+pub use std::ffi::c_void;
+
+/// C `char`.
+pub type c_char = i8;
+/// C `int`.
+pub type c_int = i32;
+/// POSIX file-mode type.
+pub type mode_t = u32;
+/// POSIX file-offset type.
+pub type off_t = i64;
+
+/// Open flag: create the object if it does not exist.
+pub const O_CREAT: c_int = 0o100;
+/// Open flag: read-write access.
+pub const O_RDWR: c_int = 0o2;
+/// Mode bit: owner may read.
+pub const S_IRUSR: c_int = 0o400;
+/// Mode bit: owner may write.
+pub const S_IWUSR: c_int = 0o200;
+/// Mapping protection: pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Mapping protection: pages may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Mapping flag: updates are visible to other processes.
+pub const MAP_SHARED: c_int = 1;
+/// Sentinel returned by `mmap` on failure.
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+/// File metadata as returned by [`fstat`]. Only the fields this workspace
+/// reads are present; the layout is private to this shim (its own `fstat`
+/// fills it in), so it need not match the kernel's struct.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct stat {
+    /// Size of the file in bytes.
+    pub st_size: off_t,
+    /// File mode bits.
+    pub st_mode: mode_t,
+}
+
+extern "C" {
+    /// Maps `len` bytes of `fd` at `offset` into the address space.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+
+    /// Unmaps a region established by [`mmap`].
+    pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+}
+
+fn shm_path(name: *const c_char) -> Option<std::path::PathBuf> {
+    // SAFETY: callers pass NUL-terminated strings per the POSIX contract.
+    let cstr = unsafe { CStr::from_ptr(name) };
+    let s = cstr.to_str().ok()?;
+    let trimmed = s.trim_start_matches('/');
+    if trimmed.is_empty() || trimmed.contains('/') {
+        return None;
+    }
+    Some(std::path::Path::new("/dev/shm").join(trimmed))
+}
+
+/// Opens (and with `O_CREAT`, creates) a POSIX shared-memory object.
+///
+/// # Safety
+/// `name` must point to a valid NUL-terminated string.
+pub unsafe fn shm_open(name: *const c_char, oflag: c_int, mode: mode_t) -> c_int {
+    let Some(path) = shm_path(name) else {
+        return -1;
+    };
+    let mut options = OpenOptions::new();
+    options.read(true).write(oflag & O_RDWR != 0);
+    if oflag & O_CREAT != 0 {
+        options.create(true).mode(mode);
+    }
+    match options.open(path) {
+        Ok(file) => file.into_raw_fd(),
+        Err(_) => -1,
+    }
+}
+
+/// Removes a POSIX shared-memory object's name.
+///
+/// # Safety
+/// `name` must point to a valid NUL-terminated string.
+pub unsafe fn shm_unlink(name: *const c_char) -> c_int {
+    let Some(path) = shm_path(name) else {
+        return -1;
+    };
+    match std::fs::remove_file(path) {
+        Ok(()) => 0,
+        Err(_) => -1,
+    }
+}
+
+/// Truncates the open file `fd` to `len` bytes.
+///
+/// # Safety
+/// `fd` must be an open file descriptor owned by the caller.
+pub unsafe fn ftruncate(fd: c_int, len: off_t) -> c_int {
+    if len < 0 {
+        return -1;
+    }
+    let file = ManuallyDrop::new(std::fs::File::from_raw_fd(fd));
+    match file.set_len(len as u64) {
+        Ok(()) => 0,
+        Err(_) => -1,
+    }
+}
+
+/// Fills `buf` with metadata of the open file `fd`.
+///
+/// # Safety
+/// `fd` must be an open file descriptor owned by the caller and `buf` must be
+/// valid for writes.
+pub unsafe fn fstat(fd: c_int, buf: *mut stat) -> c_int {
+    let file = ManuallyDrop::new(std::fs::File::from_raw_fd(fd));
+    match file.metadata() {
+        Ok(metadata) => {
+            (*buf).st_size = metadata.len() as off_t;
+            (*buf).st_mode = 0;
+            0
+        }
+        Err(_) => -1,
+    }
+}
+
+/// Closes the file descriptor `fd`.
+///
+/// # Safety
+/// `fd` must be an open file descriptor; ownership transfers to this call.
+pub unsafe fn close(fd: c_int) -> c_int {
+    drop(std::fs::File::from_raw_fd(fd));
+    0
+}
+
+/// Captures `errno` as an [`io::Error`] (used by shim tests).
+pub fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    #[test]
+    fn shm_open_create_write_reopen_unlink() {
+        let name = CString::new(format!("/libc-shim-test-{}", std::process::id())).unwrap();
+        unsafe {
+            let fd = shm_open(name.as_ptr(), O_CREAT | O_RDWR, 0o600);
+            assert!(fd >= 0, "shm_open(create) failed");
+            assert_eq!(ftruncate(fd, 4096), 0);
+            let mut st = stat::default();
+            assert_eq!(fstat(fd, &mut st), 0);
+            assert_eq!(st.st_size, 4096);
+            assert_eq!(close(fd), 0);
+
+            let fd2 = shm_open(name.as_ptr(), O_RDWR, 0);
+            assert!(fd2 >= 0, "shm_open(reopen) failed");
+            assert_eq!(close(fd2), 0);
+
+            assert_eq!(shm_unlink(name.as_ptr()), 0);
+            assert_eq!(shm_unlink(name.as_ptr()), -1, "second unlink must fail");
+        }
+    }
+
+    #[test]
+    fn mmap_roundtrip() {
+        let name = CString::new(format!("/libc-shim-mmap-{}", std::process::id())).unwrap();
+        unsafe {
+            let fd = shm_open(name.as_ptr(), O_CREAT | O_RDWR, 0o600);
+            assert!(fd >= 0);
+            assert_eq!(ftruncate(fd, 4096), 0);
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(ptr, MAP_FAILED);
+            *(ptr as *mut u64) = 0xABCD;
+            assert_eq!(*(ptr as *const u64), 0xABCD);
+            assert_eq!(munmap(ptr, 4096), 0);
+            assert_eq!(close(fd), 0);
+            assert_eq!(shm_unlink(name.as_ptr()), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let bad = CString::new("/a/b").unwrap();
+        unsafe {
+            assert_eq!(shm_open(bad.as_ptr(), O_CREAT | O_RDWR, 0o600), -1);
+            assert_eq!(shm_unlink(bad.as_ptr()), -1);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal, API-compatible subset of the `rayon` crate.
+//!
+//! Provides `into_par_iter()` with the adapters this workspace uses (`map`,
+//! `sum`, `for_each`, `collect`). Work is executed on the calling thread:
+//! results are identical to rayon's, only the parallel speedup is absent,
+//! which keeps the offline build dependency-free. Swap for the real crate via
+//! `[workspace.dependencies]` to regain parallelism.
+
+/// Commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a "parallel" iterator (sequential in this shim).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// The shim's parallel-iterator adapter; wraps a sequential iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element through `f`.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters elements by `f`.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Sums the elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Collects the elements.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let par: i64 = (0..100).into_par_iter().map(|i| i * 2).sum();
+        let seq: i64 = (0..100).map(|i| i * 2).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn collect_and_count() {
+        let v: Vec<i32> = (0..5).into_par_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert_eq!((0..7).into_par_iter().filter(|i| i % 2 == 0).count(), 4);
+    }
+}

@@ -7,7 +7,8 @@
 
 use crate::actuator::Actuator;
 use crate::controller::Controller;
-use crate::monitor::{Observation, RateMonitor};
+use crate::monitor::{Observation, RateMonitor, RateSource};
+use heartbeats::HeartbeatReader;
 
 /// One adaptation decision taken by a [`ControlLoop`].
 #[derive(Debug, Clone, PartialEq)]
@@ -28,17 +29,20 @@ impl ControlEvent {
 }
 
 /// An observe/decide/act loop over one application.
+///
+/// Generic over the monitored [`RateSource`] (default: the in-process
+/// reader), so the same loop can act on local or collector-fed observations.
 #[derive(Debug)]
-pub struct ControlLoop<C: Controller, A: Actuator> {
-    monitor: RateMonitor,
+pub struct ControlLoop<C: Controller, A: Actuator, S: RateSource = HeartbeatReader> {
+    monitor: RateMonitor<S>,
     controller: C,
     actuator: A,
     events: Vec<ControlEvent>,
 }
 
-impl<C: Controller, A: Actuator> ControlLoop<C, A> {
+impl<C: Controller, A: Actuator, S: RateSource> ControlLoop<C, A, S> {
     /// Creates a loop from its three parts.
-    pub fn new(monitor: RateMonitor, controller: C, actuator: A) -> Self {
+    pub fn new(monitor: RateMonitor<S>, controller: C, actuator: A) -> Self {
         ControlLoop {
             monitor,
             controller,

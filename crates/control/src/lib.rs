@@ -26,4 +26,4 @@ mod monitor;
 pub use actuator::{Actuator, DiscreteActuator};
 pub use control_loop::{ControlEvent, ControlLoop};
 pub use controller::{Controller, PiController, StepController};
-pub use monitor::{Observation, RateMonitor};
+pub use monitor::{Observation, RateMonitor, RateSample, RateSource};

@@ -9,6 +9,97 @@
 
 use heartbeats::{HeartbeatReader, TargetStatus};
 
+/// Anything a [`RateMonitor`] can sample: an in-process
+/// [`HeartbeatReader`], or a remote view such as `hb-net`'s collector client.
+///
+/// The paper's observers only ever need this small read-only surface — total
+/// beats, a windowed rate, and the declared goal — so abstracting it lets one
+/// control loop drive adaptation from a local reader, a shared-memory
+/// observer, or a network collector without changing the policy code.
+pub trait RateSource {
+    /// Name of the observed application.
+    fn name(&self) -> &str;
+
+    /// Total beats the application has produced so far.
+    fn total_beats(&self) -> u64;
+
+    /// Windowed heart rate in beats/s (`0` = the source's default window).
+    /// `None` until at least two beats are visible.
+    fn current_rate(&self, window: usize) -> Option<f64>;
+
+    /// The application's declared target range, if any.
+    fn target(&self) -> Option<(f64, f64)>;
+
+    /// Classifies the current rate against the declared target.
+    fn target_status(&self, window: usize) -> TargetStatus {
+        classify(self.current_rate(window), self.target())
+    }
+
+    /// Takes one coherent sample of `(total beats, rate, target)`.
+    ///
+    /// The default composes the fine-grained accessors, which is already
+    /// coherent for in-process sources. Remote sources should override it
+    /// with a single round trip so a monitor's observation is not torn
+    /// across several network requests (and several collector states).
+    fn sample(&self, window: usize) -> RateSample {
+        RateSample {
+            total_beats: self.total_beats(),
+            rate_bps: self.current_rate(window),
+            target: self.target(),
+        }
+    }
+}
+
+/// One coherent `(total beats, rate, target)` measurement from a
+/// [`RateSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSample {
+    /// Total beats at the sample.
+    pub total_beats: u64,
+    /// Windowed rate at the sample, if measurable.
+    pub rate_bps: Option<f64>,
+    /// Declared target range at the sample, if any.
+    pub target: Option<(f64, f64)>,
+}
+
+/// Classifies a measured rate against a declared target range.
+fn classify(rate: Option<f64>, target: Option<(f64, f64)>) -> TargetStatus {
+    match (rate, target) {
+        (None, _) | (_, None) => TargetStatus::NoTarget,
+        (Some(rate), Some((min, max))) => {
+            if rate < min {
+                TargetStatus::BelowTarget
+            } else if rate > max {
+                TargetStatus::AboveTarget
+            } else {
+                TargetStatus::WithinTarget
+            }
+        }
+    }
+}
+
+impl RateSource for HeartbeatReader {
+    fn name(&self) -> &str {
+        HeartbeatReader::name(self)
+    }
+
+    fn total_beats(&self) -> u64 {
+        HeartbeatReader::total_beats(self)
+    }
+
+    fn current_rate(&self, window: usize) -> Option<f64> {
+        HeartbeatReader::current_rate(self, window)
+    }
+
+    fn target(&self) -> Option<(f64, f64)> {
+        HeartbeatReader::target(self)
+    }
+
+    fn target_status(&self, window: usize) -> TargetStatus {
+        HeartbeatReader::target_status(self, window)
+    }
+}
+
 /// One sampled view of an application's performance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
@@ -23,18 +114,22 @@ pub struct Observation {
 }
 
 /// Samples an application's heart rate every `check_every` beats.
+///
+/// Generic over the [`RateSource`] being sampled; defaults to the in-process
+/// [`HeartbeatReader`] so existing call sites read unchanged, while a
+/// network-collector client slots in for remote control loops.
 #[derive(Debug, Clone)]
-pub struct RateMonitor {
-    reader: HeartbeatReader,
+pub struct RateMonitor<S: RateSource = HeartbeatReader> {
+    reader: S,
     window: usize,
     check_every: u64,
     last_checked_beat: u64,
 }
 
-impl RateMonitor {
+impl<S: RateSource> RateMonitor<S> {
     /// Creates a monitor that uses the application's default window and
     /// samples on every new beat.
-    pub fn new(reader: HeartbeatReader) -> Self {
+    pub fn new(reader: S) -> Self {
         RateMonitor {
             reader,
             window: 0,
@@ -57,8 +152,8 @@ impl RateMonitor {
         self
     }
 
-    /// The reader being monitored.
-    pub fn reader(&self) -> &HeartbeatReader {
+    /// The rate source being monitored.
+    pub fn reader(&self) -> &S {
         &self.reader
     }
 
@@ -70,23 +165,28 @@ impl RateMonitor {
     /// Returns an observation if at least `check_every` beats have arrived
     /// since the last observation (or since the monitor was created).
     pub fn poll(&mut self) -> Option<Observation> {
-        let beats = self.reader.total_beats();
-        if beats < self.last_checked_beat + self.check_every {
+        let sample = self.reader.sample(self.window);
+        if sample.total_beats < self.last_checked_beat + self.check_every {
             return None;
         }
-        self.last_checked_beat = beats;
-        Some(self.observe_now())
+        self.last_checked_beat = sample.total_beats;
+        Some(Self::observation_from(sample))
     }
 
     /// Takes an observation unconditionally, without affecting the sampling
     /// cadence bookkeeping.
     pub fn observe_now(&self) -> Observation {
-        let rate_bps = self.reader.current_rate(self.window);
+        Self::observation_from(self.reader.sample(self.window))
+    }
+
+    /// Builds an observation from one coherent sample, so every field
+    /// (beats, rate, target, status) describes the same instant.
+    fn observation_from(sample: RateSample) -> Observation {
         Observation {
-            beat: self.reader.total_beats(),
-            rate_bps,
-            target: self.reader.target(),
-            status: self.reader.target_status(self.window),
+            beat: sample.total_beats,
+            rate_bps: sample.rate_bps,
+            target: sample.target,
+            status: classify(sample.rate_bps, sample.target),
         }
     }
 

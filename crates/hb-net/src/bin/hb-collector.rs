@@ -1,0 +1,102 @@
+//! The standalone heartbeat collector daemon.
+//!
+//! ```text
+//! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
+//! ```
+//!
+//! Producers point a `TcpBackend` at the ingest address; observers speak the
+//! line protocol (`LIST`, `GET <app>`, `METRICS`, `STATS`, `PING`, `QUIT`)
+//! to the query address — `METRICS` returns a Prometheus-style text export.
+//! With `--print-every N` the daemon also prints a registry summary to
+//! stdout every N seconds.
+
+use hb_net::Collector;
+
+struct Args {
+    ingest: String,
+    query: String,
+    print_every: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ingest: "127.0.0.1:4560".into(),
+        query: "127.0.0.1:4561".into(),
+        print_every: Some(10),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--ingest" => args.ingest = value("--ingest")?,
+            "--query" => args.query = value("--query")?,
+            "--print-every" => {
+                let secs: u64 = value("--print-every")?
+                    .parse()
+                    .map_err(|_| "--print-every expects a number of seconds".to_string())?;
+                args.print_every = (secs > 0).then_some(secs);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("hb-collector: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let collector = match Collector::bind(&args.ingest, &args.query) {
+        Ok(collector) => collector,
+        Err(err) => {
+            eprintln!("hb-collector: failed to bind: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hb-collector listening: ingest={} query={}",
+        collector.ingest_addr(),
+        collector.query_addr()
+    );
+
+    let state = collector.state();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(args.print_every.unwrap_or(60)));
+        if args.print_every.is_some() {
+            let snapshots = state.snapshots();
+            println!(
+                "-- {} app(s), {} connection(s) total, {} frame(s) --",
+                snapshots.len(),
+                state.connections_total(),
+                state.frames_total()
+            );
+            for snap in snapshots {
+                let rate = snap
+                    .rate_bps
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "n/a".into());
+                let target = snap
+                    .target
+                    .map(|(min, max)| format!("[{min:.1}, {max:.1}]"))
+                    .unwrap_or_else(|| "unset".into());
+                println!(
+                    "   {:<24} rate={rate:>10} bps target={target:<16} beats={} dropped={} alive={}",
+                    snap.app, snap.total_beats, snap.producer_dropped, snap.alive
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Observer-side client for the collector's query port.
+//!
+//! [`RemoteReader`] speaks the line protocol ([`LIST`/`GET`/`METRICS`]) over
+//! one persistent connection (reconnecting transparently on failure), and
+//! [`RemoteApp`] narrows it to a single application and implements
+//! [`control::RateSource`] — so a [`control::RateMonitor`] or
+//! [`control::ControlLoop`] can drive adaptation from a collector exactly
+//! the way it drives from an in-process [`heartbeats::HeartbeatReader`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use control::{RateSample, RateSource};
+
+use crate::collector::AppSnapshot;
+use crate::error::{NetError, Result};
+
+/// A read-only client of a collector's query port.
+#[derive(Debug)]
+pub struct RemoteReader {
+    addr: String,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl RemoteReader {
+    /// Connects to a collector query port (`host:port`). Fails fast if the
+    /// collector is unreachable; later failures reconnect transparently.
+    pub fn connect(addr: impl Into<String>) -> Result<Self> {
+        let reader = RemoteReader {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+        };
+        let stream = reader.open()?;
+        *reader.conn.lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
+        Ok(reader)
+    }
+
+    fn open(&self) -> Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+        Ok(BufReader::new(stream))
+    }
+
+    /// Sends `command` and collects response lines with `read`, reconnecting
+    /// once if the cached connection has gone stale.
+    fn exchange<T>(
+        &self,
+        command: &str,
+        read: impl Fn(&mut BufReader<TcpStream>) -> Result<T>,
+    ) -> Result<T> {
+        let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        for attempt in 0..2 {
+            if guard.is_none() {
+                *guard = Some(self.open()?);
+            }
+            let conn = guard.as_mut().expect("connection just established");
+            let outcome = conn
+                .get_ref()
+                .write_all(command.as_bytes())
+                .map_err(NetError::from)
+                .and_then(|()| read(conn));
+            match outcome {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    *guard = None; // drop the stale connection
+                    if attempt == 1 {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success or second failure")
+    }
+
+    /// Names of all applications the collector knows about.
+    pub fn apps(&self) -> Result<Vec<String>> {
+        self.exchange("LIST\n", |conn| {
+            let header = read_line(conn)?;
+            let count: usize = header
+                .strip_prefix("APPS ")
+                .and_then(|n| n.trim().parse().ok())
+                .ok_or_else(|| NetError::BadResponse(header.clone()))?;
+            let mut names = Vec::with_capacity(count);
+            for _ in 0..count {
+                names.push(read_line(conn)?.trim().to_string());
+            }
+            expect_end(conn)?;
+            Ok(names)
+        })
+    }
+
+    /// Snapshot of one application, or `None` if the collector has never
+    /// seen it.
+    pub fn snapshot(&self, app: &str) -> Result<Option<AppSnapshot>> {
+        let command = format!("GET {app}\n");
+        self.exchange(&command, |conn| {
+            let line = read_line(conn)?;
+            if line.starts_with("ERR unknown app") {
+                return Ok(None);
+            }
+            parse_snapshot(line.trim()).map(Some)
+        })
+    }
+
+    /// The Prometheus text export.
+    pub fn metrics(&self) -> Result<String> {
+        self.exchange("METRICS\n", |conn| {
+            let mut text = String::new();
+            loop {
+                let line = read_line(conn)?;
+                if line.trim() == "END" {
+                    return Ok(text);
+                }
+                text.push_str(&line);
+            }
+        })
+    }
+
+    /// Round-trip liveness probe of the collector itself.
+    pub fn ping(&self) -> Result<()> {
+        self.exchange("PING\n", |conn| {
+            let line = read_line(conn)?;
+            if line.trim() == "PONG" {
+                Ok(())
+            } else {
+                Err(NetError::BadResponse(line))
+            }
+        })
+    }
+
+    /// Narrows this reader to one application as a [`RateSource`] for
+    /// control loops. The reader is shared; snapshots go over the same
+    /// connection.
+    pub fn app(self: &Arc<Self>, app: impl Into<String>) -> RemoteApp {
+        RemoteApp {
+            reader: Arc::clone(self),
+            app: app.into(),
+        }
+    }
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> Result<String> {
+    let mut line = String::new();
+    let n = conn.read_line(&mut line)?;
+    if n == 0 {
+        return Err(NetError::UnexpectedEof);
+    }
+    Ok(line)
+}
+
+fn expect_end(conn: &mut BufReader<TcpStream>) -> Result<()> {
+    let line = read_line(conn)?;
+    if line.trim() == "END" {
+        Ok(())
+    } else {
+        Err(NetError::BadResponse(line))
+    }
+}
+
+/// Parses the single-line `GET` response produced by
+/// [`format_snapshot`](crate::collector::format_snapshot).
+pub fn parse_snapshot(line: &str) -> Result<AppSnapshot> {
+    let bad = |why: &str| NetError::BadResponse(format!("{why}: {line}"));
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("APP") {
+        return Err(bad("missing APP prefix"));
+    }
+    let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| bad("field without ="))?;
+        fields.insert(key, value);
+    }
+    let field = |key: &str| fields.get(key).copied().ok_or_else(|| bad(key));
+    let num = |key: &str| -> Result<u64> {
+        field(key)?.parse().map_err(|_| bad(key))
+    };
+    let target = match field("target")? {
+        "na" => None,
+        pair => {
+            let (min, max) = pair.split_once(',').ok_or_else(|| bad("target"))?;
+            Some((
+                min.parse().map_err(|_| bad("target min"))?,
+                max.parse().map_err(|_| bad("target max"))?,
+            ))
+        }
+    };
+    let optional = |key: &str| -> Result<Option<u64>> {
+        match field(key)? {
+            "na" => Ok(None),
+            v => v.parse().map(Some).map_err(|_| bad(key)),
+        }
+    };
+    let rate_bps = match field("rate")? {
+        "na" => None,
+        v => Some(v.parse().map_err(|_| bad("rate"))?),
+    };
+    Ok(AppSnapshot {
+        app: field("name")?.to_string(),
+        pid: num("pid")? as u32,
+        window: num("window")? as u32,
+        total_beats: num("total")?,
+        local_beats: num("local")?,
+        rate_bps,
+        mean_interval_ns: None, // not carried on the wire; query METRICS
+        target,
+        producer_dropped: num("dropped")?,
+        last_timestamp_ns: optional("last_ns")?,
+        connections: num("connections")? as u32,
+        alive: field("alive")? == "1",
+    })
+}
+
+/// One application as seen through a collector — a [`RateSource`] for
+/// remote control loops.
+///
+/// Network failures surface as "no data" (`None` rates, zero beats) rather
+/// than panics: a controller treats an unreachable collector the same way it
+/// treats an application that has not beaten yet.
+#[derive(Debug, Clone)]
+pub struct RemoteApp {
+    reader: Arc<RemoteReader>,
+    app: String,
+}
+
+impl RemoteApp {
+    /// The underlying shared reader.
+    pub fn reader(&self) -> &Arc<RemoteReader> {
+        &self.reader
+    }
+
+    /// Fetches the current snapshot, if the collector knows the app.
+    pub fn snapshot(&self) -> Option<AppSnapshot> {
+        self.reader.snapshot(&self.app).ok().flatten()
+    }
+}
+
+impl RateSource for RemoteApp {
+    fn name(&self) -> &str {
+        &self.app
+    }
+
+    fn total_beats(&self) -> u64 {
+        self.snapshot().map(|s| s.total_beats).unwrap_or(0)
+    }
+
+    fn current_rate(&self, _window: usize) -> Option<f64> {
+        // The collector already tracks the producer-declared window; remote
+        // observers cannot re-window retroactively.
+        self.snapshot().and_then(|s| s.rate_bps)
+    }
+
+    fn target(&self) -> Option<(f64, f64)> {
+        self.snapshot().and_then(|s| s.target)
+    }
+
+    fn sample(&self, _window: usize) -> RateSample {
+        // One round trip per sample: beats, rate and target all come from
+        // the same collector snapshot, never torn across requests.
+        match self.snapshot() {
+            Some(snap) => RateSample {
+                total_beats: snap.total_beats,
+                rate_bps: snap.rate_bps,
+                target: snap.target,
+            },
+            None => RateSample {
+                total_beats: 0,
+                rate_bps: None,
+                target: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_line_roundtrip() {
+        let snap = AppSnapshot {
+            app: "x264".into(),
+            pid: 41,
+            window: 20,
+            total_beats: 500,
+            local_beats: 3,
+            rate_bps: Some(29.970029970029973),
+            mean_interval_ns: None,
+            target: Some((30.0, 35.0)),
+            producer_dropped: 12,
+            last_timestamp_ns: Some(123_456_789),
+            connections: 1,
+            alive: true,
+        };
+        let line = crate::collector::format_snapshot(&snap);
+        let parsed = parse_snapshot(&line).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn snapshot_line_with_missing_data() {
+        let snap = AppSnapshot {
+            app: "fresh".into(),
+            pid: 0,
+            window: 2,
+            total_beats: 0,
+            local_beats: 0,
+            rate_bps: None,
+            mean_interval_ns: None,
+            target: None,
+            producer_dropped: 0,
+            last_timestamp_ns: None,
+            connections: 0,
+            alive: false,
+        };
+        let line = crate::collector::format_snapshot(&snap);
+        let parsed = parse_snapshot(&line).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn malformed_snapshot_lines_are_rejected() {
+        for line in [
+            "",
+            "NOTAPP name=x",
+            "APP name=x pid=notanumber total=1 local=0 rate=na target=na dropped=0 last_ns=na window=2 connections=0 alive=0",
+            "APP name=x",
+        ] {
+            assert!(parse_snapshot(line).is_err(), "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_port_fails_fast() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        assert!(RemoteReader::connect(addr.to_string()).is_err());
+    }
+}

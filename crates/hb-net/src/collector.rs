@@ -1,0 +1,785 @@
+//! The heartbeat collector daemon: accepts many concurrent producer
+//! connections, maintains a sharded per-application registry of server-side
+//! rates and goals, and serves observers over a line-based query port
+//! (including a Prometheus-style text export).
+//!
+//! The collector is the network realization of the paper's "external
+//! observer": applications keep calling `HB_heartbeat` as always, a
+//! [`TcpBackend`](crate::TcpBackend) mirrors the stream here, and anything —
+//! a cluster scheduler, a dashboard, a [`RemoteReader`](crate::RemoteReader)
+//! driving a control loop — reads progress and goals without touching the
+//! producing process.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use heartbeats::stats::OnlineStats;
+use heartbeats::{BeatScope, MovingRate};
+
+use crate::error::NetError;
+use crate::frame::FrameReader;
+use crate::wire::Frame;
+
+/// Tuning knobs for a [`Collector`].
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Number of registry shards; connections for different applications
+    /// hash to different shards so they never contend.
+    pub shards: usize,
+    /// An application whose last beat is older than this is reported as
+    /// not alive in snapshots and metrics.
+    pub stale_after: Duration,
+    /// Cap on the server-side rate window (guards against absurd hellos).
+    pub max_window: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            shards: 16,
+            stale_after: Duration::from_secs(5),
+            max_window: 1024,
+        }
+    }
+}
+
+/// Per-application state maintained server-side.
+#[derive(Debug)]
+struct AppEntry {
+    pid: u32,
+    default_window: u32,
+    window: MovingRate,
+    intervals: OnlineStats,
+    last_timestamp_ns: Option<u64>,
+    total_beats: u64,
+    local_beats: u64,
+    producer_dropped: u64,
+    target: Option<(f64, f64)>,
+    connections: u32,
+    last_seen: Instant,
+}
+
+impl AppEntry {
+    fn new(pid: u32, default_window: u32, max_window: usize) -> Self {
+        AppEntry {
+            pid,
+            default_window,
+            window: MovingRate::new((default_window as usize).clamp(2, max_window)),
+            intervals: OnlineStats::new(),
+            last_timestamp_ns: None,
+            total_beats: 0,
+            local_beats: 0,
+            producer_dropped: 0,
+            target: None,
+            connections: 0,
+            last_seen: Instant::now(),
+        }
+    }
+}
+
+/// A point-in-time view of one application, as served to observers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSnapshot {
+    /// Application name.
+    pub app: String,
+    /// Producer process id from the hello frame.
+    pub pid: u32,
+    /// Window (beats) used for `rate_bps`.
+    pub window: u32,
+    /// Global beats received so far.
+    pub total_beats: u64,
+    /// Local (per-thread) beats received so far.
+    pub local_beats: u64,
+    /// Server-side windowed heart rate, if at least two beats arrived.
+    pub rate_bps: Option<f64>,
+    /// Mean inter-beat interval in nanoseconds over the whole stream.
+    pub mean_interval_ns: Option<f64>,
+    /// The application's declared target range, if any.
+    pub target: Option<(f64, f64)>,
+    /// Beats the producer shed before they reached the collector.
+    pub producer_dropped: u64,
+    /// Timestamp (producer clock, ns) of the newest received beat.
+    pub last_timestamp_ns: Option<u64>,
+    /// Live producer connections for this application.
+    pub connections: u32,
+    /// False once no beat has arrived within the staleness threshold.
+    pub alive: bool,
+}
+
+/// Shared collector state: the sharded application registry plus
+/// collector-wide counters.
+#[derive(Debug)]
+pub struct CollectorState {
+    shards: Vec<Mutex<HashMap<String, AppEntry>>>,
+    config: CollectorConfig,
+    started: Instant,
+    connections_total: AtomicU64,
+    frames_total: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl CollectorState {
+    fn new(config: CollectorConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        CollectorState {
+            shards,
+            config,
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, app: &str) -> &Mutex<HashMap<String, AppEntry>> {
+        let mut hasher = DefaultHasher::new();
+        app.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn hello(&self, app: &str, pid: u32, default_window: u32) {
+        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        let entry = shard
+            .entry(app.to_string())
+            .or_insert_with(|| AppEntry::new(pid, default_window, self.config.max_window));
+        entry.pid = pid;
+        entry.default_window = default_window;
+        entry.connections += 1;
+        entry.last_seen = Instant::now();
+    }
+
+    fn goodbye(&self, app: &str) {
+        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = shard.get_mut(app) {
+            entry.connections = entry.connections.saturating_sub(1);
+        }
+    }
+
+    fn beats(&self, app: &str, batch: &crate::wire::BeatBatch) {
+        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        let max_window = self.config.max_window;
+        let entry = shard
+            .entry(app.to_string())
+            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, max_window));
+        entry.producer_dropped = entry.producer_dropped.max(batch.dropped_total);
+        entry.last_seen = Instant::now();
+        for beat in &batch.beats {
+            match beat.scope {
+                BeatScope::Global => {
+                    let ts = beat.record.timestamp_ns;
+                    if let Some(prev) = entry.last_timestamp_ns {
+                        if let Some(interval) = ts.checked_sub(prev) {
+                            entry.intervals.push(interval as f64);
+                        }
+                    }
+                    entry.window.push(ts);
+                    entry.last_timestamp_ns = Some(ts);
+                    entry.total_beats += 1;
+                }
+                BeatScope::Local => entry.local_beats += 1,
+            }
+        }
+    }
+
+    fn target(&self, app: &str, min_bps: f64, max_bps: f64) {
+        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        let max_window = self.config.max_window;
+        let entry = shard
+            .entry(app.to_string())
+            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, max_window));
+        entry.target = Some((min_bps, max_bps));
+        entry.last_seen = Instant::now();
+    }
+
+    fn snapshot_entry(&self, app: &str, entry: &AppEntry) -> AppSnapshot {
+        AppSnapshot {
+            app: app.to_string(),
+            pid: entry.pid,
+            window: entry.window.window() as u32,
+            total_beats: entry.total_beats,
+            local_beats: entry.local_beats,
+            rate_bps: entry.window.rate(),
+            mean_interval_ns: (entry.total_beats >= 2).then(|| entry.intervals.mean()),
+            target: entry.target,
+            producer_dropped: entry.producer_dropped,
+            last_timestamp_ns: entry.last_timestamp_ns,
+            connections: entry.connections,
+            alive: entry.last_seen.elapsed() <= self.config.stale_after,
+        }
+    }
+
+    /// Snapshot of one application, if it has ever registered.
+    pub fn snapshot(&self, app: &str) -> Option<AppSnapshot> {
+        let shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        shard.get(app).map(|entry| self.snapshot_entry(app, entry))
+    }
+
+    /// Snapshots of every registered application, sorted by name.
+    pub fn snapshots(&self) -> Vec<AppSnapshot> {
+        let mut all: Vec<AppSnapshot> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+                shard
+                    .iter()
+                    .map(|(app, entry)| self.snapshot_entry(app, entry))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.app.cmp(&b.app));
+        all
+    }
+
+    /// Names of all registered applications, sorted.
+    pub fn app_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Total producer connections accepted since start.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Total frames ingested since start.
+    pub fn frames_total(&self) -> u64 {
+        self.frames_total.load(Ordering::Relaxed)
+    }
+
+    /// Producer connections dropped for protocol violations.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry as Prometheus text-format metrics.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE hb_app_rate_bps gauge\n");
+        out.push_str("# TYPE hb_app_beats_total counter\n");
+        out.push_str("# TYPE hb_app_target_min_bps gauge\n");
+        out.push_str("# TYPE hb_app_target_max_bps gauge\n");
+        out.push_str("# TYPE hb_app_producer_dropped_total counter\n");
+        out.push_str("# TYPE hb_app_alive gauge\n");
+        for snap in self.snapshots() {
+            let app = &snap.app;
+            if let Some(rate) = snap.rate_bps {
+                out.push_str(&format!("hb_app_rate_bps{{app=\"{app}\"}} {rate}\n"));
+            }
+            out.push_str(&format!(
+                "hb_app_beats_total{{app=\"{app}\"}} {}\n",
+                snap.total_beats
+            ));
+            if let Some((min, max)) = snap.target {
+                out.push_str(&format!("hb_app_target_min_bps{{app=\"{app}\"}} {min}\n"));
+                out.push_str(&format!("hb_app_target_max_bps{{app=\"{app}\"}} {max}\n"));
+            }
+            out.push_str(&format!(
+                "hb_app_producer_dropped_total{{app=\"{app}\"}} {}\n",
+                snap.producer_dropped
+            ));
+            out.push_str(&format!(
+                "hb_app_alive{{app=\"{app}\"}} {}\n",
+                u8::from(snap.alive)
+            ));
+        }
+        out.push_str("# TYPE hb_collector_connections_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_connections_total {}\n",
+            self.connections_total()
+        ));
+        out.push_str("# TYPE hb_collector_frames_total counter\n");
+        out.push_str(&format!("hb_collector_frames_total {}\n", self.frames_total()));
+        out.push_str("# TYPE hb_collector_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "hb_collector_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out
+    }
+}
+
+/// The collector daemon: an ingest listener for producers and a query
+/// listener for observers, each served by background threads.
+#[derive(Debug)]
+pub struct Collector {
+    state: Arc<CollectorState>,
+    ingest_addr: SocketAddr,
+    query_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Collector {
+    /// Binds both listeners (use port `0` for ephemeral ports) and starts
+    /// serving with default configuration.
+    pub fn bind(ingest: &str, query: &str) -> io::Result<Collector> {
+        Self::with_config(ingest, query, CollectorConfig::default())
+    }
+
+    /// Binds and serves with explicit configuration.
+    pub fn with_config(
+        ingest: &str,
+        query: &str,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        let ingest_listener = TcpListener::bind(ingest)?;
+        let query_listener = TcpListener::bind(query)?;
+        ingest_listener.set_nonblocking(true)?;
+        query_listener.set_nonblocking(true)?;
+        let ingest_addr = ingest_listener.local_addr()?;
+        let query_addr = query_listener.local_addr()?;
+
+        let state = Arc::new(CollectorState::new(config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let ingest_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("hb-collector-ingest".into())
+                .spawn(move || {
+                    accept_loop(ingest_listener, &stop, |stream| {
+                        let state = Arc::clone(&state);
+                        let stop = Arc::clone(&stop);
+                        track(&conn_threads, "hb-collector-producer", move || {
+                            serve_producer(stream, &state, &stop)
+                        });
+                    })
+                })
+                .expect("failed to spawn collector ingest thread")
+        };
+        let query_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("hb-collector-query".into())
+                .spawn(move || {
+                    accept_loop(query_listener, &stop, |stream| {
+                        let state = Arc::clone(&state);
+                        let stop = Arc::clone(&stop);
+                        track(&conn_threads, "hb-collector-observer", move || {
+                            let _ = serve_observer(stream, &state, &stop);
+                        });
+                    })
+                })
+                .expect("failed to spawn collector query thread")
+        };
+
+        Ok(Collector {
+            state,
+            ingest_addr,
+            query_addr,
+            stop,
+            accept_threads: vec![ingest_thread, query_thread],
+            conn_threads,
+        })
+    }
+
+    /// Address producers connect their [`TcpBackend`](crate::TcpBackend) to.
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// Address observers query (line protocol / Prometheus export).
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// The shared registry, for in-process observers and tests.
+    pub fn state(&self) -> Arc<CollectorState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stops the listeners, disconnects producers and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn track(
+    threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    name: &str,
+    work: impl FnOnce() + Send + 'static,
+) {
+    let handle = std::thread::Builder::new()
+        .name(name.into())
+        .spawn(work)
+        .expect("failed to spawn collector connection thread");
+    let mut guard = threads.lock().unwrap_or_else(|e| e.into_inner());
+    // Reap completed connections as new ones arrive so a long-running
+    // daemon with connection churn does not accumulate handles forever.
+    guard.retain(|h| !h.is_finished());
+    guard.push(handle);
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, mut on_conn: impl FnMut(TcpStream)) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => on_conn(stream),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Reads frames from one producer until Bye, EOF, error or shutdown.
+fn serve_producer(stream: TcpStream, state: &CollectorState, stop: &AtomicBool) {
+    state.connections_total.fetch_add(1, Ordering::Relaxed);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut reader = FrameReader::new(stream);
+    let mut app: Option<String> = None;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_frame() {
+            Ok(Some(frame)) => {
+                state.frames_total.fetch_add(1, Ordering::Relaxed);
+                match frame {
+                    Frame::Hello(hello) => {
+                        state.hello(&hello.app, hello.pid, hello.default_window);
+                        app = Some(hello.app);
+                    }
+                    Frame::Beats(batch) => match &app {
+                        Some(app) => state.beats(app, &batch),
+                        None => {
+                            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    },
+                    Frame::Target { min_bps, max_bps } => match &app {
+                        Some(app) => state.target(app, min_bps, max_bps),
+                        None => {
+                            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    },
+                    Frame::Bye => break,
+                }
+            }
+            Ok(None) => break, // clean EOF
+            Err(NetError::Io(err))
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll the stop flag, then keep reading
+            }
+            Err(NetError::Protocol(_)) | Err(NetError::UnexpectedEof) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(app) = app {
+        state.goodbye(&app);
+    }
+}
+
+/// Serves the line-based query protocol to one observer connection.
+fn serve_observer(stream: TcpStream, state: &CollectorState, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !handle_query(line.trim(), state, &mut writer)? {
+                    break;
+                }
+            }
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Formats one application snapshot as the single-line `GET` response.
+pub fn format_snapshot(snap: &AppSnapshot) -> String {
+    let rate = snap
+        .rate_bps
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "na".into());
+    let target = snap
+        .target
+        .map(|(min, max)| format!("{min},{max}"))
+        .unwrap_or_else(|| "na".into());
+    let last = snap
+        .last_timestamp_ns
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "na".into());
+    format!(
+        "APP name={} pid={} total={} local={} rate={} target={} dropped={} last_ns={} window={} connections={} alive={}",
+        snap.app,
+        snap.pid,
+        snap.total_beats,
+        snap.local_beats,
+        rate,
+        target,
+        snap.producer_dropped,
+        last,
+        snap.window,
+        snap.connections,
+        u8::from(snap.alive),
+    )
+}
+
+/// Executes one query command; returns `false` when the connection should
+/// close.
+fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io::Result<bool> {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        None => Ok(true), // blank line
+        Some("PING") => {
+            writeln!(out, "PONG")?;
+            Ok(true)
+        }
+        Some("LIST") => {
+            let names = state.app_names();
+            writeln!(out, "APPS {}", names.len())?;
+            for name in names {
+                writeln!(out, "{name}")?;
+            }
+            writeln!(out, "END")?;
+            Ok(true)
+        }
+        Some("GET") => {
+            match parts.next().and_then(|app| state.snapshot(app)) {
+                Some(snap) => writeln!(out, "{}", format_snapshot(&snap))?,
+                None => writeln!(out, "ERR unknown app")?,
+            }
+            Ok(true)
+        }
+        Some("METRICS") => {
+            out.write_all(state.prometheus().as_bytes())?;
+            writeln!(out, "END")?;
+            Ok(true)
+        }
+        Some("STATS") => {
+            writeln!(
+                out,
+                "COLLECTOR apps={} connections={} frames={} errors={} uptime_s={:.3}",
+                state.app_names().len(),
+                state.connections_total(),
+                state.frames_total(),
+                state.protocol_errors(),
+                state.started.elapsed().as_secs_f64(),
+            )?;
+            Ok(true)
+        }
+        Some("QUIT") => {
+            writeln!(out, "BYE")?;
+            Ok(false)
+        }
+        Some(other) => {
+            writeln!(out, "ERR unknown command {other}")?;
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BeatBatch, WireBeat};
+    use heartbeats::{BeatThreadId, HeartbeatRecord, Tag};
+
+    fn batch(timestamps: &[u64]) -> BeatBatch {
+        BeatBatch {
+            dropped_total: 0,
+            beats: timestamps
+                .iter()
+                .enumerate()
+                .map(|(i, &ts)| WireBeat {
+                    record: HeartbeatRecord::new(i as u64, ts, Tag::NONE, BeatThreadId(0)),
+                    scope: BeatScope::Global,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn state_tracks_rate_from_timestamps() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("x264", 42, 20);
+        // Beats every 100 ms -> 10 beats/s.
+        state.beats(
+            "x264",
+            &batch(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000]),
+        );
+        let snap = state.snapshot("x264").unwrap();
+        assert_eq!(snap.total_beats, 5);
+        assert_eq!(snap.pid, 42);
+        assert!((snap.rate_bps.unwrap() - 10.0).abs() < 1e-9);
+        assert!((snap.mean_interval_ns.unwrap() - 100_000_000.0).abs() < 1e-3);
+        assert!(snap.alive);
+        assert_eq!(snap.connections, 1);
+    }
+
+    #[test]
+    fn state_tracks_targets_and_drops() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("dedup", 1, 20);
+        state.target("dedup", 30.0, 35.0);
+        let mut b = batch(&[0, 1_000]);
+        b.dropped_total = 17;
+        state.beats("dedup", &b);
+        let snap = state.snapshot("dedup").unwrap();
+        assert_eq!(snap.target, Some((30.0, 35.0)));
+        assert_eq!(snap.producer_dropped, 17);
+    }
+
+    #[test]
+    fn local_beats_count_separately() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("ferret", 1, 20);
+        let mut b = batch(&[0, 1_000]);
+        b.beats[1].scope = BeatScope::Local;
+        state.beats("ferret", &b);
+        let snap = state.snapshot("ferret").unwrap();
+        assert_eq!(snap.total_beats, 1);
+        assert_eq!(snap.local_beats, 1);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_complete() {
+        let state = CollectorState::new(CollectorConfig::default());
+        for app in ["zeta", "alpha", "mid"] {
+            state.hello(app, 0, 20);
+        }
+        let names: Vec<String> = state.snapshots().into_iter().map(|s| s.app).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(state.app_names(), names);
+    }
+
+    #[test]
+    fn unknown_app_snapshot_is_none() {
+        let state = CollectorState::new(CollectorConfig::default());
+        assert!(state.snapshot("ghost").is_none());
+    }
+
+    #[test]
+    fn goodbye_decrements_connections() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("x", 0, 20);
+        state.hello("x", 0, 20);
+        assert_eq!(state.snapshot("x").unwrap().connections, 2);
+        state.goodbye("x");
+        assert_eq!(state.snapshot("x").unwrap().connections, 1);
+        state.goodbye("x");
+        state.goodbye("x"); // extra goodbye saturates at zero
+        assert_eq!(state.snapshot("x").unwrap().connections, 0);
+    }
+
+    #[test]
+    fn prometheus_export_contains_series() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("swaptions", 9, 20);
+        state.target("swaptions", 5.0, 10.0);
+        state.beats("swaptions", &batch(&[0, 500_000_000, 1_000_000_000]));
+        let text = state.prometheus();
+        assert!(text.contains("hb_app_rate_bps{app=\"swaptions\"} 2"));
+        assert!(text.contains("hb_app_beats_total{app=\"swaptions\"} 3"));
+        assert!(text.contains("hb_app_target_min_bps{app=\"swaptions\"} 5"));
+        assert!(text.contains("hb_app_alive{app=\"swaptions\"} 1"));
+        assert!(text.contains("hb_collector_uptime_seconds"));
+    }
+
+    #[test]
+    fn query_protocol_responses() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("app-a", 7, 20);
+        state.beats("app-a", &batch(&[0, 1_000_000]));
+
+        let mut out = Vec::new();
+        assert!(handle_query("PING", &state, &mut out).unwrap());
+        assert!(handle_query("LIST", &state, &mut out).unwrap());
+        assert!(handle_query("GET app-a", &state, &mut out).unwrap());
+        assert!(handle_query("GET ghost", &state, &mut out).unwrap());
+        assert!(handle_query("STATS", &state, &mut out).unwrap());
+        assert!(handle_query("NONSENSE", &state, &mut out).unwrap());
+        assert!(!handle_query("QUIT", &state, &mut out).unwrap());
+
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("PONG"));
+        assert!(text.contains("APPS 1"));
+        assert!(text.contains("APP name=app-a pid=7 total=2"));
+        assert!(text.contains("ERR unknown app"));
+        assert!(text.contains("COLLECTOR apps=1"));
+        assert!(text.contains("ERR unknown command NONSENSE"));
+        assert!(text.contains("BYE"));
+    }
+
+    #[test]
+    fn stale_entries_report_not_alive() {
+        let state = CollectorState::new(CollectorConfig {
+            stale_after: Duration::from_millis(10),
+            ..CollectorConfig::default()
+        });
+        state.hello("sleepy", 0, 20);
+        assert!(state.snapshot("sleepy").unwrap().alive);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(!state.snapshot("sleepy").unwrap().alive);
+    }
+}

@@ -1,0 +1,221 @@
+//! Stream adapters: reading and writing [`Frame`]s over any
+//! `std::io::Read`/`Write` transport (TCP sockets in production, in-memory
+//! buffers in tests).
+
+use std::io::{self, Read, Write};
+
+use crate::error::{NetError, Result};
+use crate::wire::{Frame, HEADER_LEN};
+
+/// Reads frames off a byte stream, validating each one.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    payload: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a readable transport.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The underlying transport.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads the next frame. Returns `Ok(None)` on a clean end-of-stream at
+    /// a frame boundary; an EOF mid-frame is [`NetError::UnexpectedEof`].
+    pub fn read_frame(&mut self) -> Result<Option<Frame>> {
+        let mut header = [0u8; HEADER_LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header, false)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(NetError::UnexpectedEof),
+            ReadOutcome::Full => {}
+        }
+        let (kind, payload_len, crc) = Frame::decode_header(&header)?;
+        self.payload.resize(payload_len, 0);
+        if payload_len > 0 {
+            // The payload is mid-frame by definition, so timeouts retry.
+            match read_exact_or_eof(&mut self.inner, &mut self.payload, true)? {
+                ReadOutcome::Full => {}
+                ReadOutcome::Eof | ReadOutcome::Partial => return Err(NetError::UnexpectedEof),
+            }
+        }
+        Ok(Some(Frame::decode_payload(kind, &self.payload, crc)?))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Fills `buf` completely, distinguishing "no bytes at all" (clean EOF) from
+/// "some but not all" (truncated frame).
+///
+/// Read timeouts (used by servers to poll a shutdown flag) are surfaced to
+/// the caller only between frames — `buf` still empty and not `mid_frame`.
+/// Once a frame has started arriving, timeouts are retried (boundedly) so a
+/// mid-frame pause never desynchronizes the stream.
+fn read_exact_or_eof<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    mid_frame: bool,
+) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    let mut stalls = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err)
+                if (filled > 0 || mid_frame)
+                    && matches!(
+                        err.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                stalls += 1;
+                if stalls > 100 {
+                    return Err(NetError::UnexpectedEof);
+                }
+            }
+            Err(err) => return Err(NetError::Io(err)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Writes frames onto a byte stream, reusing one encode buffer.
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a writable transport.
+    pub fn new(inner: W) -> Self {
+        FrameWriter {
+            inner,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// The underlying transport.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Encodes and writes one frame.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<()> {
+        self.buf.clear();
+        frame.encode_into(&mut self.buf);
+        self.inner.write_all(&self.buf)?;
+        Ok(())
+    }
+
+    /// Flushes the transport.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BeatBatch, Hello};
+    use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                app: "dedup".into(),
+                pid: 77,
+                default_window: 40,
+            }),
+            Frame::Beats(BeatBatch {
+                dropped_total: 3,
+                beats: (0..10)
+                    .map(|i| crate::wire::WireBeat {
+                        record: HeartbeatRecord::new(i, i * 500, Tag::new(i), BeatThreadId(0)),
+                        scope: BeatScope::Global,
+                    })
+                    .collect(),
+            }),
+            Frame::Target {
+                min_bps: 10.0,
+                max_bps: 20.0,
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            for frame in sample_frames() {
+                writer.write_frame(&frame).unwrap();
+            }
+            writer.flush().unwrap();
+        }
+        let mut reader = FrameReader::new(wire.as_slice());
+        for expected in sample_frames() {
+            assert_eq!(reader.read_frame().unwrap(), Some(expected));
+        }
+        assert_eq!(reader.read_frame().unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let bytes = Frame::Bye.encode();
+        let mut reader = FrameReader::new(&bytes[..HEADER_LEN - 2]);
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn eof_mid_payload_is_an_error() {
+        let bytes = Frame::Hello(Hello {
+            app: "canneal".into(),
+            pid: 9,
+            default_window: 20,
+        })
+        .encode();
+        let mut reader = FrameReader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn garbage_stream_is_a_protocol_error() {
+        let mut reader = FrameReader::new(&[0xFFu8; 64][..]);
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! # hb-net — remote heartbeat telemetry
+//!
+//! The Application Heartbeats paper designs its API so that *external*
+//! observers — the OS, a runtime, another machine — can read an
+//! application's progress and goals. The sibling crates cover the same-host
+//! cases (in-process readers, `hb-shm` file/shared-memory mirrors); this
+//! crate takes the final step and ships heartbeat streams **off-box**:
+//!
+//! * [`wire`] — a compact, versioned binary wire protocol (length-prefixed,
+//!   CRC-checked frames; fixed 29-byte beat records) for heartbeat batches,
+//!   target-rate changes and application hello/goodbye.
+//! * [`frame`] — frame readers/writers over any `Read`/`Write` transport.
+//! * [`TcpBackend`] — a [`heartbeats::Backend`] that buffers beats in a
+//!   bounded queue and ships batches from a background flusher thread. The
+//!   `on_beat` hot path never blocks: when the collector is slow or down the
+//!   oldest queued beats are shed and counted (`Backend::stats`).
+//! * [`Collector`] — a daemon accepting many concurrent producers,
+//!   maintaining a sharded per-app registry of windowed rates
+//!   (server-side [`heartbeats::MovingRate`]) and goals, and serving a
+//!   line-based query port with a Prometheus-style text export.
+//! * [`RemoteReader`] / [`RemoteApp`] — the observer-side client;
+//!   `RemoteApp` implements [`control::RateSource`] so a
+//!   [`control::ControlLoop`] can drive adaptation from a collector instead
+//!   of a local reader.
+//!
+//! ## End-to-end sketch
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hb_net::{Collector, RemoteReader, TcpBackend};
+//! use heartbeats::HeartbeatBuilder;
+//!
+//! // Somewhere on the network: the collector daemon.
+//! let collector = Collector::bind("127.0.0.1:0", "127.0.0.1:0").unwrap();
+//!
+//! // In the application: mirror beats to the collector.
+//! let backend = Arc::new(TcpBackend::new(
+//!     collector.ingest_addr().to_string(),
+//!     "video-encoder",
+//! ));
+//! let hb = HeartbeatBuilder::new("video-encoder")
+//!     .backend(backend)
+//!     .build()
+//!     .unwrap();
+//! hb.set_target_rate(30.0, 35.0).unwrap();
+//! hb.heartbeat();
+//!
+//! // In the observer: read progress and goals remotely.
+//! let reader = Arc::new(RemoteReader::connect(collector.query_addr().to_string()).unwrap());
+//! let app = reader.app("video-encoder");
+//! # let _ = app;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod client;
+pub mod collector;
+pub mod crc;
+mod error;
+pub mod frame;
+pub mod wire;
+
+pub use backend::{TcpBackend, TcpBackendConfig};
+pub use client::{RemoteApp, RemoteReader};
+pub use collector::{AppSnapshot, Collector, CollectorConfig, CollectorState};
+pub use error::{NetError, Result};
+pub use frame::{FrameReader, FrameWriter};
+pub use wire::{BeatBatch, Frame, Hello, WireBeat};

@@ -1,0 +1,637 @@
+//! The heartbeat wire protocol: a compact, versioned binary framing for
+//! shipping heartbeat telemetry between processes and machines.
+//!
+//! ## Frame layout
+//!
+//! Every frame is self-delimiting (little-endian throughout):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        0x48425754 ("HBWT")
+//! 4       1     version      currently 1
+//! 5       1     kind         frame type discriminant
+//! 6       4     payload_len  bytes following the header (<= MAX_PAYLOAD)
+//! 10      4     crc32        IEEE CRC-32 of the payload bytes
+//! 14      n     payload
+//! ```
+//!
+//! The magic and version let a receiver reject foreign or future streams
+//! immediately; the length prefix makes framing O(1); the CRC rejects
+//! corruption and desynchronization deterministically. Beat records use a
+//! fixed 29-byte encoding so batches can be encoded and decoded with simple
+//! offset arithmetic — no per-field allocation, friendly to zero-copy-style
+//! scanning.
+//!
+//! ## Frame kinds
+//!
+//! * [`Frame::Hello`] — sent once per connection: application identity plus
+//!   its default rate window, so the collector can size its server-side
+//!   [`MovingRate`](heartbeats::MovingRate).
+//! * [`Frame::Beats`] — a batch of heartbeat records plus the producer-side
+//!   drop counter (beats shed under backpressure), so observers can
+//!   distinguish "slow app" from "slow network".
+//! * [`Frame::Target`] — the application changed its declared heart-rate
+//!   goal (`HB_set_target_rate`).
+//! * [`Frame::Bye`] — orderly goodbye; the collector marks the app
+//!   disconnected rather than waiting for staleness.
+
+use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+use crate::crc::crc32;
+use crate::error::{NetError, Result};
+
+/// Frame magic: `HBWT` interpreted as a little-endian u32.
+pub const MAGIC: u32 = 0x5457_4248;
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// Upper bound on a frame payload; anything larger is a protocol violation.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Encoded size of one beat record inside a [`Frame::Beats`] payload.
+pub const BEAT_LEN: usize = 29;
+
+/// Maximum application-name length accepted in a hello frame.
+pub const MAX_NAME_LEN: usize = 256;
+
+const KIND_HELLO: u8 = 1;
+const KIND_BEATS: u8 = 2;
+const KIND_TARGET: u8 = 3;
+const KIND_BYE: u8 = 4;
+
+/// True if `name` is acceptable as an application name on the wire:
+/// non-empty, within [`MAX_NAME_LEN`] bytes, and free of whitespace,
+/// control characters and quotes (which would corrupt the collector's
+/// line-based query protocol and Prometheus labels).
+pub fn valid_app_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .chars()
+            .all(|c| !c.is_whitespace() && !c.is_control() && c != '"' && c != '\\')
+}
+
+/// Rewrites an arbitrary string into a valid wire application name:
+/// offending characters become `-` and the result is truncated to
+/// [`MAX_NAME_LEN`] bytes (empty input becomes `"unnamed"`).
+pub fn sanitize_app_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len().min(MAX_NAME_LEN));
+    for c in name.chars() {
+        if out.len() + c.len_utf8() > MAX_NAME_LEN {
+            break;
+        }
+        if c.is_whitespace() || c.is_control() || c == '"' || c == '\\' {
+            out.push('-');
+        } else {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        out.push_str("unnamed");
+    }
+    out
+}
+
+/// Connection preamble: who is producing, and how it measures itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Application name (registry key on the collector).
+    pub app: String,
+    /// Producer process id, for operator diagnostics.
+    pub pid: u32,
+    /// The window (in beats) the application registered at
+    /// `HB_initialize`; the collector sizes its server-side window to match
+    /// so local and remote rate estimates agree.
+    pub default_window: u32,
+}
+
+/// One heartbeat record with its scope, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireBeat {
+    /// The heartbeat record (sequence, timestamp, tag, thread).
+    pub record: HeartbeatRecord,
+    /// Global (application-wide) or local (per-thread) stream.
+    pub scope: BeatScope,
+}
+
+/// A batch of beats plus the producer's cumulative drop counter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BeatBatch {
+    /// Total beats the producer has shed so far under backpressure.
+    pub dropped_total: u64,
+    /// The records in this batch, in production order.
+    pub beats: Vec<WireBeat>,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection preamble.
+    Hello(Hello),
+    /// A batch of heartbeat records.
+    Beats(BeatBatch),
+    /// A target heart-rate declaration.
+    Target {
+        /// Minimum desired rate in beats/s.
+        min_bps: f64,
+        /// Maximum desired rate in beats/s.
+        max_bps: f64,
+    },
+    /// Orderly end of stream.
+    Bye,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(bytes[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn encode_beat(buf: &mut Vec<u8>, beat: &WireBeat) {
+    put_u64(buf, beat.record.seq);
+    put_u64(buf, beat.record.timestamp_ns);
+    put_u64(buf, beat.record.tag.value());
+    put_u32(buf, beat.record.thread.index());
+    buf.push(match beat.scope {
+        BeatScope::Global => 0,
+        BeatScope::Local => 1,
+    });
+}
+
+fn decode_beat(bytes: &[u8]) -> Result<WireBeat> {
+    debug_assert_eq!(bytes.len(), BEAT_LEN);
+    let scope = match bytes[28] {
+        0 => BeatScope::Global,
+        1 => BeatScope::Local,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "invalid beat scope byte {other}"
+            )))
+        }
+    };
+    Ok(WireBeat {
+        record: HeartbeatRecord::new(
+            get_u64(bytes, 0),
+            get_u64(bytes, 8),
+            Tag::new(get_u64(bytes, 16)),
+            BeatThreadId(get_u32(bytes, 24)),
+        ),
+        scope,
+    })
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => KIND_HELLO,
+            Frame::Beats(_) => KIND_BEATS,
+            Frame::Target { .. } => KIND_TARGET,
+            Frame::Bye => KIND_BYE,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Hello(hello) => {
+                put_u32(buf, hello.pid);
+                put_u32(buf, hello.default_window);
+                let name = hello.app.as_bytes();
+                put_u16(buf, name.len() as u16);
+                buf.extend_from_slice(name);
+            }
+            Frame::Beats(batch) => {
+                put_u64(buf, batch.dropped_total);
+                put_u32(buf, batch.beats.len() as u32);
+                for beat in &batch.beats {
+                    encode_beat(buf, beat);
+                }
+            }
+            Frame::Target { min_bps, max_bps } => {
+                put_u64(buf, min_bps.to_bits());
+                put_u64(buf, max_bps.to_bits());
+            }
+            Frame::Bye => {}
+        }
+    }
+
+    /// Appends the full encoded frame (header + payload) to `buf`.
+    ///
+    /// Reusing one buffer across calls amortizes allocation on the producer
+    /// hot path; the buffer is never shrunk.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let header_at = buf.len();
+        put_u32(buf, MAGIC);
+        buf.push(VERSION);
+        buf.push(self.kind());
+        put_u32(buf, 0); // payload_len, patched below
+        put_u32(buf, 0); // crc, patched below
+        let payload_at = buf.len();
+        self.encode_payload(buf);
+        let payload_len = (buf.len() - payload_at) as u32;
+        let crc = crc32(&buf[payload_at..]);
+        buf[header_at + 6..header_at + 10].copy_from_slice(&payload_len.to_le_bytes());
+        buf[header_at + 10..header_at + 14].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Parses and validates a frame header, returning `(kind, payload_len,
+    /// crc)`. `bytes` must hold at least [`HEADER_LEN`] bytes.
+    pub fn decode_header(bytes: &[u8]) -> Result<(u8, usize, u32)> {
+        if bytes.len() < HEADER_LEN {
+            return Err(NetError::Protocol(format!(
+                "header truncated: {} of {HEADER_LEN} bytes",
+                bytes.len()
+            )));
+        }
+        let magic = get_u32(bytes, 0);
+        if magic != MAGIC {
+            return Err(NetError::Protocol(format!("bad magic {magic:#010x}")));
+        }
+        let version = bytes[4];
+        if version != VERSION {
+            return Err(NetError::Protocol(format!(
+                "unsupported protocol version {version}"
+            )));
+        }
+        let kind = bytes[5];
+        if !(KIND_HELLO..=KIND_BYE).contains(&kind) {
+            return Err(NetError::Protocol(format!("unknown frame kind {kind}")));
+        }
+        let payload_len = get_u32(bytes, 6) as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(NetError::Protocol(format!(
+                "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+            )));
+        }
+        Ok((kind, payload_len, get_u32(bytes, 10)))
+    }
+
+    /// Decodes a validated payload into a frame.
+    pub fn decode_payload(kind: u8, payload: &[u8], crc: u32) -> Result<Frame> {
+        if crc32(payload) != crc {
+            return Err(NetError::Protocol("payload CRC mismatch".into()));
+        }
+        match kind {
+            KIND_HELLO => {
+                if payload.len() < 10 {
+                    return Err(NetError::Protocol("hello payload truncated".into()));
+                }
+                let pid = get_u32(payload, 0);
+                let default_window = get_u32(payload, 4);
+                let name_len = get_u16(payload, 8) as usize;
+                if name_len > MAX_NAME_LEN {
+                    return Err(NetError::Protocol(format!(
+                        "application name of {name_len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
+                    )));
+                }
+                if payload.len() != 10 + name_len {
+                    return Err(NetError::Protocol(format!(
+                        "hello payload is {} bytes, expected {}",
+                        payload.len(),
+                        10 + name_len
+                    )));
+                }
+                let app = std::str::from_utf8(&payload[10..])
+                    .map_err(|_| NetError::Protocol("application name is not UTF-8".into()))?
+                    .to_string();
+                if !valid_app_name(&app) {
+                    return Err(NetError::Protocol(format!(
+                        "invalid application name {app:?} (empty, too long, or contains \
+                         whitespace/control/quote characters)"
+                    )));
+                }
+                Ok(Frame::Hello(Hello {
+                    app,
+                    pid,
+                    default_window,
+                }))
+            }
+            KIND_BEATS => {
+                if payload.len() < 12 {
+                    return Err(NetError::Protocol("beat batch payload truncated".into()));
+                }
+                let dropped_total = get_u64(payload, 0);
+                let count = get_u32(payload, 8) as usize;
+                if payload.len() != 12 + count * BEAT_LEN {
+                    return Err(NetError::Protocol(format!(
+                        "beat batch of {count} records should be {} bytes, got {}",
+                        12 + count * BEAT_LEN,
+                        payload.len()
+                    )));
+                }
+                let mut beats = Vec::with_capacity(count);
+                for i in 0..count {
+                    let at = 12 + i * BEAT_LEN;
+                    beats.push(decode_beat(&payload[at..at + BEAT_LEN])?);
+                }
+                Ok(Frame::Beats(BeatBatch {
+                    dropped_total,
+                    beats,
+                }))
+            }
+            KIND_TARGET => {
+                if payload.len() != 16 {
+                    return Err(NetError::Protocol(format!(
+                        "target payload is {} bytes, expected 16",
+                        payload.len()
+                    )));
+                }
+                let min_bps = f64::from_bits(get_u64(payload, 0));
+                let max_bps = f64::from_bits(get_u64(payload, 8));
+                if !min_bps.is_finite() || !max_bps.is_finite() {
+                    return Err(NetError::Protocol("non-finite target rate".into()));
+                }
+                Ok(Frame::Target { min_bps, max_bps })
+            }
+            KIND_BYE => {
+                if !payload.is_empty() {
+                    return Err(NetError::Protocol("bye frame carries a payload".into()));
+                }
+                Ok(Frame::Bye)
+            }
+            _ => unreachable!("kind validated by decode_header"),
+        }
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning the frame and
+    /// the number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize)> {
+        let (kind, payload_len, crc) = Self::decode_header(bytes)?;
+        let total = HEADER_LEN + payload_len;
+        if bytes.len() < total {
+            return Err(NetError::Protocol(format!(
+                "frame truncated: have {} of {total} bytes",
+                bytes.len()
+            )));
+        }
+        let frame = Self::decode_payload(kind, &bytes[HEADER_LEN..total], crc)?;
+        Ok((frame, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat(seq: u64, scope: BeatScope) -> WireBeat {
+        WireBeat {
+            record: HeartbeatRecord::new(
+                seq,
+                seq.wrapping_mul(1_000).wrapping_add(7),
+                Tag::new(seq.wrapping_mul(3)),
+                BeatThreadId(2),
+            ),
+            scope,
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let frame = Frame::Hello(Hello {
+            app: "x264".into(),
+            pid: 1234,
+            default_window: 20,
+        });
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn beats_roundtrip_preserves_records_and_scopes() {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: 99,
+            beats: vec![
+                beat(0, BeatScope::Global),
+                beat(1, BeatScope::Local),
+                beat(u64::MAX / 2, BeatScope::Global),
+            ],
+        });
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let frame = Frame::Beats(BeatBatch::default());
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn target_and_bye_roundtrip() {
+        for frame in [
+            Frame::Target {
+                min_bps: 29.97,
+                max_bps: 35.5,
+            },
+            Frame::Bye,
+        ] {
+            let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let mut buf = Vec::new();
+        Frame::Bye.encode_into(&mut buf);
+        Frame::Target {
+            min_bps: 1.0,
+            max_bps: 2.0,
+        }
+        .encode_into(&mut buf);
+        let (first, used) = Frame::decode(&buf).unwrap();
+        assert_eq!(first, Frame::Bye);
+        let (second, used2) = Frame::decode(&buf[used..]).unwrap();
+        assert!(matches!(second, Frame::Target { .. }));
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[4] = VERSION + 1;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("version")
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[5] = 200;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("kind")
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let frame = Frame::Hello(Hello {
+            app: "bodytrack".into(),
+            pid: 1,
+            default_window: 10,
+        });
+        let mut bytes = frame.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("CRC")
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_reading() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[6..10].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("limit")
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let bytes = Frame::Hello(Hello {
+            app: "ferret".into(),
+            pid: 2,
+            default_window: 30,
+        })
+        .encode();
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3, bytes.len() - 1] {
+            assert!(Frame::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn invalid_scope_byte_is_rejected() {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: 0,
+            beats: vec![beat(5, BeatScope::Global)],
+        });
+        let mut bytes = frame.encode();
+        // The scope is the final byte of the only record.
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        // Recompute the CRC so scope validation (not the checksum) trips.
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("scope")
+        ));
+    }
+
+    #[test]
+    fn count_length_mismatch_is_rejected() {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: 0,
+            beats: vec![beat(1, BeatScope::Global)],
+        });
+        let mut bytes = frame.encode();
+        // Claim two records while carrying one.
+        bytes[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&2u32.to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_finite_target_is_rejected() {
+        let mut bytes = Frame::Target {
+            min_bps: 1.0,
+            max_bps: 2.0,
+        }
+        .encode();
+        bytes[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn whitespace_and_quote_names_are_rejected_on_decode() {
+        for bad in ["two words", "line\nbreak", "tab\there", "quo\"te", "back\\slash"] {
+            let bytes = Frame::Hello(Hello {
+                app: bad.into(),
+                pid: 1,
+                default_window: 20,
+            })
+            .encode();
+            assert!(
+                matches!(Frame::decode(&bytes), Err(NetError::Protocol(_))),
+                "name {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_app_name_produces_valid_names() {
+        assert_eq!(sanitize_app_name("my app"), "my-app");
+        assert_eq!(sanitize_app_name("ok-name"), "ok-name");
+        assert_eq!(sanitize_app_name(""), "unnamed");
+        let long = "x".repeat(MAX_NAME_LEN * 2);
+        assert_eq!(sanitize_app_name(&long).len(), MAX_NAME_LEN);
+        for weird in ["a\nb", "c\"d", "e\\f", "  ", "\u{7}bell"] {
+            assert!(
+                valid_app_name(&sanitize_app_name(weird)),
+                "sanitized {weird:?} must be valid"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_without_clearing() {
+        let mut buf = vec![0xAB];
+        Frame::Bye.encode_into(&mut buf);
+        assert_eq!(buf[0], 0xAB);
+        let (frame, used) = Frame::decode(&buf[1..]).unwrap();
+        assert_eq!(frame, Frame::Bye);
+        assert_eq!(used, buf.len() - 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Randomized property tests for the wire protocol: encode→decode equality
+//! for records, batches and every frame kind, plus rejection of malformed
+//! and corrupted frames.
+
+use proptest::prelude::*;
+
+use hb_net::wire::{BeatBatch, Frame, Hello, WireBeat, HEADER_LEN};
+use hb_net::{FrameReader, FrameWriter};
+use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+/// Deterministically expands compact random tuples into a WireBeat.
+fn beat_from(parts: (u64, u64, u64, u32, bool)) -> WireBeat {
+    let (seq, timestamp_ns, tag, thread, local) = parts;
+    WireBeat {
+        record: HeartbeatRecord::new(seq, timestamp_ns, Tag::new(tag), BeatThreadId(thread)),
+        scope: if local {
+            BeatScope::Local
+        } else {
+            BeatScope::Global
+        },
+    }
+}
+
+proptest! {
+    /// Any single record round-trips exactly through a batch frame.
+    #[test]
+    fn single_record_roundtrip(
+        seq in any::<u64>(),
+        timestamp_ns in any::<u64>(),
+        tag in any::<u64>(),
+        thread in any::<u32>(),
+        local in any::<bool>(),
+        dropped in any::<u64>(),
+    ) {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: dropped,
+            beats: vec![beat_from((seq, timestamp_ns, tag, thread, local))],
+        });
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Whole batches of arbitrary size round-trip exactly.
+    #[test]
+    fn batch_roundtrip(
+        seqs in prop::collection::vec(any::<u64>(), 0..200),
+        dropped in any::<u64>(),
+    ) {
+        let beats: Vec<WireBeat> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| beat_from((i as u64, s, s ^ 0xABCD, (s % 97) as u32, s % 2 == 0)))
+            .collect();
+        let frame = Frame::Beats(BeatBatch { dropped_total: dropped, beats });
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Hello frames round-trip for arbitrary (short) names.
+    #[test]
+    fn hello_roundtrip(
+        pid in any::<u32>(),
+        window in any::<u32>(),
+        name_seed in prop::collection::vec(97u8..123, 1..64),
+    ) {
+        let app = String::from_utf8(name_seed).unwrap();
+        let frame = Frame::Hello(Hello { app, pid, default_window: window });
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Target frames round-trip bit-exactly for finite rates.
+    #[test]
+    fn target_roundtrip(min in -1.0e12f64..1.0e12, width in 0.0f64..1.0e12) {
+        let frame = Frame::Target { min_bps: min, max_bps: min + width };
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// A stream of many frames survives a writer/reader round trip in order.
+    #[test]
+    fn stream_roundtrip(batch_sizes in prop::collection::vec(0usize..30, 1..20)) {
+        let frames: Vec<Frame> = batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                Frame::Beats(BeatBatch {
+                    dropped_total: i as u64,
+                    beats: (0..n)
+                        .map(|j| beat_from((j as u64, j as u64 * 31 + i as u64, 0, 0, false)))
+                        .collect(),
+                })
+            })
+            .collect();
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            for frame in &frames {
+                writer.write_frame(frame).unwrap();
+            }
+        }
+        let mut reader = FrameReader::new(wire.as_slice());
+        for frame in &frames {
+            prop_assert_eq!(reader.read_frame().unwrap().as_ref(), Some(frame));
+        }
+        prop_assert_eq!(reader.read_frame().unwrap(), None);
+    }
+
+    /// Flipping any single byte of an encoded frame never yields a DIFFERENT
+    /// valid frame: decoding either fails or returns the original.
+    #[test]
+    fn single_byte_corruption_is_never_misread(
+        seqs in prop::collection::vec(any::<u64>(), 1..20),
+        corrupt_at_fraction in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: 1,
+            beats: seqs
+                .iter()
+                .map(|&s| beat_from((s, s.wrapping_mul(3), s, 1, false)))
+                .collect(),
+        });
+        let mut bytes = frame.encode();
+        let at = ((bytes.len() as f64 * corrupt_at_fraction) as usize).min(bytes.len() - 1);
+        bytes[at] ^= 1 << flip_bit;
+        match Frame::decode(&bytes) {
+            Err(_) => {}
+            Ok((decoded, _)) => prop_assert_eq!(decoded, frame, "corruption at byte {}", at),
+        }
+    }
+
+    /// Truncating an encoded frame anywhere always fails to decode.
+    #[test]
+    fn truncation_is_always_rejected(
+        seqs in prop::collection::vec(any::<u64>(), 1..20),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let frame = Frame::Beats(BeatBatch {
+            dropped_total: 0,
+            beats: seqs.iter().map(|&s| beat_from((s, s, s, 0, true))).collect(),
+        });
+        let bytes = frame.encode();
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len() - 1);
+        prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Random byte soup never decodes as a frame (the magic plus CRC make
+    /// accidental acceptance practically impossible).
+    #[test]
+    fn random_bytes_are_rejected(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Reject only inputs that do not start with the real magic/version.
+        if bytes.len() >= HEADER_LEN
+            && bytes[..4] == hb_net::wire::MAGIC.to_le_bytes()
+        {
+            return Ok(());
+        }
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+}

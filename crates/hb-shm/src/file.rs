@@ -17,9 +17,11 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 
-use heartbeats::{Backend, BeatScope, BeatThreadId, HeartbeatRecord, Result, Tag};
+use heartbeats::{Backend, BackendStats, BeatScope, BeatThreadId, HeartbeatRecord, Result, Tag};
 
 /// One parsed line of a heartbeat log file.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +105,8 @@ pub struct FileBackend {
     writer: Mutex<BufWriter<File>>,
     flush_every: Option<u64>,
     written: Mutex<u64>,
+    mirrored: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl FileBackend {
@@ -119,6 +123,8 @@ impl FileBackend {
             writer: Mutex::new(BufWriter::new(file)),
             flush_every: None,
             written: Mutex::new(0),
+            mirrored: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         })
     }
 
@@ -141,8 +147,11 @@ impl Backend for FileBackend {
         let mut writer = self.writer.lock();
         // A failed mirror write must never take down the application; the
         // in-memory history is still intact and the observer will simply see
-        // a truncated log.
-        let _ = writer.write_all(line.as_bytes());
+        // a truncated log. The loss is surfaced through the drop counter.
+        match writer.write_all(line.as_bytes()) {
+            Ok(()) => self.mirrored.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.dropped.fetch_add(1, Ordering::Relaxed),
+        };
         if let Some(every) = self.flush_every {
             let mut written = self.written.lock();
             *written += 1;
@@ -161,6 +170,13 @@ impl Backend for FileBackend {
     fn flush(&self) -> Result<()> {
         self.writer.lock().flush()?;
         Ok(())
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            mirrored: self.mirrored.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -385,6 +401,27 @@ mod tests {
         hb.set_target_rate(30.0, 35.0).unwrap();
         hb.flush().unwrap();
         assert_eq!(FileObserver::new(&path).target(), Some((30.0, 35.0)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backend_counts_mirrored_beats() {
+        let path = temp_log("stats");
+        let clock = ManualClock::new();
+        let backend = Arc::new(FileBackend::create(&path).unwrap());
+        let hb = HeartbeatBuilder::new("stats")
+            .clock(Arc::new(clock.clone()))
+            .backend(Arc::clone(&backend) as Arc<dyn Backend>)
+            .build()
+            .unwrap();
+        for _ in 0..7 {
+            clock.advance_ns(1_000);
+            hb.heartbeat();
+        }
+        let stats = backend.stats();
+        assert_eq!(stats.mirrored, 7);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(backend.dropped(), 0);
         std::fs::remove_file(&path).ok();
     }
 

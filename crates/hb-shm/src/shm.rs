@@ -269,19 +269,25 @@ impl ShmSegment {
 #[derive(Debug, Clone)]
 pub struct ShmBackend {
     segment: Arc<ShmSegment>,
+    mirrored: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ShmBackend {
     /// Creates a backend that writes into a freshly created segment.
     pub fn create(name: &str, capacity: usize, default_window: usize) -> Result<Self> {
-        Ok(ShmBackend {
-            segment: Arc::new(ShmSegment::create(name, capacity, default_window)?),
-        })
+        Ok(Self::from_segment(Arc::new(ShmSegment::create(
+            name,
+            capacity,
+            default_window,
+        )?)))
     }
 
     /// Wraps an already created segment.
     pub fn from_segment(segment: Arc<ShmSegment>) -> Self {
-        ShmBackend { segment }
+        ShmBackend {
+            segment,
+            mirrored: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
     }
 
     /// The underlying segment.
@@ -294,11 +300,21 @@ impl Backend for ShmBackend {
     fn on_beat(&self, _app: &str, record: &HeartbeatRecord, scope: BeatScope) {
         if scope == BeatScope::Global {
             self.segment.mirror(record);
+            self.mirrored.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     fn on_target_change(&self, _app: &str, min_bps: f64, max_bps: f64) {
         self.segment.set_target(min_bps, max_bps);
+    }
+
+    fn stats(&self) -> heartbeats::BackendStats {
+        heartbeats::BackendStats {
+            mirrored: self.mirrored.load(Ordering::Relaxed),
+            // The shared-memory ring overwrites the oldest slot by design;
+            // nothing is ever shed before reaching the medium.
+            dropped: 0,
+        }
     }
 }
 

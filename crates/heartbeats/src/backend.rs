@@ -20,6 +20,29 @@ pub enum BeatScope {
     Local,
 }
 
+/// Mirroring counters exposed uniformly by every backend.
+///
+/// Backends must never block or fail the application's hot path, which means
+/// a slow or broken medium (full disk, dead collector, bounded queue) forces
+/// them to shed beats instead. These counters make that backpressure
+/// observable the same way across the file, shared-memory, in-memory and
+/// network backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Beats successfully handed to the underlying medium.
+    pub mirrored: u64,
+    /// Beats discarded because the medium could not keep up (bounded queue
+    /// overflow, failed write, dead connection).
+    pub dropped: u64,
+}
+
+impl BackendStats {
+    /// Total beats offered to the backend (mirrored + dropped).
+    pub fn offered(&self) -> u64 {
+        self.mirrored + self.dropped
+    }
+}
+
 /// A sink that mirrors heartbeat activity for external observers.
 ///
 /// Implementations must be cheap: `on_beat` is called from the application's
@@ -36,6 +59,18 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     fn flush(&self) -> Result<()> {
         Ok(())
     }
+
+    /// Mirroring counters. Backends that cannot drop report the default
+    /// (all zeros with `mirrored` tracking beats if they count them).
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+
+    /// Beats this backend has discarded under backpressure. Shorthand for
+    /// `stats().dropped`.
+    fn dropped(&self) -> u64 {
+        self.stats().dropped
+    }
 }
 
 /// A backend that discards everything. Useful as a placeholder and in tests.
@@ -48,10 +83,18 @@ impl Backend for NullBackend {
 
 /// A backend that stores mirrored events in memory. Primarily used in tests
 /// and by in-process observers that want the full uncompacted stream.
+///
+/// By default the stream is unbounded; [`MemoryBackend::with_capacity`]
+/// bounds it, dropping the oldest events and counting the drops, which gives
+/// tests a deterministic stand-in for the backpressure behaviour of the I/O
+/// backends.
 #[derive(Debug, Default)]
 pub struct MemoryBackend {
-    events: parking_lot::Mutex<Vec<MirroredBeat>>,
+    events: parking_lot::Mutex<std::collections::VecDeque<MirroredBeat>>,
     targets: parking_lot::Mutex<Vec<(String, f64, f64)>>,
+    capacity: Option<usize>,
+    mirrored: std::sync::atomic::AtomicU64,
+    dropped: std::sync::atomic::AtomicU64,
 }
 
 /// A mirrored heartbeat as captured by [`MemoryBackend`].
@@ -66,9 +109,18 @@ pub struct MirroredBeat {
 }
 
 impl MemoryBackend {
-    /// Creates an empty memory backend.
+    /// Creates an empty, unbounded memory backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a memory backend retaining at most `capacity` beats; older
+    /// beats are dropped (and counted) once the bound is reached.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemoryBackend {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
     }
 
     /// Number of mirrored beats.
@@ -81,9 +133,9 @@ impl MemoryBackend {
         self.len() == 0
     }
 
-    /// Returns a copy of all mirrored beats.
+    /// Returns a copy of all mirrored beats, oldest first.
     pub fn beats(&self) -> Vec<MirroredBeat> {
-        self.events.lock().clone()
+        self.events.lock().iter().cloned().collect()
     }
 
     /// Returns all recorded target changes as `(app, min, max)` tuples.
@@ -94,15 +146,33 @@ impl MemoryBackend {
 
 impl Backend for MemoryBackend {
     fn on_beat(&self, app: &str, record: &HeartbeatRecord, scope: BeatScope) {
-        self.events.lock().push(MirroredBeat {
+        use std::sync::atomic::Ordering;
+        let mut events = self.events.lock();
+        if let Some(capacity) = self.capacity {
+            if events.len() >= capacity {
+                events.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        events.push_back(MirroredBeat {
             app: app.to_string(),
             record: *record,
             scope,
         });
+        self.mirrored.fetch_add(1, Ordering::Relaxed);
     }
 
     fn on_target_change(&self, app: &str, min_bps: f64, max_bps: f64) {
         self.targets.lock().push((app.to_string(), min_bps, max_bps));
+    }
+
+    fn stats(&self) -> BackendStats {
+        use std::sync::atomic::Ordering;
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        BackendStats {
+            mirrored: self.mirrored.load(Ordering::Relaxed) - dropped,
+            dropped,
+        }
     }
 }
 
@@ -151,5 +221,46 @@ mod tests {
     #[test]
     fn memory_backend_flush_is_ok() {
         assert!(MemoryBackend::new().flush().is_ok());
+    }
+
+    #[test]
+    fn unbounded_memory_backend_never_drops() {
+        let backend = MemoryBackend::new();
+        for i in 0..100 {
+            backend.on_beat("app", &record(i), BeatScope::Global);
+        }
+        assert_eq!(
+            backend.stats(),
+            BackendStats {
+                mirrored: 100,
+                dropped: 0
+            }
+        );
+        assert_eq!(backend.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_memory_backend_drops_oldest_and_counts() {
+        let backend = MemoryBackend::with_capacity(8);
+        for i in 0..20 {
+            backend.on_beat("app", &record(i), BeatScope::Global);
+        }
+        assert_eq!(backend.len(), 8);
+        let beats = backend.beats();
+        assert_eq!(beats.first().unwrap().record.seq, 12, "oldest were shed");
+        assert_eq!(beats.last().unwrap().record.seq, 19);
+        let stats = backend.stats();
+        assert_eq!(stats.dropped, 12);
+        assert_eq!(stats.mirrored, 8);
+        assert_eq!(stats.offered(), 20);
+        assert_eq!(backend.dropped(), 12);
+    }
+
+    #[test]
+    fn null_backend_reports_zero_stats() {
+        let backend = NullBackend;
+        backend.on_beat("app", &record(0), BeatScope::Global);
+        assert_eq!(backend.stats(), BackendStats::default());
+        assert_eq!(backend.dropped(), 0);
     }
 }

@@ -316,6 +316,19 @@ impl Heartbeat {
         self.shared.backends.write().push(backend);
     }
 
+    /// Sums the mirroring counters of all attached backends, making shed
+    /// beats (backpressure) observable from the producer side.
+    pub fn backend_stats(&self) -> crate::BackendStats {
+        let backends = self.shared.backends.read();
+        let mut total = crate::BackendStats::default();
+        for backend in backends.iter() {
+            let stats = backend.stats();
+            total.mirrored += stats.mirrored;
+            total.dropped += stats.dropped;
+        }
+        total
+    }
+
     /// Flushes all attached backends.
     pub fn flush(&self) -> Result<()> {
         let backends = self.shared.backends.read();
@@ -520,6 +533,22 @@ mod tests {
         assert_eq!(beats[0].record.tag, Tag::new(9));
         assert_eq!(beats[1].scope, BeatScope::Local);
         assert_eq!(probe.target_changes(), vec![("test-app".to_string(), 5.0, 6.0)]);
+    }
+
+    #[test]
+    fn backend_stats_aggregate_across_backends() {
+        let (hb, clock) = manual_heartbeat(10);
+        hb.add_backend(Arc::new(MemoryBackend::new()));
+        hb.add_backend(Arc::new(MemoryBackend::with_capacity(2)));
+        for _ in 0..5 {
+            clock.advance_ns(1_000);
+            hb.heartbeat();
+        }
+        let stats = hb.backend_stats();
+        // Unbounded backend mirrored 5; bounded one mirrored 2 and shed 3.
+        assert_eq!(stats.mirrored, 7);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.offered(), 10);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! **heart rate** (beats per second); the application declares the rate range
 //! it needs with [`Heartbeat::set_target_rate`], and observers — in-process
 //! via [`HeartbeatReader`]/[`Registry`], cross-process via the file and
-//! shared-memory backends in the `hb-shm` crate — compare the measured rate
+//! shared-memory backends in the `hb-shm` crate, across the network via the
+//! `hb-net` TCP backend and collector daemon — compare the measured rate
 //! to the goal and act.
 //!
 //! ## Quick start
@@ -48,7 +49,11 @@
 //! * [`record`], [`window`], [`stats`] — records, windowed-rate estimation,
 //!   summary statistics.
 //! * [`buffer`] — mutex-based and lock-free circular history buffers.
-//! * [`backend`] — mirroring hooks used by the file/shm backends.
+//! * [`backend`] — mirroring hooks used by external-observer backends, with
+//!   uniform backpressure counters ([`BackendStats`]). Three observer paths
+//!   build on it: in-process ([`HeartbeatReader`]), same-host cross-process
+//!   (`hb-shm` file/shared-memory mirrors) and across the network (`hb-net`
+//!   TCP backend → collector daemon → remote reader).
 //! * [`ffi`] — C ABI mirroring the original C reference implementation.
 
 #![warn(missing_docs)]
@@ -70,7 +75,7 @@ pub mod target;
 pub mod window;
 
 pub use analysis::{check_sequence, IntervalHistogram, SequenceReport};
-pub use backend::{Backend, BeatScope, MemoryBackend, NullBackend};
+pub use backend::{Backend, BackendStats, BeatScope, MemoryBackend, NullBackend};
 pub use buffer::{AtomicRing, HistoryBuffer, MutexRing, DEFAULT_CAPACITY};
 pub use builder::{HeartbeatBuilder, DEFAULT_WINDOW};
 pub use clock::{Clock, ManualClock, MonotonicClock, SharedClock};
@@ -84,7 +89,7 @@ pub use window::{MovingRate, WindowStats};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
-    pub use crate::backend::{Backend, BeatScope};
+    pub use crate::backend::{Backend, BackendStats, BeatScope};
     pub use crate::builder::HeartbeatBuilder;
     pub use crate::clock::{Clock, ManualClock, MonotonicClock};
     pub use crate::heartbeat::Heartbeat;

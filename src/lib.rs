@@ -15,6 +15,7 @@
 //! |--------|-------|------------------|
 //! | [`heartbeats`] | `heartbeats` | the Heartbeats API (Table 1 of the paper), buffers, windows, targets, registry, C FFI |
 //! | [`shm`] | `hb-shm` | file-log and POSIX shared-memory backends for cross-process observers |
+//! | [`net`] | `hb-net` | wire protocol, TCP mirroring backend, multi-app collector daemon, remote reader |
 //! | [`sim`] | `simcore` | virtual clock, simulated multicore machine, speedup models, series/table containers |
 //! | [`workloads`] | `workloads` | the ten Table 2 PARSEC-like workloads and real kernels |
 //! | [`control`] | `control` | monitors, step/PI controllers, actuators, control loops |
@@ -54,9 +55,14 @@ pub use workloads;
 /// External observability backends (file log and POSIX shared memory).
 pub use hb_shm as shm;
 
+/// Network telemetry: wire protocol, TCP backend, collector daemon, remote
+/// reader.
+pub use hb_net as net;
+
 /// Most commonly used items across the workspace.
 pub mod prelude {
-    pub use control::{Controller, PiController, RateMonitor, StepController};
+    pub use control::{Controller, PiController, RateMonitor, RateSource, StepController};
+    pub use hb_net::{Collector, RemoteApp, RemoteReader, TcpBackend};
     pub use encoder::{AdaptiveEncoder, EncoderConfig, EncoderModel, HbEncoder, VideoTrace};
     pub use heartbeats::prelude::*;
     pub use heartbeats::HeartbeatBuilder;
