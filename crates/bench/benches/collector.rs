@@ -1,0 +1,124 @@
+//! Collector ingest benchmarks: end-to-end beats/second through the
+//! event-driven reactor across producer connection counts, plus the
+//! batched vs. per-beat `TcpBackend` framing comparison.
+//!
+//! Each iteration enqueues a burst of beats into every producer's
+//! `TcpBackend` and waits until the collector's registry has absorbed them
+//! all, so the measurement covers the full path: queue → flusher →
+//! batch framing → TCP → reactor → frame decode → sharded registry.
+//!
+//! Results are recorded in `BENCH_collector.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_net::{Collector, CollectorConfig, CollectorState, TcpBackend, TcpBackendConfig};
+use heartbeats::{Backend, BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+/// Beats pumped per connection per iteration.
+const BURST: u64 = 64;
+
+/// A collector plus `n` connected producers, reused across iterations.
+struct Rig {
+    _collector: Collector,
+    state: Arc<CollectorState>,
+    backends: Vec<Arc<TcpBackend>>,
+    seq: u64,
+}
+
+impl Rig {
+    fn new(connections: usize, frame_per_beat: bool) -> Rig {
+        let collector = Collector::with_config(
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            CollectorConfig::default(),
+        )
+        .expect("bind collector");
+        let ingest = collector.ingest_addr().to_string();
+        let backends: Vec<Arc<TcpBackend>> = (0..connections)
+            .map(|i| {
+                Arc::new(TcpBackend::with_config(
+                    ingest.clone(),
+                    format!("bench-{i}"),
+                    TcpBackendConfig {
+                        flush_interval: Duration::from_millis(1),
+                        queue_capacity: 1 << 16,
+                        frame_per_beat,
+                        ..TcpBackendConfig::default()
+                    },
+                ))
+            })
+            .collect();
+        let state = collector.state();
+        Rig {
+            _collector: collector,
+            state,
+            backends,
+            seq: 0,
+        }
+    }
+
+    fn ingested(&self) -> u64 {
+        self.state
+            .snapshots()
+            .iter()
+            .map(|s| s.total_beats + s.producer_dropped)
+            .sum()
+    }
+
+    /// Enqueues `BURST` beats on every connection and blocks until the
+    /// registry accounted for all of them (delivered or shed).
+    fn pump(&mut self) {
+        for backend in &self.backends {
+            for k in 0..BURST {
+                let seq = self.seq + k;
+                let record =
+                    HeartbeatRecord::new(seq, seq * 1_000_000, Tag::NONE, BeatThreadId(0));
+                backend.on_beat("bench", &record, BeatScope::Global);
+            }
+        }
+        self.seq += BURST;
+        let goal = self.seq * self.backends.len() as u64;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.ingested() < goal {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ingest stalled: {}/{goal} beats accounted for after 60s",
+                self.ingested()
+            );
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_ingest");
+    group.sample_size(10);
+    for connections in [1usize, 8, 64, 256] {
+        let mut rig = Rig::new(connections, false);
+        group.throughput(Throughput::Elements(connections as u64 * BURST));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(connections),
+            &connections,
+            |b, _| b.iter(|| rig.pump()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flush_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_flush_path");
+    group.sample_size(10);
+    for (label, frame_per_beat) in [("batched_64conn", false), ("per_beat_64conn", true)] {
+        let mut rig = Rig::new(64, frame_per_beat);
+        group.throughput(Throughput::Elements(64 * BURST));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| rig.pump())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_flush_path);
+criterion_main!(benches);

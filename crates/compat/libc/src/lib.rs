@@ -1,12 +1,17 @@
 //! Minimal, API-compatible subset of the `libc` crate (Linux only).
 //!
-//! Only the symbols the `hb-shm` crate uses are provided. To stay independent
+//! Only the symbols this workspace uses are provided. To stay independent
 //! of the platform's C struct layouts, the file-descriptor calls (`shm_open`,
 //! `ftruncate`, `fstat`, `close`, `shm_unlink`) are implemented in Rust on top
 //! of `std::fs` against `/dev/shm` — the same object namespace glibc's
 //! `shm_open` uses — and the [`stat`] struct carries only the fields callers
 //! read. `mmap`/`munmap` have stable, layout-free signatures and are linked
 //! from the system C library directly.
+//!
+//! For the `hb-net` event-driven collector the shim additionally exposes the
+//! Linux readiness API: [`epoll_create1`], [`epoll_ctl`], [`epoll_wait`]
+//! (with the kernel's packed [`epoll_event`] layout) and [`fcntl`] with
+//! `F_GETFL`/`F_SETFL`/[`O_NONBLOCK`], linked from the system C library.
 
 #![allow(non_camel_case_types)]
 
@@ -57,7 +62,69 @@ pub struct stat {
     pub st_mode: mode_t,
 }
 
+/// `fcntl` command: read the file-status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl` command: set the file-status flags.
+pub const F_SETFL: c_int = 4;
+/// Status flag: non-blocking I/O.
+pub const O_NONBLOCK: c_int = 0o4000;
+
+/// `epoll_ctl` op: register a new file descriptor.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: unregister a file descriptor.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change the registration of a file descriptor.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// Readiness: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness: an error condition is pending.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness: hang-up (peer closed its end).
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness: the peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll_create1` flag: close the epoll fd on `exec`.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness event, in the kernel's wire layout.
+///
+/// The kernel packs this struct **only on x86-64** (`EPOLL_PACKED`): 12
+/// bytes, no padding between `events` and the user data word. Every other
+/// architecture uses the natural layout (16 bytes with 4 bytes of padding).
+/// The shim must match exactly, or `epoll_wait` filling an array of these
+/// would overrun the buffer / return garbage tokens.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct epoll_event {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned token returned verbatim with each event.
+    pub u64: u64,
+}
+
 extern "C" {
+    /// Creates an epoll instance; returns its file descriptor or -1.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+
+    /// Adds, modifies or removes `fd` in the interest list of `epfd`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+
+    /// Waits up to `timeout` ms for readiness events; returns the number of
+    /// events written to `events`, 0 on timeout, or -1 (with `EINTR` among
+    /// the possible errnos).
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+
+    /// Manipulates file-descriptor flags (`F_GETFL`/`F_SETFL`).
+    pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+
     /// Maps `len` bytes of `fd` at `offset` into the address space.
     pub fn mmap(
         addr: *mut c_void,
@@ -209,6 +276,55 @@ mod tests {
             assert_eq!(munmap(ptr, 4096), 0);
             assert_eq!(close(fd), 0);
             assert_eq!(shm_unlink(name.as_ptr()), 0);
+        }
+    }
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12, "x86_64 packs epoll_event");
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 16, "other arches pad epoll_event");
+    }
+
+    #[test]
+    fn epoll_reports_readability_and_fcntl_sets_nonblock() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = std::net::TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        unsafe {
+            // fcntl O_NONBLOCK roundtrip.
+            let flags = fcntl(rx.as_raw_fd(), F_GETFL, 0);
+            assert!(flags >= 0);
+            assert_eq!(fcntl(rx.as_raw_fd(), F_SETFL, flags | O_NONBLOCK), 0);
+            assert_ne!(fcntl(rx.as_raw_fd(), F_GETFL, 0) & O_NONBLOCK, 0);
+
+            let epfd = epoll_create1(EPOLL_CLOEXEC);
+            assert!(epfd >= 0, "epoll_create1 failed");
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 0x5EED,
+            };
+            assert_eq!(epoll_ctl(epfd, EPOLL_CTL_ADD, rx.as_raw_fd(), &mut ev), 0);
+
+            // Nothing to read yet: a zero-timeout wait reports no events.
+            let mut out = [epoll_event::default(); 4];
+            assert_eq!(epoll_wait(epfd, out.as_mut_ptr(), 4, 0), 0);
+
+            tx.write_all(b"beat").unwrap();
+            let n = epoll_wait(epfd, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1, "one fd became readable");
+            let got = out[0];
+            assert_ne!(got.events & EPOLLIN, 0);
+            assert_eq!({ got.u64 }, 0x5EED, "token returned verbatim");
+
+            assert_eq!(epoll_ctl(epfd, EPOLL_CTL_DEL, rx.as_raw_fd(), std::ptr::null_mut()), 0);
+            assert_eq!(close(epfd), 0);
         }
     }
 

@@ -17,10 +17,7 @@ use std::time::{Duration, Instant};
 use heartbeats::{Backend, BackendStats, BeatScope, HeartbeatRecord};
 
 use crate::frame::FrameWriter;
-use crate::wire::{self, BeatBatch, Frame, Hello, WireBeat, BEAT_LEN, MAX_PAYLOAD};
-
-/// Most beats a single [`Frame::Beats`] can carry within [`MAX_PAYLOAD`].
-const MAX_BATCH: usize = (MAX_PAYLOAD - 12) / BEAT_LEN;
+use crate::wire::{self, BatchEncoder, Frame, Hello, WireBeat, MAX_BATCH_BEATS};
 
 /// Tuning knobs for a [`TcpBackend`].
 #[derive(Debug, Clone)]
@@ -40,6 +37,11 @@ pub struct TcpBackendConfig {
     pub default_window: u32,
     /// Process id advertised in the hello frame.
     pub pid: u32,
+    /// Diagnostic/benchmark mode: ship one [`Frame::Beats`] per beat
+    /// instead of coalescing a whole flush into one frame. The batched path
+    /// (`false`, the default) amortizes the 14-byte header, the CRC pass
+    /// and the syscall over every beat drained per flush.
+    pub frame_per_beat: bool,
 }
 
 impl Default for TcpBackendConfig {
@@ -51,6 +53,7 @@ impl Default for TcpBackendConfig {
             reconnect_backoff: Duration::from_millis(100),
             default_window: heartbeats::DEFAULT_WINDOW as u32,
             pid: std::process::id(),
+            frame_per_beat: false,
         }
     }
 }
@@ -110,7 +113,7 @@ impl TcpBackend {
     ) -> Self {
         let addr = addr.into();
         let app = wire::sanitize_app_name(&app.into());
-        config.batch_max = config.batch_max.clamp(1, MAX_BATCH);
+        config.batch_max = config.batch_max.clamp(1, MAX_BATCH_BEATS);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::with_capacity(config.queue_capacity.min(1 << 16)),
@@ -265,6 +268,7 @@ fn collect_work(shared: &Shared, config: &TcpBackendConfig) -> Work {
 fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfig) {
     let mut connection: Option<FrameWriter<TcpStream>> = None;
     let mut last_attempt: Option<Instant> = None;
+    let mut encoder = BatchEncoder::new();
     loop {
         let work = collect_work(shared, config);
         let (beats, target) = match work {
@@ -316,7 +320,7 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
         };
 
         let sent_len = beats.len() as u64;
-        let result = ship(writer, beats, target, shared);
+        let result = ship(writer, &mut encoder, &beats, target, config, shared);
         match result {
             Ok(()) => {
                 shared.sent.fetch_add(sent_len, Ordering::Relaxed);
@@ -363,20 +367,38 @@ fn try_connect(addr: &str, app: &str, config: &TcpBackendConfig) -> Option<Frame
     Some(writer)
 }
 
+/// Ships one drained flush: an optional target frame plus the beats —
+/// coalesced into a single [`Frame::Beats`] by the streaming
+/// [`BatchEncoder`] (default), or framed one beat at a time when
+/// [`TcpBackendConfig::frame_per_beat`] asks for the diagnostic path.
 fn ship(
     writer: &mut FrameWriter<TcpStream>,
-    beats: Vec<WireBeat>,
+    encoder: &mut BatchEncoder,
+    beats: &[WireBeat],
     target: Option<(f64, f64)>,
+    config: &TcpBackendConfig,
     shared: &Shared,
 ) -> crate::error::Result<()> {
     if let Some((min_bps, max_bps)) = target {
         writer.write_frame(&Frame::Target { min_bps, max_bps })?;
     }
     if !beats.is_empty() {
-        writer.write_frame(&Frame::Beats(BeatBatch {
-            dropped_total: shared.dropped.load(Ordering::Relaxed),
-            beats,
-        }))?;
+        let dropped_total = shared.dropped.load(Ordering::Relaxed);
+        if config.frame_per_beat {
+            for beat in beats {
+                encoder.begin(dropped_total);
+                encoder.push(beat);
+                writer.write_encoded(encoder.finish())?;
+            }
+        } else {
+            encoder.begin(dropped_total);
+            for beat in beats {
+                // collect_work drains at most batch_max <= MAX_BATCH_BEATS,
+                // so the frame can never fill mid-flush.
+                encoder.push(beat);
+            }
+            writer.write_encoded(encoder.finish())?;
+        }
     }
     writer.flush()
 }

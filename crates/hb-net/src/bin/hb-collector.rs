@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
+//!              [--io-threads N] [--idle-timeout SECS]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
@@ -9,13 +10,20 @@
 //! to the query address — `METRICS` returns a Prometheus-style text export.
 //! With `--print-every N` the daemon also prints a registry summary to
 //! stdout every N seconds.
+//!
+//! All connections are served by an epoll reactor with `--io-threads` I/O
+//! threads (default 2) — connection count is bounded by file descriptors,
+//! not threads. `--idle-timeout` (default 60, `0` disables) evicts
+//! connections with no traffic.
 
-use hb_net::Collector;
+use hb_net::{Collector, CollectorConfig};
 
 struct Args {
     ingest: String,
     query: String,
     print_every: Option<u64>,
+    io_threads: usize,
+    idle_timeout: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +31,8 @@ fn parse_args() -> Result<Args, String> {
         ingest: "127.0.0.1:4560".into(),
         query: "127.0.0.1:4561".into(),
         print_every: Some(10),
+        io_threads: CollectorConfig::default().io_threads,
+        idle_timeout: CollectorConfig::default().idle_timeout.as_secs(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,9 +49,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--print-every expects a number of seconds".to_string())?;
                 args.print_every = (secs > 0).then_some(secs);
             }
+            "--io-threads" => {
+                args.io_threads = value("--io-threads")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--io-threads expects a count >= 1".to_string())?;
+            }
+            "--idle-timeout" => {
+                args.idle_timeout = value("--idle-timeout")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout expects a number of seconds".to_string())?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]"
+                    "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
+                     [--print-every SECS] [--io-threads N] [--idle-timeout SECS]"
                 );
                 std::process::exit(0);
             }
@@ -59,7 +82,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let collector = match Collector::bind(&args.ingest, &args.query) {
+    let config = CollectorConfig {
+        io_threads: args.io_threads,
+        idle_timeout: std::time::Duration::from_secs(args.idle_timeout),
+        ..CollectorConfig::default()
+    };
+    let collector = match Collector::with_config(&args.ingest, &args.query, config) {
         Ok(collector) => collector,
         Err(err) => {
             eprintln!("hb-collector: failed to bind: {err}");
@@ -67,9 +95,10 @@ fn main() {
         }
     };
     println!(
-        "hb-collector listening: ingest={} query={}",
+        "hb-collector listening: ingest={} query={} io_threads={}",
         collector.ingest_addr(),
-        collector.query_addr()
+        collector.query_addr(),
+        collector.io_threads(),
     );
 
     let state = collector.state();

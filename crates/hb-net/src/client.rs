@@ -120,6 +120,15 @@ impl RemoteReader {
         })
     }
 
+    /// Collector-wide counters (`STATS`): connection, frame and error
+    /// totals plus the size of the reactor's I/O thread pool.
+    pub fn stats(&self) -> Result<CollectorStats> {
+        self.exchange("STATS\n", |conn| {
+            let line = read_line(conn)?;
+            parse_stats(line.trim())
+        })
+    }
+
     /// Round-trip liveness probe of the collector itself.
     pub fn ping(&self) -> Result<()> {
         self.exchange("PING\n", |conn| {
@@ -211,6 +220,61 @@ pub fn parse_snapshot(line: &str) -> Result<AppSnapshot> {
         last_timestamp_ns: optional("last_ns")?,
         connections: num("connections")? as u32,
         alive: field("alive")? == "1",
+    })
+}
+
+/// Collector-wide counters, as served by the `STATS` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorStats {
+    /// Applications currently registered.
+    pub apps: u64,
+    /// Producer connections accepted since the collector started.
+    pub connections: u64,
+    /// Frames ingested since start.
+    pub frames: u64,
+    /// Producer connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Size of the reactor's fixed I/O thread pool.
+    pub io_threads: u64,
+    /// Connections evicted by the idle timer.
+    pub evicted: u64,
+    /// Collector uptime in seconds.
+    pub uptime_s: f64,
+}
+
+/// Parses the single-line `STATS` response.
+pub fn parse_stats(line: &str) -> Result<CollectorStats> {
+    let bad = |why: &str| NetError::BadResponse(format!("{why}: {line}"));
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("COLLECTOR") {
+        return Err(bad("missing COLLECTOR prefix"));
+    }
+    let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| bad("field without ="))?;
+        fields.insert(key, value);
+    }
+    let num = |key: &str| -> Result<u64> {
+        fields
+            .get(key)
+            .copied()
+            .ok_or_else(|| bad(key))?
+            .parse()
+            .map_err(|_| bad(key))
+    };
+    Ok(CollectorStats {
+        apps: num("apps")?,
+        connections: num("connections")?,
+        frames: num("frames")?,
+        protocol_errors: num("errors")?,
+        io_threads: num("io_threads")?,
+        evicted: num("evicted")?,
+        uptime_s: fields
+            .get("uptime_s")
+            .copied()
+            .ok_or_else(|| bad("uptime_s"))?
+            .parse()
+            .map_err(|_| bad("uptime_s"))?,
     })
 }
 
@@ -330,6 +394,31 @@ mod tests {
             "APP name=x",
         ] {
             assert!(parse_snapshot(line).is_err(), "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn stats_line_roundtrip() {
+        let line = "COLLECTOR apps=3 connections=280 frames=9000 errors=1 io_threads=2 evicted=5 uptime_s=12.500";
+        let stats = parse_stats(line).unwrap();
+        assert_eq!(stats.apps, 3);
+        assert_eq!(stats.connections, 280);
+        assert_eq!(stats.frames, 9000);
+        assert_eq!(stats.protocol_errors, 1);
+        assert_eq!(stats.io_threads, 2);
+        assert_eq!(stats.evicted, 5);
+        assert!((stats.uptime_s - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_stats_lines_are_rejected() {
+        for line in [
+            "",
+            "NOTCOLLECTOR apps=1",
+            "COLLECTOR apps=x connections=1 frames=1 errors=0 io_threads=2 evicted=0 uptime_s=1",
+            "COLLECTOR apps=1",
+        ] {
+            assert!(parse_stats(line).is_err(), "line: {line:?}");
         }
     }
 

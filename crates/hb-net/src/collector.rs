@@ -9,21 +9,31 @@
 //! a cluster scheduler, a dashboard, a [`RemoteReader`](crate::RemoteReader)
 //! driving a control loop — reads progress and goals without touching the
 //! producing process.
+//!
+//! Serving is fully event-driven: a [`Reactor`](crate::reactor::Reactor)
+//! multiplexes every producer and observer socket over a fixed pool of I/O
+//! threads ([`CollectorConfig::io_threads`], default 2), so thousands of
+//! concurrent connections cost file descriptors and per-connection state —
+//! not OS threads. Producer bytes run through an incremental
+//! [`FrameDecoder`](crate::frame::FrameDecoder); each decoded beat batch is
+//! absorbed into the registry under a single shard lock, so observer
+//! queries always see per-application counts at batch granularity.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{self, Write};
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use heartbeats::stats::OnlineStats;
 use heartbeats::{BeatScope, MovingRate};
 
-use crate::error::NetError;
-use crate::frame::FrameReader;
+use crate::frame::FrameDecoder;
+use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
 use crate::wire::Frame;
 
 /// Tuning knobs for a [`Collector`].
@@ -37,6 +47,12 @@ pub struct CollectorConfig {
     pub stale_after: Duration,
     /// Cap on the server-side rate window (guards against absurd hellos).
     pub max_window: usize,
+    /// Fixed number of reactor I/O threads serving all producer and
+    /// observer sockets.
+    pub io_threads: usize,
+    /// Connections (producer or observer) idle longer than this are
+    /// evicted; `Duration::ZERO` disables eviction.
+    pub idle_timeout: Duration,
 }
 
 impl Default for CollectorConfig {
@@ -45,6 +61,8 @@ impl Default for CollectorConfig {
             shards: 16,
             stale_after: Duration::from_secs(5),
             max_window: 1024,
+            io_threads: 2,
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -122,6 +140,8 @@ pub struct CollectorState {
     connections_total: AtomicU64,
     frames_total: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Shared with the reactor's timer wheel, which bumps it on eviction.
+    evicted_total: Arc<AtomicU64>,
 }
 
 impl CollectorState {
@@ -136,6 +156,7 @@ impl CollectorState {
             connections_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            evicted_total: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -272,6 +293,16 @@ impl CollectorState {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
+    /// Connections evicted by the reactor's idle timer.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total.load(Ordering::Relaxed)
+    }
+
+    /// The configured number of reactor I/O threads.
+    pub fn io_threads(&self) -> usize {
+        self.config.io_threads.max(1)
+    }
+
     /// Renders the registry as Prometheus text-format metrics.
     pub fn prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -310,6 +341,13 @@ impl CollectorState {
         ));
         out.push_str("# TYPE hb_collector_frames_total counter\n");
         out.push_str(&format!("hb_collector_frames_total {}\n", self.frames_total()));
+        out.push_str("# TYPE hb_collector_io_threads gauge\n");
+        out.push_str(&format!("hb_collector_io_threads {}\n", self.io_threads()));
+        out.push_str("# TYPE hb_collector_idle_evicted_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_idle_evicted_total {}\n",
+            self.evicted_total()
+        ));
         out.push_str("# TYPE hb_collector_uptime_seconds gauge\n");
         out.push_str(&format!(
             "hb_collector_uptime_seconds {:.3}\n",
@@ -320,15 +358,14 @@ impl CollectorState {
 }
 
 /// The collector daemon: an ingest listener for producers and a query
-/// listener for observers, each served by background threads.
+/// listener for observers, both multiplexed over one reactor's fixed pool
+/// of I/O threads.
 #[derive(Debug)]
 pub struct Collector {
     state: Arc<CollectorState>,
     ingest_addr: SocketAddr,
     query_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_threads: Vec<std::thread::JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    reactor: Reactor,
 }
 
 impl Collector {
@@ -346,57 +383,47 @@ impl Collector {
     ) -> io::Result<Collector> {
         let ingest_listener = TcpListener::bind(ingest)?;
         let query_listener = TcpListener::bind(query)?;
-        ingest_listener.set_nonblocking(true)?;
-        query_listener.set_nonblocking(true)?;
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
 
+        let reactor_config = ReactorConfig {
+            io_threads: config.io_threads,
+            idle_timeout: config.idle_timeout,
+            ..ReactorConfig::default()
+        };
         let state = Arc::new(CollectorState::new(config));
-        let stop = Arc::new(AtomicBool::new(false));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
 
-        let ingest_thread = {
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            let conn_threads = Arc::clone(&conn_threads);
-            std::thread::Builder::new()
-                .name("hb-collector-ingest".into())
-                .spawn(move || {
-                    accept_loop(ingest_listener, &stop, |stream| {
-                        let state = Arc::clone(&state);
-                        let stop = Arc::clone(&stop);
-                        track(&conn_threads, "hb-collector-producer", move || {
-                            serve_producer(stream, &state, &stop)
-                        });
-                    })
+        let ingest_spec = ListenerSpec {
+            listener: ingest_listener,
+            factory: {
+                let state = Arc::clone(&state);
+                Arc::new(move |_peer| {
+                    state.connections_total.fetch_add(1, Ordering::Relaxed);
+                    Box::new(ProducerHandler::new(Arc::clone(&state))) as Box<dyn Handler>
                 })
-                .expect("failed to spawn collector ingest thread")
+            },
         };
-        let query_thread = {
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            let conn_threads = Arc::clone(&conn_threads);
-            std::thread::Builder::new()
-                .name("hb-collector-query".into())
-                .spawn(move || {
-                    accept_loop(query_listener, &stop, |stream| {
-                        let state = Arc::clone(&state);
-                        let stop = Arc::clone(&stop);
-                        track(&conn_threads, "hb-collector-observer", move || {
-                            let _ = serve_observer(stream, &state, &stop);
-                        });
-                    })
+        let query_spec = ListenerSpec {
+            listener: query_listener,
+            factory: {
+                let state = Arc::clone(&state);
+                Arc::new(move |_peer| {
+                    Box::new(ObserverHandler::new(Arc::clone(&state))) as Box<dyn Handler>
                 })
-                .expect("failed to spawn collector query thread")
+            },
         };
+
+        let reactor = Reactor::spawn(
+            vec![ingest_spec, query_spec],
+            reactor_config,
+            Arc::clone(&state.evicted_total),
+        )?;
 
         Ok(Collector {
             state,
             ingest_addr,
             query_addr,
-            stop,
-            accept_threads: vec![ingest_thread, query_thread],
-            conn_threads,
+            reactor,
         })
     }
 
@@ -415,144 +442,138 @@ impl Collector {
         Arc::clone(&self.state)
     }
 
-    /// Stops the listeners, disconnects producers and joins all threads.
+    /// Number of reactor I/O threads actually serving connections.
+    pub fn io_threads(&self) -> usize {
+        self.reactor.io_threads()
+    }
+
+    /// Stops serving: signals the fixed I/O threads and joins them. All
+    /// live connections are closed with their lifecycle callbacks. Safe to
+    /// call while producers are concurrently connecting — there are no
+    /// per-connection threads left to race with.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for handle in self.accept_threads.drain(..) {
-            let _ = handle.join();
-        }
-        let handles: Vec<_> = {
-            let mut guard = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
-            guard.drain(..).collect()
-        };
-        for handle in handles {
-            let _ = handle.join();
+        self.reactor.shutdown();
+    }
+}
+
+/// Per-connection state machine for one producer: an incremental frame
+/// decoder plus the application identity established by its hello frame.
+struct ProducerHandler {
+    state: Arc<CollectorState>,
+    decoder: FrameDecoder,
+    app: Option<String>,
+}
+
+impl ProducerHandler {
+    fn new(state: Arc<CollectorState>) -> Self {
+        ProducerHandler {
+            state,
+            decoder: FrameDecoder::new(),
+            app: None,
         }
     }
 }
 
-impl Drop for Collector {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn track(
-    threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    name: &str,
-    work: impl FnOnce() + Send + 'static,
-) {
-    let handle = std::thread::Builder::new()
-        .name(name.into())
-        .spawn(work)
-        .expect("failed to spawn collector connection thread");
-    let mut guard = threads.lock().unwrap_or_else(|e| e.into_inner());
-    // Reap completed connections as new ones arrive so a long-running
-    // daemon with connection churn does not accumulate handles forever.
-    guard.retain(|h| !h.is_finished());
-    guard.push(handle);
-}
-
-fn accept_loop(listener: TcpListener, stop: &AtomicBool, mut on_conn: impl FnMut(TcpStream)) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => on_conn(stream),
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-/// Reads frames from one producer until Bye, EOF, error or shutdown.
-fn serve_producer(stream: TcpStream, state: &CollectorState, stop: &AtomicBool) {
-    state.connections_total.fetch_add(1, Ordering::Relaxed);
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
-    let mut reader = FrameReader::new(stream);
-    let mut app: Option<String> = None;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match reader.read_frame() {
-            Ok(Some(frame)) => {
-                state.frames_total.fetch_add(1, Ordering::Relaxed);
-                match frame {
-                    Frame::Hello(hello) => {
-                        state.hello(&hello.app, hello.pid, hello.default_window);
-                        app = Some(hello.app);
+impl Handler for ProducerHandler {
+    fn on_data(&mut self, input: &[u8], _out: &mut Vec<u8>) -> bool {
+        self.decoder.push(input);
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    self.state.frames_total.fetch_add(1, Ordering::Relaxed);
+                    match frame {
+                        Frame::Hello(hello) => {
+                            self.state.hello(&hello.app, hello.pid, hello.default_window);
+                            self.app = Some(hello.app);
+                        }
+                        Frame::Beats(batch) => match &self.app {
+                            Some(app) => self.state.beats(app, &batch),
+                            None => {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                        },
+                        Frame::Target { min_bps, max_bps } => match &self.app {
+                            Some(app) => self.state.target(app, min_bps, max_bps),
+                            None => {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                        },
+                        Frame::Bye => return false,
                     }
-                    Frame::Beats(batch) => match &app {
-                        Some(app) => state.beats(app, &batch),
-                        None => {
-                            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
-                    },
-                    Frame::Target { min_bps, max_bps } => match &app {
-                        Some(app) => state.target(app, min_bps, max_bps),
-                        None => {
-                            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
-                    },
-                    Frame::Bye => break,
+                }
+                Ok(None) => return true, // need more bytes
+                Err(_) => {
+                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
                 }
             }
-            Ok(None) => break, // clean EOF
-            Err(NetError::Io(err))
-                if matches!(
-                    err.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // poll the stop flag, then keep reading
-            }
-            Err(NetError::Protocol(_)) | Err(NetError::UnexpectedEof) => {
-                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-            Err(_) => break,
         }
     }
-    if let Some(app) = app {
-        state.goodbye(&app);
+
+    fn on_eof(&mut self, _out: &mut Vec<u8>) {
+        if self.decoder.has_partial() {
+            // The stream died mid-frame: truncation, not a clean goodbye.
+            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_close(&mut self) {
+        if let Some(app) = self.app.take() {
+            self.state.goodbye(&app);
+        }
     }
 }
 
-/// Serves the line-based query protocol to one observer connection.
-fn serve_observer(stream: TcpStream, state: &CollectorState, stop: &AtomicBool) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                if !handle_query(line.trim(), state, &mut writer)? {
-                    break;
-                }
-            }
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue;
-            }
-            Err(_) => break,
+/// Longest accepted observer query line; beyond this the connection is
+/// dropped as hostile.
+const MAX_QUERY_LINE: usize = 64 * 1024;
+
+/// Cap on un-flushed reply bytes one observer may accumulate by pipelining
+/// queries. The blocking engine was naturally bounded by the peer's read
+/// rate; the reactor buffers replies, so a client flooding `METRICS\n`
+/// lines without reading could otherwise balloon the outbound buffer within
+/// a single read burst. Beyond the cap the connection is dropped.
+const MAX_PENDING_REPLIES: usize = 1 << 20;
+
+/// Per-connection state machine for one observer: accumulates bytes into
+/// lines and answers each completed query into the outbound buffer.
+struct ObserverHandler {
+    state: Arc<CollectorState>,
+    line: Vec<u8>,
+}
+
+impl ObserverHandler {
+    fn new(state: Arc<CollectorState>) -> Self {
+        ObserverHandler {
+            state,
+            line: Vec::new(),
         }
     }
-    Ok(())
+}
+
+impl Handler for ObserverHandler {
+    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+        self.line.extend_from_slice(input);
+        let mut consumed = 0;
+        while let Some(nl) = self.line[consumed..].iter().position(|&b| b == b'\n') {
+            if out.len() > MAX_PENDING_REPLIES {
+                return false; // pipelining flood: answers outpace the reads
+            }
+            let raw = &self.line[consumed..consumed + nl];
+            let text = String::from_utf8_lossy(raw);
+            // Writing to a Vec cannot fail; treat the impossible as QUIT.
+            let keep_open = handle_query(text.trim(), &self.state, out).unwrap_or(false);
+            consumed += nl + 1;
+            if !keep_open {
+                return false;
+            }
+        }
+        self.line.drain(..consumed);
+        // An unterminated "line" longer than any real query is an attack.
+        self.line.len() <= MAX_QUERY_LINE
+    }
 }
 
 /// Formats one application snapshot as the single-line `GET` response.
@@ -619,11 +640,13 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
         Some("STATS") => {
             writeln!(
                 out,
-                "COLLECTOR apps={} connections={} frames={} errors={} uptime_s={:.3}",
+                "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} uptime_s={:.3}",
                 state.app_names().len(),
                 state.connections_total(),
                 state.frames_total(),
                 state.protocol_errors(),
+                state.io_threads(),
+                state.evicted_total(),
                 state.started.elapsed().as_secs_f64(),
             )?;
             Ok(true)

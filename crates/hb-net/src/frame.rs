@@ -1,11 +1,96 @@
 //! Stream adapters: reading and writing [`Frame`]s over any
 //! `std::io::Read`/`Write` transport (TCP sockets in production, in-memory
-//! buffers in tests).
+//! buffers in tests), plus the incremental [`FrameDecoder`] used by the
+//! non-blocking reactor path where reads arrive in arbitrary fragments.
 
 use std::io::{self, Read, Write};
 
 use crate::error::{NetError, Result};
 use crate::wire::{Frame, HEADER_LEN};
+
+/// Incremental frame decoder for non-blocking transports.
+///
+/// The blocking [`FrameReader`] owns its transport and can simply block until
+/// a full frame arrives. An event-driven server cannot: `epoll` hands it
+/// arbitrary byte fragments — half a header, three frames and a tail, … — and
+/// the decoder must accumulate them and yield frames as they complete.
+///
+/// [`push`](FrameDecoder::push) appends freshly read bytes;
+/// [`next_frame`](FrameDecoder::next_frame) yields decoded frames until the
+/// buffered bytes no longer hold a complete one. Payloads are parsed in place
+/// from the accumulation buffer (no per-frame payload copy); the consumed
+/// prefix is compacted away lazily so steady-state decoding does not shift
+/// bytes on every frame.
+///
+/// ```
+/// use hb_net::frame::FrameDecoder;
+/// use hb_net::wire::Frame;
+///
+/// let bytes = Frame::Bye.encode();
+/// let mut decoder = FrameDecoder::new();
+/// decoder.push(&bytes[..3]); // a fragment: not decodable yet
+/// assert_eq!(decoder.next_frame().unwrap(), None);
+/// decoder.push(&bytes[3..]);
+/// assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Bye));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `start` belong to already-yielded frames.
+    start: usize,
+}
+
+/// Compact the buffer once the dead prefix crosses this threshold (or the
+/// buffer has been fully consumed, which makes compaction free).
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly received bytes to the accumulation buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if more bytes are
+    /// needed. Protocol violations (bad magic, CRC mismatch, oversized
+    /// payload) are permanent errors: the stream cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let (kind, payload_len, crc) = Frame::decode_header(avail)?;
+        let total = HEADER_LEN + payload_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_payload(kind, &avail[HEADER_LEN..total], crc)?;
+        self.start += total;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True if the stream ended mid-frame: bytes remain that do not form a
+    /// complete frame. Used to distinguish a clean EOF from truncation.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+}
 
 /// Reads frames off a byte stream, validating each one.
 #[derive(Debug)]
@@ -131,6 +216,13 @@ impl<W: Write> FrameWriter<W> {
         Ok(())
     }
 
+    /// Writes bytes that are already a fully encoded frame (e.g. produced by
+    /// a [`BatchEncoder`](crate::wire::BatchEncoder)), skipping re-encoding.
+    pub fn write_encoded(&mut self, frame_bytes: &[u8]) -> Result<()> {
+        self.inner.write_all(frame_bytes)?;
+        Ok(())
+    }
+
     /// Flushes the transport.
     pub fn flush(&mut self) -> Result<()> {
         self.inner.flush()?;
@@ -217,5 +309,114 @@ mod tests {
             reader.read_frame(),
             Err(NetError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn decoder_handles_byte_dribble() {
+        // Feed a multi-frame stream one byte at a time; every frame must
+        // come out intact exactly when its final byte lands.
+        let mut wire = Vec::new();
+        for frame in sample_frames() {
+            frame.encode_into(&mut wire);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &byte in &wire {
+            decoder.push(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, sample_frames());
+        assert!(!decoder.has_partial(), "stream ended at a frame boundary");
+    }
+
+    #[test]
+    fn decoder_yields_all_frames_from_one_push() {
+        let mut wire = Vec::new();
+        for frame in sample_frames() {
+            frame.encode_into(&mut wire);
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        let mut decoded = Vec::new();
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, sample_frames());
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_reports_partial_tail() {
+        let bytes = Frame::Hello(Hello {
+            app: "streamcluster".into(),
+            pid: 3,
+            default_window: 20,
+        })
+        .encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes[..bytes.len() - 1]);
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        assert!(decoder.has_partial());
+        decoder.push(&bytes[bytes.len() - 1..]);
+        assert!(matches!(
+            decoder.next_frame().unwrap(),
+            Some(Frame::Hello(_))
+        ));
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn decoder_surfaces_protocol_errors() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&[0xFFu8; 64]);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        // Run enough frames through one decoder that the consumed prefix
+        // would grow without bound if never compacted.
+        let bytes = Frame::Beats(BeatBatch {
+            dropped_total: 0,
+            beats: (0..64)
+                .map(|i| crate::wire::WireBeat {
+                    record: HeartbeatRecord::new(i, i * 10, Tag::NONE, BeatThreadId(0)),
+                    scope: BeatScope::Global,
+                })
+                .collect(),
+        })
+        .encode();
+        let mut decoder = FrameDecoder::new();
+        for _ in 0..1_000 {
+            decoder.push(&bytes);
+            assert!(decoder.next_frame().unwrap().is_some());
+        }
+        assert_eq!(decoder.buffered(), 0);
+        // The internal buffer must stay near one frame's size, not 1000×.
+        assert!(
+            decoder.buf.capacity() < bytes.len() + 2 * super::COMPACT_THRESHOLD,
+            "decoder buffer grew to {} bytes",
+            decoder.buf.capacity()
+        );
+    }
+
+    #[test]
+    fn write_encoded_matches_write_frame() {
+        let frame = Frame::Target {
+            min_bps: 3.5,
+            max_bps: 4.5,
+        };
+        let mut via_frame = Vec::new();
+        FrameWriter::new(&mut via_frame).write_frame(&frame).unwrap();
+        let mut via_bytes = Vec::new();
+        FrameWriter::new(&mut via_bytes)
+            .write_encoded(&frame.encode())
+            .unwrap();
+        assert_eq!(via_frame, via_bytes);
     }
 }

@@ -60,11 +60,13 @@ pub mod collector;
 pub mod crc;
 mod error;
 pub mod frame;
+pub mod reactor;
 pub mod wire;
 
 pub use backend::{TcpBackend, TcpBackendConfig};
-pub use client::{RemoteApp, RemoteReader};
+pub use client::{CollectorStats, RemoteApp, RemoteReader};
 pub use collector::{AppSnapshot, Collector, CollectorConfig, CollectorState};
 pub use error::{NetError, Result};
-pub use frame::{FrameReader, FrameWriter};
-pub use wire::{BeatBatch, Frame, Hello, WireBeat};
+pub use frame::{FrameDecoder, FrameReader, FrameWriter};
+pub use reactor::{Reactor, ReactorConfig};
+pub use wire::{BatchEncoder, BeatBatch, Frame, Hello, WireBeat};

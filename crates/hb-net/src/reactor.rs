@@ -1,0 +1,954 @@
+//! A small event-driven reactor: the engine behind the collector daemon.
+//!
+//! PR 1's collector spawned one OS thread per producer and per observer
+//! connection, which caps a single daemon at a few hundred sockets and makes
+//! shutdown a join-everything affair. The reactor inverts that: a **fixed,
+//! configurable number of I/O threads** (default 2) each run an `epoll`
+//! readiness loop and multiplex *all* connections assigned to them:
+//!
+//! * **Readiness loop** — every I/O thread owns one `epoll` instance.
+//!   Listeners are registered in every instance (level-triggered), so
+//!   whichever thread wakes first accepts the pending connection and keeps
+//!   it; connections never migrate between threads, so per-connection state
+//!   needs no locks.
+//! * **Per-connection state machines** — the reactor performs all socket
+//!   reads and writes; a [`Handler`] consumes the bytes (frame decoding for
+//!   producers, line parsing for observers) and appends responses to an
+//!   outbound buffer that the reactor drains as the socket allows, toggling
+//!   `EPOLLOUT` interest only while bytes are pending.
+//! * **Timer wheel** — a hashed wheel evicts connections that have been idle
+//!   longer than the configured timeout, so abandoned sockets cannot pin
+//!   memory forever. Activity re-arms a connection lazily: the wheel stores
+//!   only tokens, and a fired slot re-inserts connections that turn out to
+//!   have been active.
+//!
+//! On non-Linux targets (`cfg(not(target_os = "linux"))`) the same loop runs
+//! against a degraded poller that treats every registered socket as possibly
+//! ready after a short sleep — correct (sockets are non-blocking, spurious
+//! reads cost one `WouldBlock`) but not fast. Linux gets real `epoll` via
+//! the workspace's `libc` shim.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A per-connection protocol state machine driven by the reactor.
+///
+/// The reactor owns the socket and performs all I/O; implementations only
+/// transform bytes. Each callback may append response bytes to `out`; the
+/// reactor flushes them as socket writability allows.
+pub trait Handler: Send {
+    /// Called with freshly read bytes. Return `false` to close the
+    /// connection once `out` has been flushed.
+    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool;
+
+    /// Called when the peer cleanly closed its end of the stream.
+    fn on_eof(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Called exactly once when the connection is discarded for any reason
+    /// (handler-requested close, peer EOF, I/O error, idle eviction,
+    /// reactor shutdown).
+    fn on_close(&mut self) {}
+}
+
+/// Creates a fresh [`Handler`] for each accepted connection.
+pub type HandlerFactory = Arc<dyn Fn(SocketAddr) -> Box<dyn Handler> + Send + Sync>;
+
+/// One listening socket plus the factory producing handlers for the
+/// connections it accepts.
+pub struct ListenerSpec {
+    /// The bound listener (the reactor switches it to non-blocking mode).
+    pub listener: TcpListener,
+    /// Handler factory invoked once per accepted connection.
+    pub factory: HandlerFactory,
+}
+
+impl std::fmt::Debug for ListenerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListenerSpec")
+            .field("listener", &self.listener)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Tuning knobs for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Number of I/O threads serving all connections (clamped to >= 1).
+    pub io_threads: usize,
+    /// Connections idle longer than this are evicted; `Duration::ZERO`
+    /// disables idle eviction.
+    pub idle_timeout: Duration,
+    /// Upper bound on bytes queued toward one peer; a connection whose
+    /// outbound buffer exceeds this is dropped as a slow consumer.
+    pub max_outbound: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            io_threads: 2,
+            idle_timeout: Duration::from_secs(60),
+            max_outbound: 4 << 20,
+        }
+    }
+}
+
+/// Number of slots in the idle-eviction timer wheel.
+const WHEEL_SLOTS: usize = 64;
+
+/// Poll timeout: bounds both shutdown latency and timer-wheel granularity
+/// drift.
+const POLL_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// Bytes read from one connection per readiness event before yielding to
+/// others (fairness bound; level-triggered polling re-notifies).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Size of the per-thread scratch read buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Compact a connection's outbound buffer once its flushed prefix crosses
+/// this threshold.
+const OUT_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// A fixed pool of I/O threads multiplexing listeners and connections.
+pub struct Reactor {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    evicted: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("io_threads", &self.threads.len())
+            .field("evicted", &self.evicted.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Starts `config.io_threads` event loops serving `listeners`.
+    ///
+    /// `evicted` is shared so the owner (e.g. the collector registry) can
+    /// export the idle-eviction counter without reaching into the reactor.
+    pub fn spawn(
+        listeners: Vec<ListenerSpec>,
+        config: ReactorConfig,
+        evicted: Arc<AtomicU64>,
+    ) -> io::Result<Reactor> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let io_threads = config.io_threads.max(1);
+        let mut shared_listeners = Vec::with_capacity(listeners.len());
+        for spec in &listeners {
+            spec.listener.set_nonblocking(true)?;
+        }
+        for spec in listeners {
+            shared_listeners.push((Arc::new(spec.listener), spec.factory));
+        }
+
+        let mut threads = Vec::with_capacity(io_threads);
+        for index in 0..io_threads {
+            let spawned = (|| {
+                // Every thread gets its own OS-level handle to each listener
+                // so per-thread epoll registrations are independent.
+                let mut own: Vec<(TcpListener, HandlerFactory)> =
+                    Vec::with_capacity(shared_listeners.len());
+                for (listener, factory) in &shared_listeners {
+                    own.push((listener.try_clone()?, Arc::clone(factory)));
+                }
+                let io_thread = IoThread::build(
+                    own,
+                    config.clone(),
+                    Arc::clone(&stop),
+                    Arc::clone(&evicted),
+                )?;
+                std::thread::Builder::new()
+                    .name(format!("hb-reactor-{index}"))
+                    .spawn(move || io_thread.run())
+                    .map_err(io::Error::other)
+            })();
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(err) => {
+                    // Don't leak the threads already running: stop and join
+                    // them before reporting the failure.
+                    stop.store(true, Ordering::SeqCst);
+                    for handle in threads {
+                        let _ = handle.join();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(Reactor {
+            stop,
+            threads,
+            evicted,
+        })
+    }
+
+    /// Number of I/O threads actually serving connections.
+    pub fn io_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Connections evicted by the idle timer so far.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Signals all I/O threads to stop and joins them. The thread count is
+    /// fixed, so this never races connection churn (unlike joining
+    /// per-connection threads).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// State of one multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    handler: Box<dyn Handler>,
+    /// Bytes queued toward the peer; `out_at` marks the flushed prefix.
+    out: Vec<u8>,
+    out_at: usize,
+    /// Registered interest: (readable, writable). Read interest is dropped
+    /// once the connection is closing — level-triggered `EPOLLIN` on a
+    /// half-closed peer would otherwise spin the loop until the output
+    /// drains.
+    interest: (bool, bool),
+    /// Close once the outbound buffer drains.
+    closing: bool,
+    last_active: Instant,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_at
+    }
+}
+
+/// One I/O thread: an epoll instance plus the connections it owns.
+struct IoThread {
+    poller: sys::Poller,
+    listeners: Vec<(TcpListener, HandlerFactory)>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    wheel: TimerWheel,
+    config: ReactorConfig,
+    stop: Arc<AtomicBool>,
+    evicted: Arc<AtomicU64>,
+    scratch: Vec<u8>,
+}
+
+impl IoThread {
+    /// Creates the poller and registers the listeners up front, so fd
+    /// exhaustion (or any epoll failure) surfaces as a `Reactor::spawn`
+    /// error instead of a panic inside an already-running I/O thread.
+    fn build(
+        listeners: Vec<(TcpListener, HandlerFactory)>,
+        config: ReactorConfig,
+        stop: Arc<AtomicBool>,
+        evicted: Arc<AtomicU64>,
+    ) -> io::Result<Self> {
+        let wheel_tick = if config.idle_timeout.is_zero() {
+            Duration::from_secs(3600)
+        } else {
+            (config.idle_timeout / WHEEL_SLOTS as u32).max(Duration::from_millis(1))
+        };
+        let poller = sys::Poller::new()?;
+        for (index, (listener, _)) in listeners.iter().enumerate() {
+            poller.register(sys::raw_fd(listener), index as u64, true, false)?;
+        }
+        let next_token = listeners.len() as u64;
+        Ok(IoThread {
+            poller,
+            listeners,
+            conns: HashMap::new(),
+            next_token,
+            wheel: TimerWheel::new(WHEEL_SLOTS, wheel_tick),
+            config,
+            stop,
+            evicted,
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    fn run(mut self) {
+        let listener_count = self.listeners.len() as u64;
+        let mut events = Vec::with_capacity(128);
+        while !self.stop.load(Ordering::SeqCst) {
+            events.clear();
+            if let Err(err) = self.poller.wait(&mut events, POLL_TIMEOUT) {
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                break; // poller broken; bail out rather than spin
+            }
+            for event in &events {
+                if event.token < listener_count {
+                    self.accept_all(event.token as usize);
+                } else {
+                    self.drive(event.token, event.readable, event.writable);
+                }
+            }
+            self.evict_idle();
+        }
+
+        // Orderly teardown: every live connection gets its close callback.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token);
+        }
+    }
+
+    /// Drains the accept queue of listener `index` (level-triggered polling
+    /// re-notifies if more arrive while we work).
+    fn accept_all(&mut self, index: usize) {
+        loop {
+            let accepted = self.listeners[index].0.accept();
+            match accepted {
+                Ok((stream, peer)) => {
+                    if sys::set_nonblocking(&stream).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let handler = (self.listeners[index].1)(peer);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(sys::raw_fd(&stream), token, true, false)
+                        .is_err()
+                    {
+                        continue; // fd table full or similar; drop the socket
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            handler,
+                            out: Vec::new(),
+                            out_at: 0,
+                            interest: (true, false),
+                            closing: false,
+                            last_active: Instant::now(),
+                        },
+                    );
+                    if !self.config.idle_timeout.is_zero() {
+                        self.wheel.insert(token);
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Advances one connection's state machine for a readiness event.
+    fn drive(&mut self, token: u64, readable: bool, _writable: bool) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // already closed this iteration
+            };
+            if readable && !conn.closing {
+                conn.last_active = Instant::now();
+                let mut budget = READ_BUDGET;
+                loop {
+                    match conn.stream.read(&mut self.scratch) {
+                        Ok(0) => {
+                            conn.handler.on_eof(&mut conn.out);
+                            conn.closing = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            if !conn.handler.on_data(&self.scratch[..n], &mut conn.out) {
+                                conn.closing = true;
+                                break;
+                            }
+                            budget = budget.saturating_sub(n);
+                            if budget == 0 {
+                                break; // fairness: let other connections run
+                            }
+                        }
+                        Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close(token);
+        } else {
+            // Flush opportunistically whether or not EPOLLOUT fired.
+            self.flush_conn(token);
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts; closes the
+    /// connection on error, completion-of-close, or slow-consumer overflow.
+    fn flush_conn(&mut self, token: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while conn.pending_out() > 0 {
+                match conn.stream.write(&conn.out[conn.out_at..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_at += n;
+                        conn.last_active = Instant::now();
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                if conn.pending_out() == 0 {
+                    conn.out.clear();
+                    conn.out_at = 0;
+                    if conn.closing {
+                        dead = true;
+                    }
+                } else if conn.pending_out() > self.config.max_outbound {
+                    dead = true; // slow consumer
+                } else if conn.out_at >= OUT_COMPACT_THRESHOLD {
+                    // Reclaim the flushed prefix: a connection that never
+                    // fully drains must not grow `out` by its lifetime
+                    // traffic (the cap above bounds only the pending tail).
+                    conn.out.drain(..conn.out_at);
+                    conn.out_at = 0;
+                }
+                if !dead {
+                    let desired = (!conn.closing, conn.pending_out() > 0);
+                    if desired != conn.interest {
+                        conn.interest = desired;
+                        let fd = sys::raw_fd(&conn.stream);
+                        let _ = self.poller.modify(fd, token, desired.0, desired.1);
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close(token);
+        }
+    }
+
+    /// Removes a connection, deregistering it and firing `on_close` once.
+    fn close(&mut self, token: u64) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(sys::raw_fd(&conn.stream));
+            conn.handler.on_close();
+        }
+    }
+
+    /// Advances the timer wheel and evicts connections idle past the
+    /// timeout. Active connections found in a fired slot are re-armed.
+    fn evict_idle(&mut self) {
+        if self.config.idle_timeout.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let idle_timeout = self.config.idle_timeout;
+        let mut evict = Vec::new();
+        self.wheel.advance(now, |token, wheel| {
+            let Some(conn) = self.conns.get(&token) else {
+                return; // connection already gone; let the timer lapse
+            };
+            let idle = now.duration_since(conn.last_active);
+            if idle >= idle_timeout {
+                evict.push(token);
+            } else {
+                wheel.insert_after(token, idle_timeout - idle);
+            }
+        });
+        for token in evict {
+            self.close(token);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A hashed timer wheel tracking connection idle deadlines at coarse
+/// granularity.
+///
+/// Each slot holds the tokens whose deadline falls in that tick. Insertions
+/// go `slots - 1` ticks ahead (≈ the idle timeout); when a slot fires, its
+/// tokens are handed to the callback, which either lets them lapse (evict /
+/// already gone) or re-arms them further along the wheel. O(1) insert, O(1)
+/// amortized advance, no per-connection timers.
+struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    current: usize,
+    tick: Duration,
+    last_advance: Instant,
+}
+
+/// Re-arm view handed to the advance callback (borrowing rules prevent
+/// handing out `&mut TimerWheel` while a slot is being drained).
+struct WheelRearm<'w> {
+    slots: &'w mut [Vec<u64>],
+    current: usize,
+    tick: Duration,
+}
+
+impl WheelRearm<'_> {
+    /// Re-inserts a token to fire after roughly `delay`.
+    fn insert_after(&mut self, token: u64, delay: Duration) {
+        let ticks = (delay.as_nanos() / self.tick.as_nanos().max(1)) as usize;
+        let ahead = ticks.clamp(1, self.slots.len() - 1);
+        let slot = (self.current + ahead) % self.slots.len();
+        self.slots[slot].push(token);
+    }
+}
+
+impl TimerWheel {
+    fn new(slots: usize, tick: Duration) -> Self {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            current: 0,
+            tick,
+            last_advance: Instant::now(),
+        }
+    }
+
+    /// Arms a new token to fire one full rotation from now.
+    fn insert(&mut self, token: u64) {
+        let slots = self.slots.len();
+        self.slots[(self.current + slots - 1) % slots].push(token);
+    }
+
+    /// Fires every slot whose tick has elapsed since the last advance.
+    fn advance(&mut self, now: Instant, mut callback: impl FnMut(u64, &mut WheelRearm<'_>)) {
+        // After a long stall (suspend, debugger) don't replay every missed
+        // tick — two rotations visit every slot at least twice.
+        let max_lag = self.tick * (2 * self.slots.len() as u32);
+        if now.duration_since(self.last_advance) > max_lag {
+            self.last_advance = now - max_lag;
+        }
+        while now.duration_since(self.last_advance) >= self.tick {
+            self.last_advance += self.tick;
+            self.current = (self.current + 1) % self.slots.len();
+            let fired = std::mem::take(&mut self.slots[self.current]);
+            let current = self.current;
+            let tick = self.tick;
+            let mut rearm = WheelRearm {
+                slots: &mut self.slots,
+                current,
+                tick,
+            };
+            for token in fired {
+                callback(token, &mut rearm);
+            }
+        }
+    }
+}
+
+/// Linux poller: real `epoll` through the workspace `libc` shim.
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::io;
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    /// One readiness notification.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Event {
+        pub token: u64,
+        pub readable: bool,
+        pub writable: bool,
+    }
+
+    /// An `epoll` instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    fn interest_bits(readable: bool, writable: bool) -> u32 {
+        let mut bits = 0;
+        if readable {
+            // RDHUP rides with read interest: on a half-closed peer it is
+            // level-triggered and would spin a write-only connection.
+            bits |= libc::EPOLLIN | libc::EPOLLRDHUP;
+        }
+        if writable {
+            bits |= libc::EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            let mut event = libc::epoll_event {
+                events: interest_bits(readable, writable),
+                u64: token,
+            };
+            let rc = unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(libc::EPOLL_CTL_ADD, fd, token, readable, writable)
+        }
+
+        pub fn modify(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(libc::EPOLL_CTL_MOD, fd, token, readable, writable)
+        }
+
+        pub fn deregister(&self, fd: i32) -> io::Result<()> {
+            let rc = unsafe {
+                libc::epoll_ctl(self.epfd, libc::EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            let mut buf = [libc::epoll_event::default(); 128];
+            let n = unsafe {
+                libc::epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as i32,
+                    timeout.as_millis().min(i32::MAX as u128) as i32,
+                )
+            };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for raw in buf.iter().take(n as usize) {
+                // Copy out of the packed struct before touching the fields.
+                let (bits, token) = ({ raw.events }, { raw.u64 });
+                events.push(Event {
+                    token,
+                    readable: bits
+                        & (libc::EPOLLIN | libc::EPOLLHUP | libc::EPOLLRDHUP | libc::EPOLLERR)
+                        != 0,
+                    writable: bits & (libc::EPOLLOUT | libc::EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                libc::close(self.epfd);
+            }
+        }
+    }
+
+    /// Raw fd of any socket-like object.
+    pub fn raw_fd(socket: &impl AsRawFd) -> i32 {
+        socket.as_raw_fd()
+    }
+
+    /// Switches a stream to non-blocking mode via `fcntl(O_NONBLOCK)`.
+    pub fn set_nonblocking(stream: &TcpStream) -> io::Result<()> {
+        let fd = stream.as_raw_fd();
+        let flags = unsafe { libc::fcntl(fd, libc::F_GETFL, 0) };
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if unsafe { libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+/// Degraded fallback poller for targets without `epoll`: after a short
+/// sleep, every registered descriptor is reported as possibly readable (and
+/// writable if write interest is set). Sockets are non-blocking, so spurious
+/// readiness costs one `WouldBlock` per socket per tick.
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use std::collections::HashMap;
+    use std::io;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    /// One readiness notification.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Event {
+        pub token: u64,
+        pub readable: bool,
+        pub writable: bool,
+    }
+
+    /// Registration table standing in for an epoll instance.
+    #[derive(Debug, Default)]
+    pub struct Poller {
+        registered: std::cell::RefCell<HashMap<i32, (u64, bool, bool)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller::default())
+        }
+
+        pub fn register(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.registered.borrow_mut().insert(fd, (token, readable, writable));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.register(fd, token, readable, writable)
+        }
+
+        pub fn deregister(&self, fd: i32) -> io::Result<()> {
+            self.registered.borrow_mut().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            std::thread::sleep(timeout.min(Duration::from_millis(2)));
+            for (&_fd, &(token, readable, writable)) in self.registered.borrow().iter() {
+                events.push(Event {
+                    token,
+                    readable,
+                    writable,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// Raw fd surrogate: fallback registrations are keyed per socket object.
+    pub fn raw_fd(socket: &impl std::os::fd::AsRawFd) -> i32 {
+        socket.as_raw_fd()
+    }
+
+    /// Switches a stream to non-blocking mode (std portable path).
+    pub fn set_nonblocking(stream: &TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Echo handler recording lifecycle callbacks.
+    struct Echo {
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl Handler for Echo {
+        fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+            out.extend_from_slice(input);
+            // A line containing "quit" asks for a handler-initiated close.
+            !input.windows(4).any(|w| w == b"quit")
+        }
+
+        fn on_eof(&mut self, _out: &mut Vec<u8>) {
+            self.log.lock().unwrap().push("eof".into());
+        }
+
+        fn on_close(&mut self) {
+            self.log.lock().unwrap().push("close".into());
+        }
+    }
+
+    fn echo_reactor(config: ReactorConfig) -> (Reactor, SocketAddr, Arc<Mutex<Vec<String>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let factory_log = Arc::clone(&log);
+        let spec = ListenerSpec {
+            listener,
+            factory: Arc::new(move |_| {
+                Box::new(Echo {
+                    log: Arc::clone(&factory_log),
+                }) as Box<dyn Handler>
+            }),
+        };
+        let reactor =
+            Reactor::spawn(vec![spec], config, Arc::new(AtomicU64::new(0))).unwrap();
+        (reactor, addr, log)
+    }
+
+    #[test]
+    fn echoes_bytes_back() {
+        let (_reactor, addr, _log) = echo_reactor(ReactorConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(b"heartbeat").unwrap();
+        let mut buf = [0u8; 9];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"heartbeat");
+    }
+
+    #[test]
+    fn handler_requested_close_closes_after_flush() {
+        let (_reactor, addr, log) = echo_reactor(ReactorConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(b"quit").unwrap();
+        // The response still arrives, then the peer closes.
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"quit");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if log.lock().unwrap().iter().any(|e| e == "close") {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("on_close never fired");
+    }
+
+    #[test]
+    fn peer_eof_fires_eof_then_close() {
+        let (_reactor, addr, log) = echo_reactor(ReactorConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"bye").unwrap();
+        drop(stream);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let log = log.lock().unwrap();
+                if log.contains(&"close".to_string()) {
+                    assert!(log.contains(&"eof".to_string()), "eof precedes close: {log:?}");
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "close never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn idle_connections_are_evicted() {
+        let (reactor, addr, log) = echo_reactor(ReactorConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ReactorConfig::default()
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.evicted_total() == 0 {
+            assert!(Instant::now() < deadline, "idle eviction never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(log.lock().unwrap().contains(&"close".to_string()));
+        drop(stream);
+    }
+
+    #[test]
+    fn active_connections_survive_the_idle_wheel() {
+        let (reactor, addr, _log) = echo_reactor(ReactorConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..ReactorConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Keep talking for several multiples of the idle timeout.
+        let until = Instant::now() + Duration::from_millis(1200);
+        let mut buf = [0u8; 1];
+        while Instant::now() < until {
+            stream.write_all(b"x").unwrap();
+            stream.read_exact(&mut buf).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(reactor.evicted_total(), 0, "active connection was evicted");
+    }
+
+    #[test]
+    fn shutdown_closes_live_connections() {
+        let (mut reactor, addr, log) = echo_reactor(ReactorConfig::default());
+        let _streams: Vec<TcpStream> =
+            (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        // Give the reactor a moment to accept them all.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        std::thread::sleep(Duration::from_millis(100));
+        reactor.shutdown();
+        while log.lock().unwrap().iter().filter(|e| *e == "close").count() < 8 {
+            assert!(
+                Instant::now() < deadline,
+                "shutdown must close every accepted connection: {:?}",
+                log.lock().unwrap()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn io_thread_count_is_fixed_and_configurable() {
+        let (reactor, addr, _log) = echo_reactor(ReactorConfig {
+            io_threads: 3,
+            ..ReactorConfig::default()
+        });
+        assert_eq!(reactor.io_threads(), 3);
+        // Connection churn does not change the thread count.
+        for _ in 0..32 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"ping").unwrap();
+        }
+        assert_eq!(reactor.io_threads(), 3);
+    }
+
+    #[test]
+    fn wheel_rearms_active_tokens() {
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(8, tick);
+        let t0 = wheel.last_advance;
+        wheel.insert(42);
+        let mut fired = Vec::new();
+        // After one full rotation the token fires; re-arm it once.
+        wheel.advance(t0 + tick * 7, |token, rearm| {
+            fired.push(token);
+            rearm.insert_after(token, tick * 3);
+        });
+        assert_eq!(fired, vec![42]);
+        // It must fire again roughly 3 ticks later.
+        fired.clear();
+        wheel.advance(t0 + tick * 11, |token, _| fired.push(token));
+        assert_eq!(fired, vec![42]);
+    }
+}

@@ -55,6 +55,13 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// Encoded size of one beat record inside a [`Frame::Beats`] payload.
 pub const BEAT_LEN: usize = 29;
 
+/// Fixed prefix of a [`Frame::Beats`] payload (`dropped_total` + count).
+pub const BATCH_PREFIX_LEN: usize = 12;
+
+/// Most beat records a single [`Frame::Beats`] can carry within
+/// [`MAX_PAYLOAD`].
+pub const MAX_BATCH_BEATS: usize = (MAX_PAYLOAD - BATCH_PREFIX_LEN) / BEAT_LEN;
+
 /// Maximum application-name length accepted in a hello frame.
 pub const MAX_NAME_LEN: usize = 256;
 
@@ -383,6 +390,9 @@ impl Frame {
 
     /// Decodes one frame from the front of `bytes`, returning the frame and
     /// the number of bytes consumed.
+    ///
+    /// See [`BatchEncoder`] for the allocation-free producer-side encoding
+    /// of beat batches.
     pub fn decode(bytes: &[u8]) -> Result<(Frame, usize)> {
         let (kind, payload_len, crc) = Self::decode_header(bytes)?;
         let total = HEADER_LEN + payload_len;
@@ -394,6 +404,97 @@ impl Frame {
         }
         let frame = Self::decode_payload(kind, &bytes[HEADER_LEN..total], crc)?;
         Ok((frame, total))
+    }
+}
+
+/// Streaming encoder for one [`Frame::Beats`] batch.
+///
+/// The flusher in [`TcpBackend`](crate::TcpBackend) drains its queue once
+/// per flush; materializing a [`BeatBatch`] (a `Vec<WireBeat>`) just to
+/// encode it would copy every record twice. `BatchEncoder` instead appends
+/// beats straight into the frame's wire encoding and patches the header
+/// (count, payload length, CRC) when the batch is sealed — one frame per
+/// flush, zero intermediate structures. The internal buffer is reused across
+/// batches, so steady-state flushing does not allocate.
+///
+/// ```
+/// use hb_net::wire::{BatchEncoder, Frame, WireBeat};
+/// use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+///
+/// let mut encoder = BatchEncoder::new();
+/// encoder.begin(3); // 3 beats shed so far
+/// encoder.push(&WireBeat {
+///     record: HeartbeatRecord::new(0, 1_000, Tag::NONE, BeatThreadId(0)),
+///     scope: BeatScope::Global,
+/// });
+/// let bytes = encoder.finish();
+/// let (frame, used) = Frame::decode(bytes).unwrap();
+/// assert_eq!(used, bytes.len());
+/// assert!(matches!(frame, Frame::Beats(batch) if batch.beats.len() == 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchEncoder {
+    buf: Vec<u8>,
+    count: u32,
+    open: bool,
+}
+
+impl BatchEncoder {
+    /// Creates an encoder with an empty reusable buffer.
+    pub fn new() -> Self {
+        BatchEncoder::default()
+    }
+
+    /// Starts a new batch carrying the producer's cumulative drop counter.
+    /// Any previous unfinished batch is discarded.
+    pub fn begin(&mut self, dropped_total: u64) {
+        self.buf.clear();
+        self.count = 0;
+        self.open = true;
+        put_u32(&mut self.buf, MAGIC);
+        self.buf.push(VERSION);
+        self.buf.push(KIND_BEATS);
+        put_u32(&mut self.buf, 0); // payload_len, patched by finish()
+        put_u32(&mut self.buf, 0); // crc, patched by finish()
+        put_u64(&mut self.buf, dropped_total);
+        put_u32(&mut self.buf, 0); // count, patched by finish()
+    }
+
+    /// Appends one beat. Returns `false` (leaving the batch unchanged) once
+    /// the frame is full ([`MAX_BATCH_BEATS`]); seal it with
+    /// [`finish`](Self::finish) and `begin` a new one.
+    pub fn push(&mut self, beat: &WireBeat) -> bool {
+        debug_assert!(self.open, "push called before begin");
+        if self.count as usize >= MAX_BATCH_BEATS {
+            return false;
+        }
+        encode_beat(&mut self.buf, beat);
+        self.count += 1;
+        true
+    }
+
+    /// Beats appended to the current batch so far.
+    pub fn beats(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True if no beats have been appended since `begin`.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Seals the batch — patches the record count, payload length and CRC —
+    /// and returns the complete encoded frame.
+    pub fn finish(&mut self) -> &[u8] {
+        assert!(self.open, "finish called before begin");
+        self.open = false;
+        let count_at = HEADER_LEN + 8;
+        self.buf[count_at..count_at + 4].copy_from_slice(&self.count.to_le_bytes());
+        let payload_len = (self.buf.len() - HEADER_LEN) as u32;
+        let crc = crc32(&self.buf[HEADER_LEN..]);
+        self.buf[6..10].copy_from_slice(&payload_len.to_le_bytes());
+        self.buf[10..14].copy_from_slice(&crc.to_le_bytes());
+        &self.buf
     }
 }
 
@@ -623,6 +724,77 @@ mod tests {
                 "sanitized {weird:?} must be valid"
             );
         }
+    }
+
+    #[test]
+    fn batch_encoder_matches_frame_encoding() {
+        let beats: Vec<WireBeat> = (0..100)
+            .map(|i| beat(i, if i % 3 == 0 { BeatScope::Local } else { BeatScope::Global }))
+            .collect();
+        let via_frame = Frame::Beats(BeatBatch {
+            dropped_total: 7,
+            beats: beats.clone(),
+        })
+        .encode();
+        let mut encoder = BatchEncoder::new();
+        encoder.begin(7);
+        for b in &beats {
+            assert!(encoder.push(b));
+        }
+        assert_eq!(encoder.beats(), 100);
+        assert_eq!(encoder.finish(), via_frame.as_slice(), "byte-identical encodings");
+    }
+
+    #[test]
+    fn batch_encoder_is_reusable_across_batches() {
+        let mut encoder = BatchEncoder::new();
+        encoder.begin(0);
+        encoder.push(&beat(1, BeatScope::Global));
+        let first = encoder.finish().to_vec();
+
+        encoder.begin(5);
+        encoder.push(&beat(2, BeatScope::Global));
+        encoder.push(&beat(3, BeatScope::Local));
+        let (frame, _) = Frame::decode(encoder.finish()).unwrap();
+        match frame {
+            Frame::Beats(batch) => {
+                assert_eq!(batch.dropped_total, 5);
+                assert_eq!(batch.beats.len(), 2);
+                assert_eq!(batch.beats[1].scope, BeatScope::Local);
+            }
+            other => panic!("expected beats frame, got {other:?}"),
+        }
+        // The earlier batch was independent and valid too.
+        assert!(matches!(Frame::decode(&first), Ok((Frame::Beats(_), _))));
+    }
+
+    #[test]
+    fn batch_encoder_empty_batch_is_valid() {
+        let mut encoder = BatchEncoder::new();
+        encoder.begin(42);
+        assert!(encoder.is_empty());
+        let (frame, _) = Frame::decode(encoder.finish()).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Beats(BeatBatch {
+                dropped_total: 42,
+                beats: vec![],
+            })
+        );
+    }
+
+    #[test]
+    fn batch_encoder_refuses_overflow() {
+        let mut encoder = BatchEncoder::new();
+        encoder.begin(0);
+        let sample = beat(0, BeatScope::Global);
+        for _ in 0..MAX_BATCH_BEATS {
+            assert!(encoder.push(&sample));
+        }
+        assert!(!encoder.push(&sample), "frame at capacity rejects more beats");
+        assert_eq!(encoder.beats(), MAX_BATCH_BEATS);
+        // Still decodable at the payload ceiling.
+        assert!(Frame::decode(encoder.finish()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Lifecycle stress: the collector must start and stop cleanly while
+//! producers are concurrently connecting.
+//!
+//! Regression test for the PR 1 thread-per-connection engine, whose
+//! `shutdown` joined connection threads under a held `Mutex` on the thread
+//! list — a connection thread registering itself at the wrong moment
+//! deadlocked the daemon. The reactor has a fixed thread pool and no
+//! per-connection threads, so shutdown cannot race connection churn; this
+//! test pins that property.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hb_net::{Collector, Frame, Hello};
+
+#[test]
+fn start_stop_100x_under_concurrent_connects() {
+    for round in 0..100 {
+        let mut collector = Collector::bind("127.0.0.1:0", "127.0.0.1:0")
+            .unwrap_or_else(|e| panic!("bind round {round}: {e}"));
+        let ingest = collector.ingest_addr();
+        let query = collector.query_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Connectors hammer both ports while the collector starts and stops.
+        let connectors: Vec<_> = (0..3)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let hello = Frame::Hello(Hello {
+                        app: format!("churn-{i}"),
+                        pid: i,
+                        default_window: 20,
+                    })
+                    .encode();
+                    while !stop.load(Ordering::Relaxed) {
+                        let addr = if i % 2 == 0 { ingest } else { query };
+                        if let Ok(mut stream) = TcpStream::connect(addr) {
+                            // Half the connections say something first; all
+                            // of them disconnect abruptly.
+                            if i % 2 == 0 {
+                                let _ = stream.write_all(&hello);
+                            } else {
+                                let _ = stream.write_all(b"PING\n");
+                            }
+                        }
+                        // Throttle so the connect loop cannot starve the
+                        // reactor of CPU on small machines.
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                })
+            })
+            .collect();
+
+        // Let a few connections land mid-flight, then shut down while the
+        // connectors are still running — this must never deadlock.
+        std::thread::sleep(Duration::from_millis(2));
+        collector.shutdown();
+        drop(collector);
+
+        stop.store(true, Ordering::Relaxed);
+        for handle in connectors {
+            handle.join().expect("connector thread");
+        }
+    }
+}

@@ -145,6 +145,10 @@ impl<'r> HeartbeatBuilder<'r> {
             buffer_kind: self.buffer_kind,
             target,
             backends: RwLock::new(self.backends),
+            // Epoch 1 vs. the cache's initial 0 forces every thread's first
+            // beat to snapshot the backend list.
+            backends_epoch: std::sync::atomic::AtomicU64::new(1),
+            instance_id: Shared::next_instance_id(),
         });
         if let Some(registry) = self.registry {
             registry.insert(Arc::clone(&shared))?;

@@ -15,9 +15,10 @@
 //! variants taking a [`BeatScope`]; the plain methods operate on the global
 //! (per-application) heartbeat stream.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use parking_lot::RwLock;
 
@@ -68,6 +69,11 @@ pub fn current_thread_id() -> BeatThreadId {
     })
 }
 
+/// Process-wide allocator of unique heartbeat-instance ids (cache keys for
+/// the per-thread hot-path cache; never reused, so a recycled allocation
+/// can't alias a dead instance's cache entry).
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
 /// State shared between all clones of a [`Heartbeat`] and its readers.
 #[derive(Debug)]
 pub(crate) struct Shared {
@@ -80,6 +86,18 @@ pub(crate) struct Shared {
     pub(crate) buffer_kind: BufferKind,
     pub(crate) target: TargetRate,
     pub(crate) backends: RwLock<Vec<Arc<dyn Backend>>>,
+    /// Bumped (release) after every backend-list change; beat threads
+    /// revalidate their cached snapshot with one acquire load, so the
+    /// steady-state hot path never touches the `backends` lock.
+    pub(crate) backends_epoch: AtomicU64,
+    /// Unique id keying the per-thread hot-path cache.
+    pub(crate) instance_id: u64,
+}
+
+impl Shared {
+    pub(crate) fn next_instance_id() -> u64 {
+        NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 impl Shared {
@@ -112,13 +130,6 @@ impl Shared {
         window::windowed_rate(&records)
     }
 
-    pub(crate) fn notify_beat(&self, record: &HeartbeatRecord, scope: BeatScope) {
-        let backends = self.backends.read();
-        for backend in backends.iter() {
-            backend.on_beat(&self.name, record, scope);
-        }
-    }
-
     pub(crate) fn notify_target(&self, min_bps: f64, max_bps: f64) {
         let backends = self.backends.read();
         for backend in backends.iter() {
@@ -127,12 +138,85 @@ impl Shared {
     }
 }
 
+/// Per-thread, per-instance hot-path cache: the backend snapshot (validated
+/// by epoch) and the calling thread's local history buffer.
+///
+/// `Heartbeat::beat` used to take the `backends` read lock on every beat and
+/// the `locals` read lock on every local beat; under many producer threads
+/// those locks are the only shared mutable state on the path. The cache
+/// removes both: a steady-state beat performs one thread-local lookup and
+/// one relaxed/acquire atomic load, touching a lock only when the backend
+/// list actually changed (or on a thread's first local beat).
+struct HotEntry {
+    /// [`Shared::instance_id`] this entry belongs to.
+    instance: u64,
+    /// Liveness probe so dead instances can be purged from the cache.
+    keepalive: Weak<Shared>,
+    /// Epoch at which `backends` was snapshotted (0 = never).
+    epoch: u64,
+    /// Snapshot of the backend list; shared so callbacks run without
+    /// holding the cache borrowed (a backend may itself produce beats).
+    backends: Arc<[Arc<dyn Backend>]>,
+    /// The calling thread's local history buffer, resolved once.
+    local: Option<Arc<dyn HistoryBuffer>>,
+}
+
+/// Bound on cached instances per thread; oldest entries are discarded
+/// beyond it (correctness is unaffected — a miss just re-resolves).
+const HOT_CACHE_MAX: usize = 32;
+
+/// Dead entries are purged at least this often (in beats), so a dropped
+/// `Heartbeat`'s backends are released by threads that keep producing
+/// (backends may own sockets and flusher threads that run until dropped).
+const HOT_CACHE_PURGE_EVERY: u32 = 1024;
+
+/// Per-thread hot cache: the entries plus a purge countdown.
+#[derive(Default)]
+struct HotCache {
+    entries: Vec<HotEntry>,
+    beats_since_purge: u32,
+}
+
+thread_local! {
+    static HOT_CACHE: RefCell<HotCache> = RefCell::new(HotCache::default());
+}
+
+/// Finds (or creates) this thread's cache entry for `shared`, periodically
+/// purging entries whose instance has been dropped.
+fn hot_entry_index(cache: &mut HotCache, shared: &Arc<Shared>) -> usize {
+    cache.beats_since_purge += 1;
+    if cache.beats_since_purge >= HOT_CACHE_PURGE_EVERY {
+        cache.beats_since_purge = 0;
+        cache.entries.retain(|e| e.keepalive.strong_count() > 0);
+    }
+    if let Some(index) = cache
+        .entries
+        .iter()
+        .position(|e| e.instance == shared.instance_id)
+    {
+        return index;
+    }
+    cache.entries.retain(|e| e.keepalive.strong_count() > 0);
+    if cache.entries.len() >= HOT_CACHE_MAX {
+        cache.entries.remove(0);
+    }
+    cache.entries.push(HotEntry {
+        instance: shared.instance_id,
+        keepalive: Arc::downgrade(shared),
+        epoch: 0,
+        backends: Arc::from(Vec::new().into_boxed_slice()),
+        local: None,
+    });
+    cache.entries.len() - 1
+}
+
 /// A heartbeat producer for one application.
 ///
 /// `Heartbeat` is cheap to clone; clones share the same history, target and
 /// backends, so worker threads can each hold a handle. Producing a beat is
 /// allocation-free and, with the default [`BufferKind::Atomic`] buffer,
-/// lock-free.
+/// lock-free: the backend list and the thread's local buffer are cached
+/// per thread behind an atomic epoch, so steady-state beats touch no locks.
 ///
 /// # Example
 ///
@@ -201,15 +285,34 @@ impl Heartbeat {
     pub fn beat(&self, tag: Tag, scope: BeatScope) -> u64 {
         let thread = current_thread_id();
         let timestamp_ns = self.shared.clock.now_ns();
-        let seq = match scope {
-            BeatScope::Global => self.shared.global.push(timestamp_ns, tag, thread),
-            BeatScope::Local => self
-                .shared
-                .local_buffer(thread)
-                .push(timestamp_ns, tag, thread),
-        };
-        let record = HeartbeatRecord::new(seq, timestamp_ns, tag, thread);
-        self.shared.notify_beat(&record, scope);
+        let (seq, backends) = HOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let entry = {
+                let index = hot_entry_index(&mut cache, &self.shared);
+                &mut cache.entries[index]
+            };
+            let seq = match scope {
+                BeatScope::Global => self.shared.global.push(timestamp_ns, tag, thread),
+                BeatScope::Local => entry
+                    .local
+                    .get_or_insert_with(|| self.shared.local_buffer(thread))
+                    .push(timestamp_ns, tag, thread),
+            };
+            let epoch = self.shared.backends_epoch.load(Ordering::Acquire);
+            if entry.epoch != epoch {
+                entry.backends = Arc::from(self.shared.backends.read().clone().into_boxed_slice());
+                entry.epoch = epoch;
+            }
+            (seq, Arc::clone(&entry.backends))
+        });
+        if !backends.is_empty() {
+            let record = HeartbeatRecord::new(seq, timestamp_ns, tag, thread);
+            // The cache borrow is released here: a backend that itself
+            // produces beats (into another heartbeat) re-enters safely.
+            for backend in backends.iter() {
+                backend.on_beat(&self.shared.name, &record, scope);
+            }
+        }
         seq
     }
 
@@ -314,6 +417,9 @@ impl Heartbeat {
     /// Attaches a mirroring backend (file, shared memory, in-memory probe).
     pub fn add_backend(&self, backend: Arc<dyn Backend>) {
         self.shared.backends.write().push(backend);
+        // Invalidate every thread's cached snapshot; the release pairs with
+        // the acquire load in `beat`.
+        self.shared.backends_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Sums the mirroring counters of all attached backends, making shed
@@ -591,6 +697,132 @@ mod tests {
         assert_eq!(hb.last_beat_ns(), Some(1_234));
         clock.advance_ns(766);
         assert_eq!(hb.now_ns(), 2_000);
+    }
+
+    #[test]
+    fn backend_added_mid_stream_is_picked_up() {
+        // The hot-path cache snapshots the backend list per thread; adding a
+        // backend must invalidate those snapshots via the epoch.
+        let (hb, clock) = manual_heartbeat(10);
+        let early = Arc::new(MemoryBackend::new());
+        hb.add_backend(early.clone());
+        clock.advance_ns(1_000);
+        hb.heartbeat(); // warm this thread's cache with [early]
+        let late = Arc::new(MemoryBackend::new());
+        hb.add_backend(late.clone());
+        clock.advance_ns(1_000);
+        hb.heartbeat();
+        assert_eq!(early.len(), 2, "original backend saw both beats");
+        assert_eq!(late.len(), 1, "new backend sees beats after attach");
+    }
+
+    #[test]
+    fn backend_added_mid_stream_reaches_other_threads() {
+        let (hb, clock) = manual_heartbeat(64);
+        let probe = Arc::new(MemoryBackend::new());
+        let worker = {
+            let hb = hb.clone();
+            let clock = clock.clone();
+            let probe = Arc::clone(&probe);
+            std::thread::spawn(move || {
+                // Warm the worker's cache with an empty backend list...
+                for _ in 0..100 {
+                    clock.advance_ns(10);
+                    hb.heartbeat();
+                }
+                // ...then wait for the main thread to attach the probe.
+                while probe.is_empty() {
+                    clock.advance_ns(10);
+                    hb.heartbeat();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        hb.add_backend(Arc::clone(&probe) as Arc<dyn Backend>);
+        worker.join().unwrap();
+        assert!(!probe.is_empty(), "worker thread observed the new backend");
+    }
+
+    #[test]
+    fn local_beats_use_cached_buffer_consistently() {
+        // The thread-local buffer cache must resolve to the same buffer the
+        // shared map holds, so readers see cached-path beats.
+        let (hb, clock) = manual_heartbeat(10);
+        for i in 0..50u64 {
+            clock.advance_ns(1_000);
+            hb.heartbeat_local(Tag::new(i));
+        }
+        assert_eq!(hb.total_local_beats(), 50);
+        let history = hb.history_local(5);
+        assert_eq!(history.len(), 5);
+        assert_eq!(history[4].tag, Tag::new(49));
+        // The shared map agrees (reader path, not the cache).
+        assert_eq!(hb.local_thread_ids().len(), 1);
+    }
+
+    #[test]
+    fn dropped_heartbeat_backends_are_released_by_continuing_threads() {
+        // The hot cache snapshots backend Arcs; once the heartbeat is
+        // dropped, a thread that keeps beating (on anything) must release
+        // them within the purge interval — backends may own sockets and
+        // threads that live until dropped.
+        let clock = ManualClock::new();
+        let probe: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let weak = Arc::downgrade(&probe);
+        let hb = HeartbeatBuilder::new("short-lived")
+            .window(4)
+            .clock(Arc::new(clock.clone()))
+            .backend(probe)
+            .build()
+            .unwrap();
+        clock.advance_ns(1_000);
+        hb.heartbeat(); // snapshot [probe] into this thread's cache
+        drop(hb);
+        assert!(
+            weak.upgrade().is_some(),
+            "cache still pins the backend right after the drop"
+        );
+        let other = HeartbeatBuilder::new("long-lived")
+            .window(4)
+            .clock(Arc::new(clock.clone()))
+            .build()
+            .unwrap();
+        for _ in 0..2 * super::HOT_CACHE_PURGE_EVERY {
+            clock.advance_ns(1_000);
+            other.heartbeat();
+        }
+        assert!(
+            weak.upgrade().is_none(),
+            "purge must release the dead instance's backends"
+        );
+    }
+
+    #[test]
+    fn many_instances_cycle_through_the_hot_cache() {
+        // More live instances than HOT_CACHE_MAX on one thread: eviction and
+        // re-resolution must stay correct.
+        let clock = ManualClock::new();
+        let heartbeats: Vec<Heartbeat> = (0..40)
+            .map(|i| {
+                HeartbeatBuilder::new(format!("app-{i}"))
+                    .window(4)
+                    .clock(Arc::new(clock.clone()))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        for round in 0..3 {
+            for hb in &heartbeats {
+                clock.advance_ns(1_000);
+                hb.heartbeat();
+                hb.heartbeat_local(Tag::new(round));
+            }
+        }
+        for hb in &heartbeats {
+            assert_eq!(hb.total_beats(), 3);
+            assert_eq!(hb.total_local_beats(), 3);
+        }
     }
 
     #[test]
