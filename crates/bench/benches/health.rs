@@ -1,0 +1,126 @@
+//! Health subsystem microbenchmarks: the per-beat cost of history-ring
+//! sampling (the collector's ingest hot path addition — must be a handful
+//! of nanoseconds and zero allocations), and the per-query cost of the
+//! windowed anomaly detector.
+//!
+//! Also compares collector ingest with history enabled vs. disabled
+//! (`history_capacity: 0`) at the registry layer, isolating the sampling
+//! overhead from network noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_net::health::{assess, HealthConfig, HistoryRing, HistorySample};
+use hb_net::wire::{BeatBatch, WireBeat};
+use hb_net::{CollectorConfig, CollectorState};
+use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+fn sample(i: u64) -> HistorySample {
+    HistorySample {
+        seq: i,
+        timestamp_ns: i * 1_000_000,
+        tag: i,
+        interval_ns: 1_000_000,
+        rate_bps: Some(1_000.0),
+    }
+}
+
+fn bench_ring_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("health_ring_push");
+    for capacity in [256usize, 1024, 8192] {
+        let mut ring = HistoryRing::new(capacity);
+        // Pre-fill so the benchmark measures the steady state (overwrite).
+        for i in 0..capacity as u64 * 2 {
+            ring.push(sample(i));
+        }
+        let mut i = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                ring.push(sample(i));
+                std::hint::black_box(ring.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("health_assess");
+    for beats in [16usize, 256, 1024] {
+        let window: Vec<HistorySample> = (0..beats as u64).map(sample).collect();
+        let config = HealthConfig::default();
+        let seq_config = HealthConfig {
+            sequence_tags: true,
+            ..HealthConfig::default()
+        };
+        group.throughput(Throughput::Elements(beats as u64));
+        group.bench_with_input(BenchmarkId::new("basic", beats), &window, |b, window| {
+            b.iter(|| {
+                std::hint::black_box(assess(
+                    window,
+                    window.len() as u64,
+                    std::time::Duration::from_millis(1),
+                    Some((500.0, 1_500.0)),
+                    &config,
+                ))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sequence_tags", beats),
+            &window,
+            |b, window| {
+                b.iter(|| {
+                    std::hint::black_box(assess(
+                        window,
+                        window.len() as u64,
+                        std::time::Duration::from_millis(1),
+                        Some((500.0, 1_500.0)),
+                        &seq_config,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Registry-layer ingest with and without history sampling: the delta is
+/// the true cost the health subsystem adds to the collector hot path.
+fn bench_registry_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_ingest");
+    const BATCH: usize = 64;
+    for (label, capacity) in [("history_1024", 1024usize), ("history_off", 0)] {
+        let state = CollectorState::new(CollectorConfig {
+            history_capacity: capacity,
+            ..CollectorConfig::default()
+        });
+        state.hello("bench", 1, 20);
+        let mut next = 0u64;
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                let batch = BeatBatch {
+                    dropped_total: 0,
+                    beats: (0..BATCH as u64)
+                        .map(|k| WireBeat {
+                            record: HeartbeatRecord::new(
+                                next + k,
+                                (next + k) * 1_000_000,
+                                Tag::new(next + k),
+                                BeatThreadId(0),
+                            ),
+                            scope: BeatScope::Global,
+                        })
+                        .collect(),
+                };
+                next += BATCH as u64;
+                state.ingest_batch("bench", &batch);
+                std::hint::black_box(&state);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_push, bench_assess, bench_registry_ingest);
+criterion_main!(benches);

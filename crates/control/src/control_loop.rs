@@ -7,6 +7,7 @@
 
 use crate::actuator::Actuator;
 use crate::controller::Controller;
+use crate::health::{HealthLevel, HealthSource};
 use crate::monitor::{Observation, RateMonitor, RateSource};
 use heartbeats::HeartbeatReader;
 
@@ -97,6 +98,28 @@ impl<C: Controller, A: Actuator, S: RateSource> ControlLoop<C, A, S> {
     /// Resets the controller state and the monitor cadence.
     pub fn reset(&mut self) {
         self.controller.reset();
+    }
+}
+
+impl<C: Controller, A: Actuator, S: HealthSource> ControlLoop<C, A, S> {
+    /// Health-gated [`tick`](Self::tick): consults the source's
+    /// [`HealthLevel`] before acting.
+    ///
+    /// When the application is [`Stalled`](HealthLevel::Stalled) or
+    /// [`NoSignal`](HealthLevel::NoSignal) its windowed rate is stale or
+    /// absent — acting on it would chase a ghost (e.g. granting cores to a
+    /// crashed process because its "rate" sits below target). The guarded
+    /// tick holds the actuator in that case and reports why; on
+    /// [`Healthy`](HealthLevel::Healthy) or
+    /// [`Degraded`](HealthLevel::Degraded) it behaves exactly like
+    /// [`tick`](Self::tick).
+    pub fn tick_guarded(&mut self) -> (HealthLevel, Option<ControlEvent>) {
+        let level = self.monitor.reader().health_level();
+        if level.is_actionable() {
+            (level, self.tick())
+        } else {
+            (level, None)
+        }
     }
 }
 
@@ -216,6 +239,94 @@ mod tests {
             ..event
         };
         assert!(!held.changed());
+    }
+
+    /// A scriptable remote-like source: a fixed rate/target plus a settable
+    /// health level, as a collector-backed source would report.
+    struct ScriptedSource {
+        beats: std::cell::Cell<u64>,
+        rate: f64,
+        target: (f64, f64),
+        level: std::cell::Cell<HealthLevel>,
+    }
+
+    impl RateSource for ScriptedSource {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn total_beats(&self) -> u64 {
+            // Each sample sees fresh beats so the monitor cadence fires.
+            self.beats.set(self.beats.get() + 1);
+            self.beats.get()
+        }
+        fn current_rate(&self, _window: usize) -> Option<f64> {
+            Some(self.rate)
+        }
+        fn target(&self) -> Option<(f64, f64)> {
+            Some(self.target)
+        }
+    }
+
+    impl HealthSource for ScriptedSource {
+        fn health_level(&self) -> HealthLevel {
+            self.level.get()
+        }
+    }
+
+    #[test]
+    fn guarded_tick_holds_on_stall_and_resumes_on_recovery() {
+        // Rate 5 bps against a 30-35 target: an unguarded loop would keep
+        // adding cores. Stalled means the 5 bps is a stale artifact.
+        let source = ScriptedSource {
+            beats: std::cell::Cell::new(0),
+            rate: 5.0,
+            target: (30.0, 35.0),
+            level: std::cell::Cell::new(HealthLevel::Stalled),
+        };
+        let monitor = RateMonitor::new(source).with_check_every(1);
+        let mut control = ControlLoop::new(
+            monitor,
+            StepController::new(),
+            DiscreteActuator::new(1, 8, 4),
+        );
+
+        let (level, event) = control.tick_guarded();
+        assert_eq!(level, HealthLevel::Stalled);
+        assert!(event.is_none(), "no action while stalled");
+        assert_eq!(control.level(), 4.0, "actuator held");
+
+        // Recovery: the same below-target rate now describes a live app,
+        // so the step controller asks for more resources.
+        control
+            .monitor
+            .reader()
+            .level
+            .set(HealthLevel::Degraded);
+        let (level, event) = control.tick_guarded();
+        assert_eq!(level, HealthLevel::Degraded);
+        let event = event.expect("actionable health runs the controller");
+        assert!(event.changed());
+        assert!(control.level() > 4.0, "below-target rate adds resources");
+    }
+
+    #[test]
+    fn guarded_tick_is_plain_tick_when_healthy() {
+        let source = ScriptedSource {
+            beats: std::cell::Cell::new(0),
+            rate: 32.0,
+            target: (30.0, 35.0),
+            level: std::cell::Cell::new(HealthLevel::Healthy),
+        };
+        let monitor = RateMonitor::new(source).with_check_every(1);
+        let mut control = ControlLoop::new(
+            monitor,
+            StepController::new(),
+            DiscreteActuator::new(1, 8, 4),
+        );
+        let (level, event) = control.tick_guarded();
+        assert_eq!(level, HealthLevel::Healthy);
+        assert!(event.is_some());
+        assert_eq!(control.level(), 4.0, "within target, no change");
     }
 
     #[test]

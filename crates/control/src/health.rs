@@ -1,0 +1,74 @@
+//! Health-aware observation: the liveness side of the paper's
+//! "performance *and health*" story.
+//!
+//! A [`RateSource`](crate::RateSource) answers "how fast is the application
+//! going?"; a [`HealthSource`] additionally answers "can the measurement be
+//! trusted at all?". The distinction matters to controllers: a windowed
+//! rate read from a *stalled* application is stale — acting on it chases a
+//! ghost (allocating cores to a crashed process, lowering encoder quality
+//! because a dead pipeline "missed" its target). Control loops should
+//! therefore gate their decisions on health, which
+//! [`ControlLoop::tick_guarded`](crate::ControlLoop::tick_guarded) does.
+
+use crate::monitor::RateSource;
+
+/// Coarse health classification of an observed application.
+///
+/// This is the control-layer mirror of the collector-side classification
+/// (`hb-net`'s `HealthStatus`); it lives here so policy code can react to
+/// degradation without depending on the network crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthLevel {
+    /// The application has never been observed to beat.
+    NoSignal,
+    /// Beats used to arrive but have stopped for a full health window.
+    Stalled,
+    /// Beats arrive but the window shows an anomaly (rate below target,
+    /// jitter spike, dropped/reordered beats).
+    Degraded,
+    /// Beats arrive and the window shows no anomaly.
+    Healthy,
+}
+
+impl HealthLevel {
+    /// True when the source's rate measurement describes a live stream and
+    /// is therefore safe to act on (`Healthy` or `Degraded`).
+    pub fn is_actionable(self) -> bool {
+        matches!(self, HealthLevel::Healthy | HealthLevel::Degraded)
+    }
+}
+
+/// A [`RateSource`] that also knows whether its application is healthy.
+///
+/// Implemented by remote sources that can judge a whole window of recent
+/// history (e.g. `hb-net`'s `RemoteApp`, which asks the collector's
+/// windowed anomaly detector). A conservative implementation may simply
+/// return [`HealthLevel::Healthy`] whenever beats are flowing.
+pub trait HealthSource: RateSource {
+    /// Classifies the observed application over its health window.
+    ///
+    /// Implementations should degrade to [`HealthLevel::NoSignal`] when the
+    /// observation channel itself fails (collector unreachable), mirroring
+    /// how [`RateSource`] surfaces network failure as "no data".
+    fn health_level(&self) -> HealthLevel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actionability_split() {
+        assert!(HealthLevel::Healthy.is_actionable());
+        assert!(HealthLevel::Degraded.is_actionable());
+        assert!(!HealthLevel::Stalled.is_actionable());
+        assert!(!HealthLevel::NoSignal.is_actionable());
+    }
+
+    #[test]
+    fn ordering_ranks_healthier_higher() {
+        assert!(HealthLevel::Healthy > HealthLevel::Degraded);
+        assert!(HealthLevel::Degraded > HealthLevel::Stalled);
+        assert!(HealthLevel::Stalled > HealthLevel::NoSignal);
+    }
+}

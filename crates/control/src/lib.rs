@@ -14,6 +14,10 @@
 //! * [`Actuator`] — a bounded adjustable level (core count, encoder knob
 //!   index); [`DiscreteActuator`] is the integer-valued implementation.
 //! * [`ControlLoop`] — observe → decide → act, with an event log.
+//! * [`HealthSource`] / [`HealthLevel`] — the health side of the paper's
+//!   title: sources that can also say whether their rate measurement
+//!   describes a live application, so loops hold rather than chase a
+//!   stalled one ([`ControlLoop::tick_guarded`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,9 +25,11 @@
 mod actuator;
 mod control_loop;
 mod controller;
+mod health;
 mod monitor;
 
 pub use actuator::{Actuator, DiscreteActuator};
 pub use control_loop::{ControlEvent, ControlLoop};
 pub use controller::{Controller, PiController, StepController};
+pub use health::{HealthLevel, HealthSource};
 pub use monitor::{Observation, RateMonitor, RateSample, RateSource};

@@ -86,6 +86,27 @@ struct Shared {
 /// connects lazily and keeps retrying, buffering (and eventually shedding)
 /// beats in the meantime. All backpressure is visible through
 /// [`Backend::stats`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use hb_net::{Collector, TcpBackend};
+/// use heartbeats::{Backend, HeartbeatBuilder};
+///
+/// let collector = Collector::bind("127.0.0.1:0", "127.0.0.1:0").unwrap();
+/// let backend = Arc::new(TcpBackend::new(
+///     collector.ingest_addr().to_string(),
+///     "doc app", // names are sanitized to the wire's rules
+/// ));
+/// assert_eq!(backend.app(), "doc-app");
+///
+/// let hb = HeartbeatBuilder::new("doc-app")
+///     .backend(Arc::clone(&backend) as Arc<dyn Backend>)
+///     .build()
+///     .unwrap();
+/// hb.heartbeat();
+/// hb.flush().unwrap(); // best effort: nudges the flusher thread
+/// assert_eq!(hb.total_beats(), 1);
+/// ```
 #[derive(Debug)]
 pub struct TcpBackend {
     app: String,

@@ -3,18 +3,26 @@
 //! ```text
 //! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
 //!              [--io-threads N] [--idle-timeout SECS]
+//!              [--history-capacity N] [--health-window SECS]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
-//! line protocol (`LIST`, `GET <app>`, `METRICS`, `STATS`, `PING`, `QUIT`)
-//! to the query address — `METRICS` returns a Prometheus-style text export.
-//! With `--print-every N` the daemon also prints a registry summary to
-//! stdout every N seconds.
+//! line protocol (`HELP`, `LIST`, `GET <app>`, `HISTORY <app> [n]`,
+//! `HEALTH [app]`, `METRICS`, `STATS`, `PING`, `QUIT`) to the query address
+//! — `METRICS` returns a Prometheus-style text export, and binary
+//! `HistoryReq`/`HealthReq` wire frames are answered on the same port. With
+//! `--print-every N` the daemon also prints a registry summary to stdout
+//! every N seconds.
 //!
 //! All connections are served by an epoll reactor with `--io-threads` I/O
 //! threads (default 2) — connection count is bounded by file descriptors,
 //! not threads. `--idle-timeout` (default 60, `0` disables) evicts
 //! connections with no traffic.
+//!
+//! `--history-capacity` (default 1024, `0` disables) bounds the per-app
+//! ring of recent beat samples behind `HISTORY`; `--health-window` (default
+//! 5) sets the span the anomaly detector judges and the silence threshold
+//! past which an application is reported `stalled`.
 
 use hb_net::{Collector, CollectorConfig};
 
@@ -24,6 +32,8 @@ struct Args {
     print_every: Option<u64>,
     io_threads: usize,
     idle_timeout: u64,
+    history_capacity: usize,
+    health_window: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         print_every: Some(10),
         io_threads: CollectorConfig::default().io_threads,
         idle_timeout: CollectorConfig::default().idle_timeout.as_secs(),
+        history_capacity: CollectorConfig::default().history_capacity,
+        health_window: CollectorConfig::default().health.window.as_secs_f64(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,10 +73,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--idle-timeout expects a number of seconds".to_string())?;
             }
+            "--history-capacity" => {
+                args.history_capacity = value("--history-capacity")?
+                    .parse()
+                    .map_err(|_| "--history-capacity expects a sample count (0 disables)".to_string())?;
+            }
+            "--health-window" => {
+                args.health_window = value("--health-window")?
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s.is_finite() && s > 0.0)
+                    .ok_or_else(|| "--health-window expects a positive number of seconds".to_string())?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
-                     [--print-every SECS] [--io-threads N] [--idle-timeout SECS]"
+                     [--print-every SECS] [--io-threads N] [--idle-timeout SECS] \
+                     [--history-capacity N] [--health-window SECS]"
                 );
                 std::process::exit(0);
             }
@@ -85,6 +110,11 @@ fn main() {
     let config = CollectorConfig {
         io_threads: args.io_threads,
         idle_timeout: std::time::Duration::from_secs(args.idle_timeout),
+        history_capacity: args.history_capacity,
+        health: hb_net::HealthConfig {
+            window: std::time::Duration::from_secs_f64(args.health_window),
+            ..hb_net::HealthConfig::default()
+        },
         ..CollectorConfig::default()
     };
     let collector = match Collector::with_config(&args.ingest, &args.query, config) {

@@ -1,23 +1,49 @@
 //! Observer-side client for the collector's query port.
 //!
-//! [`RemoteReader`] speaks the line protocol ([`LIST`/`GET`/`METRICS`]) over
-//! one persistent connection (reconnecting transparently on failure), and
-//! [`RemoteApp`] narrows it to a single application and implements
-//! [`control::RateSource`] — so a [`control::RateMonitor`] or
+//! [`RemoteReader`] speaks the line protocol (`LIST`/`GET`/`METRICS`) and
+//! the binary health queries ([`history`](RemoteReader::history) /
+//! [`health`](RemoteReader::health)) over one persistent connection
+//! (reconnecting transparently on failure), and [`RemoteApp`] narrows it to
+//! a single application and implements [`control::RateSource`] and
+//! [`control::HealthSource`] — so a [`control::RateMonitor`] or
 //! [`control::ControlLoop`] can drive adaptation from a collector exactly
-//! the way it drives from an in-process [`heartbeats::HeartbeatReader`].
+//! the way it drives from an in-process [`heartbeats::HeartbeatReader`],
+//! and hold its actuator when the collector says the application stalled.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use control::{RateSample, RateSource};
+use control::{HealthLevel, HealthSource, RateSample, RateSource};
 
 use crate::collector::AppSnapshot;
 use crate::error::{NetError, Result};
+use crate::frame::FrameReader;
+use crate::health::{HealthReport, HealthStatus};
+use crate::wire::{Frame, HistoryChunk};
 
 /// A read-only client of a collector's query port.
+///
+/// One `RemoteReader` holds one persistent connection; every query —
+/// line-based ([`apps`](RemoteReader::apps), [`snapshot`](RemoteReader::snapshot),
+/// [`metrics`](RemoteReader::metrics), [`stats`](RemoteReader::stats)) or
+/// binary ([`history`](RemoteReader::history), [`health`](RemoteReader::health))
+/// — is one round trip on it, reconnecting transparently if the collector
+/// restarts:
+///
+/// ```
+/// use hb_net::{Collector, RemoteReader};
+///
+/// let collector = Collector::bind("127.0.0.1:0", "127.0.0.1:0").unwrap();
+/// let reader = RemoteReader::connect(collector.query_addr().to_string()).unwrap();
+///
+/// reader.ping().unwrap();
+/// assert_eq!(reader.apps().unwrap(), Vec::<String>::new());
+/// // Unknown applications answer None, not an error.
+/// assert_eq!(reader.snapshot("nobody").unwrap(), None);
+/// assert_eq!(reader.health("nobody").unwrap(), None);
+/// ```
 #[derive(Debug)]
 pub struct RemoteReader {
     addr: String,
@@ -45,11 +71,12 @@ impl RemoteReader {
         Ok(BufReader::new(stream))
     }
 
-    /// Sends `command` and collects response lines with `read`, reconnecting
-    /// once if the cached connection has gone stale.
+    /// Sends `request` bytes (a query line or an encoded query frame) and
+    /// collects the response with `read`, reconnecting once if the cached
+    /// connection has gone stale.
     fn exchange<T>(
         &self,
-        command: &str,
+        request: &[u8],
         read: impl Fn(&mut BufReader<TcpStream>) -> Result<T>,
     ) -> Result<T> {
         let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
@@ -60,7 +87,7 @@ impl RemoteReader {
             let conn = guard.as_mut().expect("connection just established");
             let outcome = conn
                 .get_ref()
-                .write_all(command.as_bytes())
+                .write_all(request)
                 .map_err(NetError::from)
                 .and_then(|()| read(conn));
             match outcome {
@@ -76,9 +103,21 @@ impl RemoteReader {
         unreachable!("loop returns on success or second failure")
     }
 
+    /// Sends one binary query frame and reads one frame back, over the same
+    /// persistent connection the line queries use (the collector
+    /// disambiguates by the frame magic).
+    fn query_frame(&self, request: &Frame) -> Result<Frame> {
+        let bytes = request.encode();
+        self.exchange(&bytes, |conn| {
+            FrameReader::new(conn)
+                .read_frame()?
+                .ok_or(NetError::UnexpectedEof)
+        })
+    }
+
     /// Names of all applications the collector knows about.
     pub fn apps(&self) -> Result<Vec<String>> {
-        self.exchange("LIST\n", |conn| {
+        self.exchange(b"LIST\n", |conn| {
             let header = read_line(conn)?;
             let count: usize = header
                 .strip_prefix("APPS ")
@@ -97,7 +136,7 @@ impl RemoteReader {
     /// seen it.
     pub fn snapshot(&self, app: &str) -> Result<Option<AppSnapshot>> {
         let command = format!("GET {app}\n");
-        self.exchange(&command, |conn| {
+        self.exchange(command.as_bytes(), |conn| {
             let line = read_line(conn)?;
             if line.starts_with("ERR unknown app") {
                 return Ok(None);
@@ -108,7 +147,7 @@ impl RemoteReader {
 
     /// The Prometheus text export.
     pub fn metrics(&self) -> Result<String> {
-        self.exchange("METRICS\n", |conn| {
+        self.exchange(b"METRICS\n", |conn| {
             let mut text = String::new();
             loop {
                 let line = read_line(conn)?;
@@ -123,7 +162,7 @@ impl RemoteReader {
     /// Collector-wide counters (`STATS`): connection, frame and error
     /// totals plus the size of the reactor's I/O thread pool.
     pub fn stats(&self) -> Result<CollectorStats> {
-        self.exchange("STATS\n", |conn| {
+        self.exchange(b"STATS\n", |conn| {
             let line = read_line(conn)?;
             parse_stats(line.trim())
         })
@@ -131,7 +170,7 @@ impl RemoteReader {
 
     /// Round-trip liveness probe of the collector itself.
     pub fn ping(&self) -> Result<()> {
-        self.exchange("PING\n", |conn| {
+        self.exchange(b"PING\n", |conn| {
             let line = read_line(conn)?;
             if line.trim() == "PONG" {
                 Ok(())
@@ -139,6 +178,48 @@ impl RemoteReader {
                 Err(NetError::BadResponse(line))
             }
         })
+    }
+
+    /// The collector's retained history for `app`: the most recent `limit`
+    /// samples (`0` = all retained), chronological, with the total ever
+    /// ingested. `None` if the collector has never seen the application —
+    /// including any name the wire rules forbid, which no collector can
+    /// know (answered locally, like [`snapshot`](Self::snapshot) answers
+    /// unknown apps, instead of sending a frame the collector would reject).
+    ///
+    /// Goes over the wire as a binary [`Frame::HistoryReq`] — one round
+    /// trip regardless of how many samples come back.
+    pub fn history(&self, app: &str, limit: u32) -> Result<Option<HistoryChunk>> {
+        if !crate::wire::valid_app_name(app) {
+            return Ok(None);
+        }
+        match self.query_frame(&Frame::HistoryReq {
+            app: app.to_string(),
+            limit,
+        })? {
+            Frame::History(chunk) => Ok(chunk.known.then_some(chunk)),
+            other => Err(NetError::BadResponse(format!(
+                "expected a history frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The collector's windowed health classification of `app`
+    /// ([`Frame::HealthReq`]), or `None` if the collector has never seen
+    /// the application (wire-invalid names included, as with
+    /// [`history`](Self::history)).
+    pub fn health(&self, app: &str) -> Result<Option<HealthReport>> {
+        if !crate::wire::valid_app_name(app) {
+            return Ok(None);
+        }
+        match self.query_frame(&Frame::HealthReq {
+            app: app.to_string(),
+        })? {
+            Frame::Health(health) => Ok(health.known.then_some(health.report)),
+            other => Err(NetError::BadResponse(format!(
+                "expected a health frame, got {other:?}"
+            ))),
+        }
     }
 
     /// Narrows this reader to one application as a [`RateSource`] for
@@ -300,6 +381,26 @@ impl RemoteApp {
     pub fn snapshot(&self) -> Option<AppSnapshot> {
         self.reader.snapshot(&self.app).ok().flatten()
     }
+
+    /// Fetches the collector's windowed health report, if the collector
+    /// knows the app.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.reader.health(&self.app).ok().flatten()
+    }
+}
+
+impl HealthSource for RemoteApp {
+    fn health_level(&self) -> HealthLevel {
+        // An unreachable collector and an unknown application both mean "no
+        // trustworthy signal" — exactly what NoSignal tells a guarded
+        // control loop to hold on.
+        match self.health().map(|report| report.status) {
+            Some(HealthStatus::Healthy) => HealthLevel::Healthy,
+            Some(HealthStatus::Degraded) => HealthLevel::Degraded,
+            Some(HealthStatus::Stalled) => HealthLevel::Stalled,
+            Some(HealthStatus::NoSignal) | None => HealthLevel::NoSignal,
+        }
+    }
 }
 
 impl RateSource for RemoteApp {
@@ -419,6 +520,19 @@ mod tests {
             "COLLECTOR apps=1",
         ] {
             assert!(parse_stats(line).is_err(), "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn wire_invalid_names_answer_none_locally() {
+        // No collector could ever know a wire-invalid name (the decoder
+        // rejects it), so the client answers None without a round trip —
+        // the listener here never even accepts.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let reader = RemoteReader::connect(listener.local_addr().unwrap().to_string()).unwrap();
+        for bad in ["two words", "", "quo\"te", "line\nbreak"] {
+            assert!(reader.history(bad, 0).unwrap().is_none(), "{bad:?}");
+            assert!(reader.health(bad).unwrap().is_none(), "{bad:?}");
         }
     }
 

@@ -10,14 +10,23 @@
 //! driving a control loop — reads progress and goals without touching the
 //! producing process.
 //!
-//! Serving is fully event-driven: a [`Reactor`](crate::reactor::Reactor)
-//! multiplexes every producer and observer socket over a fixed pool of I/O
+//! Serving is fully event-driven: a [`Reactor`] multiplexes every producer
+//! and observer socket over a fixed pool of I/O
 //! threads ([`CollectorConfig::io_threads`], default 2), so thousands of
 //! concurrent connections cost file descriptors and per-connection state —
 //! not OS threads. Producer bytes run through an incremental
-//! [`FrameDecoder`](crate::frame::FrameDecoder); each decoded beat batch is
+//! [`FrameDecoder`]; each decoded beat batch is
 //! absorbed into the registry under a single shard lock, so observer
 //! queries always see per-application counts at batch granularity.
+//!
+//! Beyond live aggregates, every ingested global beat is also sampled into
+//! a bounded per-application [`HistoryRing`] (preallocated; zero allocation
+//! on the hot path), which feeds the windowed anomaly detector of
+//! [`crate::health`]: observers can ask not just "how fast is this app now"
+//! but "was it `healthy | degraded | stalled` over the last window" — via
+//! the `HISTORY`/`HEALTH` line commands, binary
+//! [`Frame::HistoryReq`]/[`Frame::HealthReq`] queries, or the
+//! `hb_app_health` Prometheus gauge.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -33,8 +42,9 @@ use heartbeats::stats::OnlineStats;
 use heartbeats::{BeatScope, MovingRate};
 
 use crate::frame::FrameDecoder;
+use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample};
 use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
-use crate::wire::Frame;
+use crate::wire::{Frame, HealthFrame, HistoryChunk, MAX_HISTORY_SAMPLES};
 
 /// Tuning knobs for a [`Collector`].
 #[derive(Debug, Clone)]
@@ -53,6 +63,15 @@ pub struct CollectorConfig {
     /// Connections (producer or observer) idle longer than this are
     /// evicted; `Duration::ZERO` disables eviction.
     pub idle_timeout: Duration,
+    /// Samples retained per application in its [`HistoryRing`]
+    /// (preallocated at registration; `0` disables history and health
+    /// windowing entirely). Clamped to [`MAX_HISTORY_SAMPLES`] so a full
+    /// ring always fits a single [`Frame::History`] reply — "all retained"
+    /// can then never be silently truncated on the wire.
+    pub history_capacity: usize,
+    /// Windowed anomaly detector tuning (health window, jitter threshold,
+    /// tag-as-sequence checks).
+    pub health: HealthConfig,
 }
 
 impl Default for CollectorConfig {
@@ -63,6 +82,8 @@ impl Default for CollectorConfig {
             max_window: 1024,
             io_threads: 2,
             idle_timeout: Duration::from_secs(60),
+            history_capacity: 1024,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -81,14 +102,21 @@ struct AppEntry {
     target: Option<(f64, f64)>,
     connections: u32,
     last_seen: Instant,
+    /// Bounded ring of recent beats, preallocated here so the ingest hot
+    /// path never allocates.
+    history: HistoryRing,
+    /// When the last *global beat* arrived (receiver clock) — unlike
+    /// `last_seen`, hellos and target changes do not reset it, so stall
+    /// detection cannot be masked by reconnects.
+    last_beat_at: Option<Instant>,
 }
 
 impl AppEntry {
-    fn new(pid: u32, default_window: u32, max_window: usize) -> Self {
+    fn new(pid: u32, default_window: u32, config: &CollectorConfig) -> Self {
         AppEntry {
             pid,
             default_window,
-            window: MovingRate::new((default_window as usize).clamp(2, max_window)),
+            window: MovingRate::new((default_window as usize).clamp(2, config.max_window)),
             intervals: OnlineStats::new(),
             last_timestamp_ns: None,
             total_beats: 0,
@@ -97,7 +125,30 @@ impl AppEntry {
             target: None,
             connections: 0,
             last_seen: Instant::now(),
+            // The clamp keeps every possible "all retained" reply within
+            // one History frame (see CollectorConfig::history_capacity).
+            history: HistoryRing::new(config.history_capacity.min(MAX_HISTORY_SAMPLES)),
+            last_beat_at: None,
         }
+    }
+
+    /// Runs the windowed anomaly detector over this entry's recent history.
+    fn health(&self, config: &HealthConfig) -> HealthReport {
+        let window_ns = config.window.as_nanos().min(u64::MAX as u128) as u64;
+        let window = self.history.window_from_newest(window_ns);
+        let silent_for = match self.last_beat_at {
+            Some(at) => at.elapsed(),
+            // Beats may have been counted with history disabled; treat the
+            // missing arrival time as total silence.
+            None => Duration::MAX,
+        };
+        health::assess(
+            &window,
+            self.total_beats,
+            silent_for,
+            self.target,
+            config,
+        )
     }
 }
 
@@ -145,7 +196,10 @@ pub struct CollectorState {
 }
 
 impl CollectorState {
-    fn new(config: CollectorConfig) -> Self {
+    /// Creates a standalone registry with no sockets attached — the same
+    /// aggregation the daemon runs, usable embedded in another server, in
+    /// tests, and in benchmarks ([`Collector`] wires one to its reactor).
+    pub fn new(config: CollectorConfig) -> Self {
         let shards = (0..config.shards.max(1))
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
@@ -166,11 +220,30 @@ impl CollectorState {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    fn hello(&self, app: &str, pid: u32, default_window: u32) {
-        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+    /// Maps a caller-supplied name onto a valid registry key. Network input
+    /// is already validated by the frame decoder (the common case, kept
+    /// allocation-free); the public embedding API goes through the same
+    /// sanitizer [`TcpBackend`](crate::TcpBackend) uses, so a hostile name
+    /// can never corrupt Prometheus labels or single-line responses.
+    fn registry_key(app: &str) -> std::borrow::Cow<'_, str> {
+        if crate::wire::valid_app_name(app) {
+            std::borrow::Cow::Borrowed(app)
+        } else {
+            std::borrow::Cow::Owned(crate::wire::sanitize_app_name(app))
+        }
+    }
+
+    /// Registers a producer connection for `app` (the
+    /// [`Frame::Hello`] path): records identity, sizes the server-side
+    /// rate window, and bumps the connection count. Names that violate the
+    /// wire rules are sanitized the way
+    /// [`sanitize_app_name`](crate::wire::sanitize_app_name) does.
+    pub fn hello(&self, app: &str, pid: u32, default_window: u32) {
+        let app = Self::registry_key(app);
+        let mut shard = self.shard(&app).lock().unwrap_or_else(|e| e.into_inner());
         let entry = shard
-            .entry(app.to_string())
-            .or_insert_with(|| AppEntry::new(pid, default_window, self.config.max_window));
+            .entry(app.into_owned())
+            .or_insert_with(|| AppEntry::new(pid, default_window, &self.config));
         entry.pid = pid;
         entry.default_window = default_window;
         entry.connections += 1;
@@ -184,26 +257,45 @@ impl CollectorState {
         }
     }
 
-    fn beats(&self, app: &str, batch: &crate::wire::BeatBatch) {
-        let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
-        let max_window = self.config.max_window;
+    /// Absorbs one decoded beat batch for `app` under a single shard lock
+    /// (the [`Frame::Beats`] path): rates, interval statistics, totals and
+    /// the history ring all advance atomically with respect to queries.
+    /// Names that violate the wire rules are sanitized the way
+    /// [`sanitize_app_name`](crate::wire::sanitize_app_name) does.
+    pub fn ingest_batch(&self, app: &str, batch: &crate::wire::BeatBatch) {
+        let app = Self::registry_key(app);
+        let mut shard = self.shard(&app).lock().unwrap_or_else(|e| e.into_inner());
+        let config = &self.config;
         let entry = shard
-            .entry(app.to_string())
-            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, max_window));
+            .entry(app.into_owned())
+            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
         entry.producer_dropped = entry.producer_dropped.max(batch.dropped_total);
-        entry.last_seen = Instant::now();
+        let now = Instant::now();
+        entry.last_seen = now;
         for beat in &batch.beats {
             match beat.scope {
                 BeatScope::Global => {
                     let ts = beat.record.timestamp_ns;
+                    let mut interval_ns = 0;
                     if let Some(prev) = entry.last_timestamp_ns {
                         if let Some(interval) = ts.checked_sub(prev) {
                             entry.intervals.push(interval as f64);
+                            interval_ns = interval;
                         }
                     }
-                    entry.window.push(ts);
+                    let rate_bps = entry.window.push(ts);
                     entry.last_timestamp_ns = Some(ts);
                     entry.total_beats += 1;
+                    entry.last_beat_at = Some(now);
+                    // Zero allocation: the ring was preallocated with the
+                    // entry; a full ring overwrites its oldest slot.
+                    entry.history.push(HistorySample {
+                        seq: beat.record.seq,
+                        timestamp_ns: ts,
+                        tag: beat.record.tag.value(),
+                        interval_ns,
+                        rate_bps,
+                    });
                 }
                 BeatScope::Local => entry.local_beats += 1,
             }
@@ -212,10 +304,10 @@ impl CollectorState {
 
     fn target(&self, app: &str, min_bps: f64, max_bps: f64) {
         let mut shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
-        let max_window = self.config.max_window;
+        let config = &self.config;
         let entry = shard
             .entry(app.to_string())
-            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, max_window));
+            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
         entry.target = Some((min_bps, max_bps));
         entry.last_seen = Instant::now();
     }
@@ -257,6 +349,42 @@ impl CollectorState {
             })
             .collect();
         all.sort_by(|a, b| a.app.cmp(&b.app));
+        all
+    }
+
+    /// The retained history of one application: `(total samples ever
+    /// pushed, most recent samples chronological)`, or `None` if the
+    /// collector has never seen the application. `limit == 0` returns every
+    /// retained sample.
+    pub fn history(&self, app: &str, limit: usize) -> Option<(u64, Vec<HistorySample>)> {
+        let shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        shard
+            .get(app)
+            .map(|entry| (entry.history.total_pushed(), entry.history.latest(limit)))
+    }
+
+    /// The windowed health classification of one application, or `None` if
+    /// the collector has never seen it.
+    pub fn health(&self, app: &str) -> Option<HealthReport> {
+        let shard = self.shard(app).lock().unwrap_or_else(|e| e.into_inner());
+        shard.get(app).map(|entry| entry.health(&self.config.health))
+    }
+
+    /// Health classifications of every registered application, sorted by
+    /// name.
+    pub fn healths(&self) -> Vec<(String, HealthReport)> {
+        let mut all: Vec<(String, HealthReport)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+                shard
+                    .iter()
+                    .map(|(app, entry)| (app.clone(), entry.health(&self.config.health)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
 
@@ -334,6 +462,15 @@ impl CollectorState {
                 u8::from(snap.alive)
             ));
         }
+        // Health gauge: 0 = nosignal, 1 = stalled, 2 = degraded,
+        // 3 = healthy (the stable HealthStatus encoding; higher is better).
+        out.push_str("# TYPE hb_app_health gauge\n");
+        for (app, report) in self.healths() {
+            out.push_str(&format!(
+                "hb_app_health{{app=\"{app}\"}} {}\n",
+                report.status.as_u8()
+            ));
+        }
         out.push_str("# TYPE hb_collector_connections_total counter\n");
         out.push_str(&format!(
             "hb_collector_connections_total {}\n",
@@ -360,6 +497,24 @@ impl CollectorState {
 /// The collector daemon: an ingest listener for producers and a query
 /// listener for observers, both multiplexed over one reactor's fixed pool
 /// of I/O threads.
+///
+/// Bind with port `0` to pick ephemeral ports (the pattern every test and
+/// doctest uses); the real addresses are available afterwards:
+///
+/// ```
+/// use hb_net::Collector;
+///
+/// let mut collector = Collector::bind("127.0.0.1:0", "127.0.0.1:0").unwrap();
+/// assert_ne!(collector.ingest_addr().port(), 0);
+/// assert_ne!(collector.query_addr().port(), 0);
+///
+/// // In-process observers read the registry directly.
+/// let state = collector.state();
+/// assert!(state.app_names().is_empty());
+/// assert!(state.prometheus().contains("hb_collector_uptime_seconds"));
+///
+/// collector.shutdown(); // joins the fixed I/O thread pool
+/// ```
 #[derive(Debug)]
 pub struct Collector {
     state: Arc<CollectorState>,
@@ -487,7 +642,7 @@ impl Handler for ProducerHandler {
                             self.app = Some(hello.app);
                         }
                         Frame::Beats(batch) => match &self.app {
-                            Some(app) => self.state.beats(app, &batch),
+                            Some(app) => self.state.ingest_batch(app, &batch),
                             None => {
                                 self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
                                 return false;
@@ -501,6 +656,15 @@ impl Handler for ProducerHandler {
                             }
                         },
                         Frame::Bye => return false,
+                        // Query frames belong on the query port; a producer
+                        // sending one is violating the protocol.
+                        Frame::HistoryReq { .. }
+                        | Frame::History(_)
+                        | Frame::HealthReq { .. }
+                        | Frame::Health(_) => {
+                            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            return false;
+                        }
                     }
                 }
                 Ok(None) => return true, // need more bytes
@@ -534,45 +698,136 @@ const MAX_QUERY_LINE: usize = 64 * 1024;
 /// queries. The blocking engine was naturally bounded by the peer's read
 /// rate; the reactor buffers replies, so a client flooding `METRICS\n`
 /// lines without reading could otherwise balloon the outbound buffer within
-/// a single read burst. Beyond the cap the connection is dropped.
-const MAX_PENDING_REPLIES: usize = 1 << 20;
+/// a single read burst. Beyond the cap the connection is dropped. Sized to
+/// hold at least two maximal binary `History` replies plus line chatter, so
+/// a legitimate client pipelining a few full-ring queries is never cut off
+/// (the reactor's own `max_outbound` still bounds a truly unread backlog).
+const MAX_PENDING_REPLIES: usize =
+    2 * (crate::wire::MAX_PAYLOAD + crate::wire::HEADER_LEN) + MAX_QUERY_LINE;
 
-/// Per-connection state machine for one observer: accumulates bytes into
-/// lines and answers each completed query into the outbound buffer.
+/// Per-connection state machine for one observer.
+///
+/// The query port speaks two protocols on the same socket, disambiguated by
+/// the first bytes of every message: a message starting with the frame
+/// magic (`HBWT`) is a binary wire-protocol query
+/// ([`Frame::HistoryReq`] / [`Frame::HealthReq`], answered with
+/// [`Frame::History`] / [`Frame::Health`]); anything else is a
+/// newline-terminated line command (`HELP` lists them). The two may be
+/// freely interleaved on one connection — [`RemoteReader`](crate::RemoteReader)
+/// does exactly that.
 struct ObserverHandler {
     state: Arc<CollectorState>,
-    line: Vec<u8>,
+    buf: Vec<u8>,
 }
 
 impl ObserverHandler {
     fn new(state: Arc<CollectorState>) -> Self {
         ObserverHandler {
             state,
-            line: Vec::new(),
+            buf: Vec::new(),
         }
+    }
+
+    /// Answers one binary query frame. Returns `false` to close.
+    fn handle_frame(&self, frame: Frame, out: &mut Vec<u8>) -> bool {
+        let reply = match frame {
+            Frame::HistoryReq { app, limit } => {
+                let found = self.state.history(&app, limit as usize);
+                let known = found.is_some();
+                let (total, mut samples) = found.unwrap_or_default();
+                // Rings are clamped to MAX_HISTORY_SAMPLES at creation, so
+                // this is a pure backstop against a future unclamped path.
+                if samples.len() > MAX_HISTORY_SAMPLES {
+                    samples.drain(..samples.len() - MAX_HISTORY_SAMPLES);
+                }
+                Frame::History(HistoryChunk {
+                    app,
+                    known,
+                    total,
+                    samples,
+                })
+            }
+            Frame::HealthReq { app } => {
+                let report = self.state.health(&app);
+                let known = report.is_some();
+                Frame::Health(HealthFrame {
+                    app,
+                    known,
+                    report: report.unwrap_or_else(HealthReport::no_signal),
+                })
+            }
+            // Producer frames (and unsolicited responses) do not belong on
+            // the query port.
+            _ => return false,
+        };
+        reply.encode_into(out);
+        true
     }
 }
 
 impl Handler for ObserverHandler {
     fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
-        self.line.extend_from_slice(input);
+        self.buf.extend_from_slice(input);
         let mut consumed = 0;
-        while let Some(nl) = self.line[consumed..].iter().position(|&b| b == b'\n') {
+        loop {
             if out.len() > MAX_PENDING_REPLIES {
                 return false; // pipelining flood: answers outpace the reads
             }
-            let raw = &self.line[consumed..consumed + nl];
-            let text = String::from_utf8_lossy(raw);
-            // Writing to a Vec cannot fail; treat the impossible as QUIT.
-            let keep_open = handle_query(text.trim(), &self.state, out).unwrap_or(false);
-            consumed += nl + 1;
-            if !keep_open {
-                return false;
+            let avail = &self.buf[consumed..];
+            if avail.is_empty() {
+                break;
+            }
+            // Disambiguate the next message: binary frames start with the
+            // 4-byte magic; no line command does (line commands are ASCII
+            // words like HELP/HISTORY, and the magic contains no newline).
+            let magic = crate::wire::MAGIC.to_le_bytes();
+            let prefix_len = avail.len().min(magic.len());
+            if avail[..prefix_len] == magic[..prefix_len] {
+                if avail.len() < crate::wire::HEADER_LEN {
+                    break; // could still become a frame; wait for more
+                }
+                let Ok((_, payload_len, _)) = Frame::decode_header(avail) else {
+                    return false;
+                };
+                if avail.len() < crate::wire::HEADER_LEN + payload_len {
+                    break; // incomplete frame; wait for more
+                }
+                match Frame::decode(avail) {
+                    Ok((frame, used)) => {
+                        if !self.handle_frame(frame, out) {
+                            return false;
+                        }
+                        consumed += used;
+                    }
+                    Err(_) => return false,
+                }
+            } else {
+                let Some(nl) = avail.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let text = String::from_utf8_lossy(&avail[..nl]);
+                // Writing to a Vec cannot fail; treat the impossible as
+                // QUIT.
+                let keep_open = handle_query(text.trim(), &self.state, out).unwrap_or(false);
+                consumed += nl + 1;
+                if !keep_open {
+                    return false;
+                }
             }
         }
-        self.line.drain(..consumed);
-        // An unterminated "line" longer than any real query is an attack.
-        self.line.len() <= MAX_QUERY_LINE
+        self.buf.drain(..consumed);
+        // An unterminated message longer than any real query is an attack.
+        // The bound depends on what the pending bytes are: a binary frame
+        // may legitimately reach HEADER_LEN + MAX_PAYLOAD, while a command
+        // line is tiny.
+        let magic = crate::wire::MAGIC.to_le_bytes();
+        let prefix = self.buf.len().min(magic.len());
+        let limit = if self.buf[..prefix] == magic[..prefix] {
+            crate::wire::HEADER_LEN + crate::wire::MAX_PAYLOAD
+        } else {
+            MAX_QUERY_LINE
+        };
+        self.buf.len() <= limit
     }
 }
 
@@ -606,6 +861,58 @@ pub fn format_snapshot(snap: &AppSnapshot) -> String {
     )
 }
 
+/// Formats one health report as the single-line `HEALTH` response.
+pub fn format_health(app: &str, report: &HealthReport) -> String {
+    let reasons = if report.reasons.is_empty() {
+        "none".to_string()
+    } else {
+        report
+            .reasons
+            .iter()
+            .map(|r| r.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_else(|| "na".into());
+    format!(
+        "HEALTH app={app} status={} reasons={reasons} beats={} rate={} jitter={} \
+         missing={} duplicated={} reordered={} silent_ms={}",
+        report.status,
+        report.window_beats,
+        opt(report.window_rate_bps),
+        opt(report.jitter_cv),
+        report.missing,
+        report.duplicated,
+        report.reordered,
+        report.silent_ns / 1_000_000,
+    )
+}
+
+/// Formats one history sample as an `S` line of the `HISTORY` response.
+fn format_sample(sample: &HistorySample) -> String {
+    let rate = sample
+        .rate_bps
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "na".into());
+    format!(
+        "S seq={} ts={} tag={} interval={} rate={rate}",
+        sample.seq, sample.timestamp_ns, sample.tag, sample.interval_ns,
+    )
+}
+
+/// The `HELP` response: every query-port command, one per line.
+const HELP_TEXT: &str = "\
+HELP                 this command list
+PING                 liveness probe; answers PONG
+LIST                 application names (APPS <n>, one name per line, END)
+GET <app>            one-line snapshot of an application
+HISTORY <app> [n]    recent beat samples, newest n (default all retained), END-terminated
+HEALTH [app]         windowed health classification; without <app>, all applications, END-terminated
+METRICS              Prometheus text export, END-terminated
+STATS                one-line collector-wide counters
+QUIT                 close the connection
+binary               wire-protocol HistoryReq/HealthReq frames (magic HBWT) are answered in kind; see docs/WIRE.md";
+
 /// Executes one query command; returns `false` when the connection should
 /// close.
 fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io::Result<bool> {
@@ -614,6 +921,53 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
         None => Ok(true), // blank line
         Some("PING") => {
             writeln!(out, "PONG")?;
+            Ok(true)
+        }
+        Some("HELP") => {
+            writeln!(out, "{HELP_TEXT}")?;
+            writeln!(out, "END")?;
+            Ok(true)
+        }
+        Some("HISTORY") => {
+            let app = parts.next();
+            let limit = parts.next().and_then(|n| n.parse::<usize>().ok());
+            match (app, limit) {
+                (Some(app), limit) => {
+                    match state.history(app, limit.unwrap_or(0)) {
+                        Some((total, samples)) => {
+                            writeln!(
+                                out,
+                                "HISTORY app={app} total={total} count={}",
+                                samples.len()
+                            )?;
+                            for sample in &samples {
+                                writeln!(out, "{}", format_sample(sample))?;
+                            }
+                            writeln!(out, "END")?;
+                        }
+                        None => writeln!(out, "ERR unknown app")?,
+                    }
+                    Ok(true)
+                }
+                (None, _) => {
+                    writeln!(out, "ERR usage: HISTORY <app> [limit]")?;
+                    Ok(true)
+                }
+            }
+        }
+        Some("HEALTH") => {
+            match parts.next() {
+                Some(app) => match state.health(app) {
+                    Some(report) => writeln!(out, "{}", format_health(app, &report))?,
+                    None => writeln!(out, "ERR unknown app")?,
+                },
+                None => {
+                    for (app, report) in state.healths() {
+                        writeln!(out, "{}", format_health(&app, &report))?;
+                    }
+                    writeln!(out, "END")?;
+                }
+            }
             Ok(true)
         }
         Some("LIST") => {
@@ -656,7 +1010,7 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
             Ok(false)
         }
         Some(other) => {
-            writeln!(out, "ERR unknown command {other}")?;
+            writeln!(out, "ERR unknown command {other} (try HELP)")?;
             Ok(true)
         }
     }
@@ -687,7 +1041,7 @@ mod tests {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("x264", 42, 20);
         // Beats every 100 ms -> 10 beats/s.
-        state.beats(
+        state.ingest_batch(
             "x264",
             &batch(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000]),
         );
@@ -707,7 +1061,7 @@ mod tests {
         state.target("dedup", 30.0, 35.0);
         let mut b = batch(&[0, 1_000]);
         b.dropped_total = 17;
-        state.beats("dedup", &b);
+        state.ingest_batch("dedup", &b);
         let snap = state.snapshot("dedup").unwrap();
         assert_eq!(snap.target, Some((30.0, 35.0)));
         assert_eq!(snap.producer_dropped, 17);
@@ -719,7 +1073,7 @@ mod tests {
         state.hello("ferret", 1, 20);
         let mut b = batch(&[0, 1_000]);
         b.beats[1].scope = BeatScope::Local;
-        state.beats("ferret", &b);
+        state.ingest_batch("ferret", &b);
         let snap = state.snapshot("ferret").unwrap();
         assert_eq!(snap.total_beats, 1);
         assert_eq!(snap.local_beats, 1);
@@ -760,7 +1114,7 @@ mod tests {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("swaptions", 9, 20);
         state.target("swaptions", 5.0, 10.0);
-        state.beats("swaptions", &batch(&[0, 500_000_000, 1_000_000_000]));
+        state.ingest_batch("swaptions", &batch(&[0, 500_000_000, 1_000_000_000]));
         let text = state.prometheus();
         assert!(text.contains("hb_app_rate_bps{app=\"swaptions\"} 2"));
         assert!(text.contains("hb_app_beats_total{app=\"swaptions\"} 3"));
@@ -773,7 +1127,7 @@ mod tests {
     fn query_protocol_responses() {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("app-a", 7, 20);
-        state.beats("app-a", &batch(&[0, 1_000_000]));
+        state.ingest_batch("app-a", &batch(&[0, 1_000_000]));
 
         let mut out = Vec::new();
         assert!(handle_query("PING", &state, &mut out).unwrap());
@@ -792,6 +1146,269 @@ mod tests {
         assert!(text.contains("COLLECTOR apps=1"));
         assert!(text.contains("ERR unknown command NONSENSE"));
         assert!(text.contains("BYE"));
+    }
+
+    #[test]
+    fn history_ring_records_ingested_beats() {
+        let state = CollectorState::new(CollectorConfig {
+            history_capacity: 4,
+            ..CollectorConfig::default()
+        });
+        state.hello("vips", 1, 20);
+        state.ingest_batch(
+            "vips",
+            &batch(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000, 500_000_000]),
+        );
+        let (total, samples) = state.history("vips", 0).unwrap();
+        assert_eq!(total, 6);
+        assert_eq!(samples.len(), 4, "ring bounded at capacity");
+        let timestamps: Vec<u64> = samples.iter().map(|s| s.timestamp_ns).collect();
+        assert_eq!(
+            timestamps,
+            vec![200_000_000, 300_000_000, 400_000_000, 500_000_000],
+            "oldest overwritten, order chronological"
+        );
+        assert_eq!(samples[1].interval_ns, 100_000_000);
+        assert!((samples[3].rate_bps.unwrap() - 10.0).abs() < 1e-9);
+        // Limit trims from the front.
+        let (_, last2) = state.history("vips", 2).unwrap();
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[1].timestamp_ns, 500_000_000);
+        assert!(state.history("ghost", 0).is_none());
+    }
+
+    #[test]
+    fn local_beats_are_not_sampled_into_history() {
+        let state = CollectorState::new(CollectorConfig::default());
+        let mut b = batch(&[0, 1_000_000]);
+        b.beats[1].scope = BeatScope::Local;
+        state.ingest_batch("mix", &b);
+        let (total, samples) = state.history("mix", 0).unwrap();
+        assert_eq!(total, 1);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn health_classifies_and_recovers() {
+        let state = CollectorState::new(CollectorConfig {
+            health: crate::health::HealthConfig {
+                window: Duration::from_millis(60),
+                ..Default::default()
+            },
+            ..CollectorConfig::default()
+        });
+        assert!(state.health("ghost").is_none());
+        state.hello("cam", 1, 20);
+        let report = state.health("cam").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::NoSignal);
+
+        state.ingest_batch("cam", &batch(&[0, 10_000_000, 20_000_000, 30_000_000]));
+        let report = state.health("cam").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::Healthy);
+        assert_eq!(report.window_beats, 4);
+
+        // Silence past the window stalls the app...
+        std::thread::sleep(Duration::from_millis(80));
+        let report = state.health("cam").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::Stalled);
+
+        // ...and resuming beats recovers it.
+        state.ingest_batch("cam", &batch(&[40_000_000, 50_000_000]));
+        let report = state.health("cam").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn health_flags_rate_below_target() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.target("slow", 100.0, 200.0);
+        // 10 bps, far below the 100 bps floor.
+        state.ingest_batch(
+            "slow",
+            &batch(&[0, 100_000_000, 200_000_000, 300_000_000]),
+        );
+        let report = state.health("slow").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::Degraded);
+        assert!(report
+            .reasons
+            .contains(&crate::health::HealthReason::RateBelowTarget));
+    }
+
+    #[test]
+    fn history_and_health_query_lines() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("app-a", 7, 20);
+        state.ingest_batch("app-a", &batch(&[0, 1_000_000, 2_000_000]));
+
+        let mut out = Vec::new();
+        assert!(handle_query("HISTORY app-a", &state, &mut out).unwrap());
+        assert!(handle_query("HISTORY app-a 1", &state, &mut out).unwrap());
+        assert!(handle_query("HISTORY ghost", &state, &mut out).unwrap());
+        assert!(handle_query("HISTORY", &state, &mut out).unwrap());
+        assert!(handle_query("HEALTH app-a", &state, &mut out).unwrap());
+        assert!(handle_query("HEALTH ghost", &state, &mut out).unwrap());
+        assert!(handle_query("HEALTH", &state, &mut out).unwrap());
+
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("HISTORY app=app-a total=3 count=3"));
+        assert!(text.contains("HISTORY app=app-a total=3 count=1"));
+        assert!(text.contains("S seq=0 ts=0 tag=0 interval=0 rate=na"));
+        assert!(text.contains("S seq=2 ts=2000000 tag=0 interval=1000000 rate="));
+        assert!(text.contains("ERR unknown app"));
+        assert!(text.contains("ERR usage: HISTORY"));
+        assert!(text.contains("HEALTH app=app-a status=healthy reasons=none beats=3"));
+        assert!(text.contains("END"));
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let state = CollectorState::new(CollectorConfig::default());
+        let mut out = Vec::new();
+        assert!(handle_query("HELP", &state, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        for command in ["HELP", "PING", "LIST", "GET", "HISTORY", "HEALTH", "METRICS", "STATS", "QUIT"] {
+            assert!(text.contains(command), "HELP must list {command}");
+        }
+        assert!(text.trim_end().ends_with("END"));
+        // The pointer printed for unknown commands mentions HELP.
+        let mut err = Vec::new();
+        handle_query("WAT", &state, &mut err).unwrap();
+        assert!(String::from_utf8(err).unwrap().contains("try HELP"));
+    }
+
+    #[test]
+    fn prometheus_exports_health_gauge() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("quiet", 1, 20);
+        state.ingest_batch("live", &batch(&[0, 1_000_000, 2_000_000]));
+        let text = state.prometheus();
+        assert!(text.contains("# TYPE hb_app_health gauge"));
+        assert!(text.contains("hb_app_health{app=\"live\"} 3"), "healthy = 3");
+        assert!(text.contains("hb_app_health{app=\"quiet\"} 0"), "no signal = 0");
+    }
+
+    #[test]
+    fn observer_handler_answers_binary_queries() {
+        let state = Arc::new(CollectorState::new(CollectorConfig::default()));
+        state.ingest_batch("bin-app", &batch(&[0, 1_000_000, 2_000_000]));
+        let mut handler = ObserverHandler::new(Arc::clone(&state));
+        let mut out = Vec::new();
+
+        // A line query, then two binary queries, then another line — all
+        // interleaved on one connection, split at awkward byte boundaries.
+        let mut input = b"PING\n".to_vec();
+        Frame::HistoryReq {
+            app: "bin-app".into(),
+            limit: 2,
+        }
+        .encode_into(&mut input);
+        Frame::HealthReq {
+            app: "ghost".into(),
+        }
+        .encode_into(&mut input);
+        input.extend_from_slice(b"STATS\n");
+
+        for chunk in input.chunks(3) {
+            assert!(handler.on_data(chunk, &mut out), "connection stays open");
+        }
+
+        // Replies: PONG line, History frame, Health frame, STATS line.
+        let text_start = String::from_utf8_lossy(&out[..5]);
+        assert_eq!(text_start, "PONG\n");
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&out[5..]);
+        match decoder.next_frame().unwrap().unwrap() {
+            Frame::History(chunk) => {
+                assert!(chunk.known);
+                assert_eq!(chunk.app, "bin-app");
+                assert_eq!(chunk.total, 3);
+                assert_eq!(chunk.samples.len(), 2, "limit respected");
+            }
+            other => panic!("expected history, got {other:?}"),
+        }
+        match decoder.next_frame().unwrap().unwrap() {
+            Frame::Health(health) => {
+                assert!(!health.known);
+                assert_eq!(
+                    health.report.status,
+                    crate::health::HealthStatus::NoSignal
+                );
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+        let tail = out.len() - decoder.buffered();
+        let rest = String::from_utf8_lossy(&out[tail..]);
+        assert!(rest.starts_with("COLLECTOR "), "rest: {rest:?}");
+    }
+
+    #[test]
+    fn observer_handler_rejects_producer_frames() {
+        let state = Arc::new(CollectorState::new(CollectorConfig::default()));
+        let mut handler = ObserverHandler::new(state);
+        let mut out = Vec::new();
+        let input = Frame::Bye.encode();
+        assert!(
+            !handler.on_data(&input, &mut out),
+            "producer frames close the query connection"
+        );
+    }
+
+    #[test]
+    fn history_capacity_is_clamped_to_one_frame() {
+        use crate::wire::MAX_HISTORY_SAMPLES;
+        let state = CollectorState::new(CollectorConfig {
+            history_capacity: MAX_HISTORY_SAMPLES + 1000,
+            ..CollectorConfig::default()
+        });
+        // Push past the frame bound in chunks.
+        let mut ts = 0u64;
+        let total_pushes = (MAX_HISTORY_SAMPLES + 1000) as u64;
+        let mut pushed = 0u64;
+        while pushed < total_pushes {
+            let n = (total_pushes - pushed).min(4096);
+            let stamps: Vec<u64> = (0..n)
+                .map(|i| {
+                    ts = (pushed + i) * 1_000;
+                    ts
+                })
+                .collect();
+            state.ingest_batch("big", &batch(&stamps));
+            pushed += n;
+        }
+        let (total, samples) = state.history("big", 0).unwrap();
+        assert_eq!(total, total_pushes);
+        assert_eq!(
+            samples.len(),
+            MAX_HISTORY_SAMPLES,
+            "ring clamped so every reply fits one History frame"
+        );
+        // And the reply really does encode.
+        let frame = Frame::History(HistoryChunk {
+            app: "big".into(),
+            known: true,
+            total,
+            samples,
+        });
+        assert!(Frame::decode(&frame.encode()).is_ok());
+    }
+
+    #[test]
+    fn public_ingest_sanitizes_hostile_names() {
+        // The embedding API must not let a name corrupt Prometheus labels
+        // or single-line responses (network input is already validated by
+        // the frame decoder).
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("bad\"} name\nx", 1, 20);
+        state.ingest_batch("bad\"} name\nx", &batch(&[0, 1_000_000]));
+        let names = state.app_names();
+        assert_eq!(names.len(), 1);
+        let key = &names[0];
+        assert!(
+            crate::wire::valid_app_name(key),
+            "registry key {key:?} must satisfy the wire rules"
+        );
+        let text = state.prometheus();
+        assert!(text.contains(&format!("hb_app_beats_total{{app=\"{key}\"}} 2")));
     }
 
     #[test]

@@ -51,7 +51,7 @@
 //! # let _ = app;
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
@@ -60,6 +60,7 @@ pub mod collector;
 pub mod crc;
 mod error;
 pub mod frame;
+pub mod health;
 pub mod reactor;
 pub mod wire;
 
@@ -68,5 +69,8 @@ pub use client::{CollectorStats, RemoteApp, RemoteReader};
 pub use collector::{AppSnapshot, Collector, CollectorConfig, CollectorState};
 pub use error::{NetError, Result};
 pub use frame::{FrameDecoder, FrameReader, FrameWriter};
+pub use health::{
+    HealthConfig, HealthReason, HealthReport, HealthStatus, HistoryRing, HistorySample,
+};
 pub use reactor::{Reactor, ReactorConfig};
-pub use wire::{BatchEncoder, BeatBatch, Frame, Hello, WireBeat};
+pub use wire::{BatchEncoder, BeatBatch, Frame, HealthFrame, Hello, HistoryChunk, WireBeat};

@@ -22,7 +22,20 @@
 //! offset arithmetic — no per-field allocation, friendly to zero-copy-style
 //! scanning.
 //!
+//! ## Versioning
+//!
+//! Each frame carries the **lowest** protocol version that defines its kind
+//! ([`wire_version`]): the original producer frames (kinds 1–4) encode as
+//! version 1, the health query frames (kinds 5–8) as version 2. A decoder
+//! accepts any version in `MIN_VERSION..=VERSION` and rejects a kind its
+//! claimed version does not define, so a version-1-only peer keeps
+//! interoperating with everything it understands while newer frames fail
+//! fast instead of being misparsed. See `docs/WIRE.md` for the byte-level
+//! specification with worked examples.
+//!
 //! ## Frame kinds
+//!
+//! Producer → collector (version 1):
 //!
 //! * [`Frame::Hello`] — sent once per connection: application identity plus
 //!   its default rate window, so the collector can size its server-side
@@ -34,17 +47,29 @@
 //!   goal (`HB_set_target_rate`).
 //! * [`Frame::Bye`] — orderly goodbye; the collector marks the app
 //!   disconnected rather than waiting for staleness.
+//!
+//! Observer ⇄ collector, on the query port (version 2):
+//!
+//! * [`Frame::HistoryReq`] / [`Frame::History`] — ask for / return the
+//!   collector's bounded history ring for one application
+//!   ([`HistorySample`] records).
+//! * [`Frame::HealthReq`] / [`Frame::Health`] — ask for / return the
+//!   windowed anomaly classification ([`HealthReport`]).
 
 use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
 
 use crate::crc::crc32;
 use crate::error::{NetError, Result};
+use crate::health::{HealthReason, HealthReport, HealthStatus, HistorySample};
 
 /// Frame magic: `HBWT` interpreted as a little-endian u32.
 pub const MAGIC: u32 = 0x5457_4248;
 
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (health query frames).
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still accepted (the original producer frames).
+pub const MIN_VERSION: u8 = 1;
 
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 14;
@@ -65,10 +90,34 @@ pub const MAX_BATCH_BEATS: usize = (MAX_PAYLOAD - BATCH_PREFIX_LEN) / BEAT_LEN;
 /// Maximum application-name length accepted in a hello frame.
 pub const MAX_NAME_LEN: usize = 256;
 
+/// Encoded size of one [`HistorySample`] inside a [`Frame::History`]
+/// payload.
+pub const SAMPLE_LEN: usize = 40;
+
+/// Most history samples a single [`Frame::History`] can carry within
+/// [`MAX_PAYLOAD`] (the fixed prefix plus a maximal name leave room for the
+/// rest).
+pub const MAX_HISTORY_SAMPLES: usize = (MAX_PAYLOAD - 15 - MAX_NAME_LEN) / SAMPLE_LEN;
+
 const KIND_HELLO: u8 = 1;
 const KIND_BEATS: u8 = 2;
 const KIND_TARGET: u8 = 3;
 const KIND_BYE: u8 = 4;
+const KIND_HISTORY_REQ: u8 = 5;
+const KIND_HISTORY: u8 = 6;
+const KIND_HEALTH_REQ: u8 = 7;
+const KIND_HEALTH: u8 = 8;
+
+/// The lowest protocol version that defines `kind`, which is also the
+/// version stamped into the header when the frame is encoded. `None` if no
+/// supported version defines it.
+pub fn wire_version(kind: u8) -> Option<u8> {
+    match kind {
+        KIND_HELLO..=KIND_BYE => Some(1),
+        KIND_HISTORY_REQ..=KIND_HEALTH => Some(2),
+        _ => None,
+    }
+}
 
 /// True if `name` is acceptable as an application name on the wire:
 /// non-empty, within [`MAX_NAME_LEN`] bytes, and free of whitespace,
@@ -134,6 +183,36 @@ pub struct BeatBatch {
     pub beats: Vec<WireBeat>,
 }
 
+/// A slice of one application's collector-side history ring, as returned by
+/// a [`Frame::HistoryReq`] query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryChunk {
+    /// The application the history belongs to.
+    pub app: String,
+    /// False when the collector has never seen the application (the chunk
+    /// is then empty but well-formed).
+    pub known: bool,
+    /// Samples ever pushed into the ring, including those already
+    /// overwritten — `total - samples.len()` is the number lost to the
+    /// ring's bound.
+    pub total: u64,
+    /// The retained samples, chronological.
+    pub samples: Vec<HistorySample>,
+}
+
+/// A health classification for one application, as returned by a
+/// [`Frame::HealthReq`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthFrame {
+    /// The application the report describes.
+    pub app: String,
+    /// False when the collector has never seen the application (the report
+    /// is then [`HealthReport::no_signal`]).
+    pub known: bool,
+    /// The windowed anomaly detector's verdict.
+    pub report: HealthReport,
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -150,6 +229,23 @@ pub enum Frame {
     },
     /// Orderly end of stream.
     Bye,
+    /// Query: the history ring of one application (`limit == 0` = all
+    /// retained samples, otherwise the most recent `limit`).
+    HistoryReq {
+        /// Application name.
+        app: String,
+        /// Most recent samples wanted; `0` means all retained.
+        limit: u32,
+    },
+    /// Response to [`Frame::HistoryReq`].
+    History(HistoryChunk),
+    /// Query: the windowed health classification of one application.
+    HealthReq {
+        /// Application name.
+        app: String,
+    },
+    /// Response to [`Frame::HealthReq`].
+    Health(HealthFrame),
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -187,6 +283,83 @@ fn encode_beat(buf: &mut Vec<u8>, beat: &WireBeat) {
     });
 }
 
+/// Appends a length-prefixed application name (u16 length + bytes). Names
+/// beyond [`MAX_NAME_LEN`] cannot decode (every caller pre-validates; the
+/// header's own length prefix means even a bogus name only yields a
+/// rejected frame, never a desynchronized stream).
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    debug_assert!(bytes.len() <= MAX_NAME_LEN, "unvalidated name on the wire");
+    put_u16(buf, bytes.len() as u16);
+    buf.extend_from_slice(bytes);
+}
+
+/// Decodes a length-prefixed application name at `at`, returning the name
+/// and the offset just past it.
+fn get_name(payload: &[u8], at: usize) -> Result<(String, usize)> {
+    if payload.len() < at + 2 {
+        return Err(NetError::Protocol("name length truncated".into()));
+    }
+    let len = get_u16(payload, at) as usize;
+    if len > MAX_NAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "application name of {len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
+        )));
+    }
+    let end = at + 2 + len;
+    if payload.len() < end {
+        return Err(NetError::Protocol("name truncated".into()));
+    }
+    let name = std::str::from_utf8(&payload[at + 2..end])
+        .map_err(|_| NetError::Protocol("application name is not UTF-8".into()))?
+        .to_string();
+    if !valid_app_name(&name) {
+        return Err(NetError::Protocol(format!(
+            "invalid application name {name:?} (empty, too long, or contains \
+             whitespace/control/quote characters)"
+        )));
+    }
+    Ok((name, end))
+}
+
+/// Encodes an optional finite f64 as its bit pattern, with NaN as the
+/// `None` sentinel.
+fn put_opt_f64(buf: &mut Vec<u8>, value: Option<f64>) {
+    put_u64(buf, value.unwrap_or(f64::NAN).to_bits());
+}
+
+/// Decodes the optional-f64 convention: NaN means `None`; any other
+/// non-finite value is a protocol violation.
+fn get_opt_f64(bytes: &[u8], at: usize) -> Result<Option<f64>> {
+    let value = f64::from_bits(get_u64(bytes, at));
+    if value.is_nan() {
+        Ok(None)
+    } else if value.is_finite() {
+        Ok(Some(value))
+    } else {
+        Err(NetError::Protocol("non-finite wire value".into()))
+    }
+}
+
+fn encode_sample(buf: &mut Vec<u8>, sample: &HistorySample) {
+    put_u64(buf, sample.seq);
+    put_u64(buf, sample.timestamp_ns);
+    put_u64(buf, sample.tag);
+    put_u64(buf, sample.interval_ns);
+    put_opt_f64(buf, sample.rate_bps);
+}
+
+fn decode_sample(bytes: &[u8]) -> Result<HistorySample> {
+    debug_assert_eq!(bytes.len(), SAMPLE_LEN);
+    Ok(HistorySample {
+        seq: get_u64(bytes, 0),
+        timestamp_ns: get_u64(bytes, 8),
+        tag: get_u64(bytes, 16),
+        interval_ns: get_u64(bytes, 24),
+        rate_bps: get_opt_f64(bytes, 32)?,
+    })
+}
+
 fn decode_beat(bytes: &[u8]) -> Result<WireBeat> {
     debug_assert_eq!(bytes.len(), BEAT_LEN);
     let scope = match bytes[28] {
@@ -216,6 +389,10 @@ impl Frame {
             Frame::Beats(_) => KIND_BEATS,
             Frame::Target { .. } => KIND_TARGET,
             Frame::Bye => KIND_BYE,
+            Frame::HistoryReq { .. } => KIND_HISTORY_REQ,
+            Frame::History(_) => KIND_HISTORY,
+            Frame::HealthReq { .. } => KIND_HEALTH_REQ,
+            Frame::Health(_) => KIND_HEALTH,
         }
     }
 
@@ -240,6 +417,36 @@ impl Frame {
                 put_u64(buf, max_bps.to_bits());
             }
             Frame::Bye => {}
+            Frame::HistoryReq { app, limit } => {
+                put_u32(buf, *limit);
+                put_name(buf, app);
+            }
+            Frame::History(chunk) => {
+                buf.push(u8::from(chunk.known));
+                put_u32(buf, chunk.samples.len() as u32);
+                put_u64(buf, chunk.total);
+                put_name(buf, &chunk.app);
+                for sample in &chunk.samples {
+                    encode_sample(buf, sample);
+                }
+            }
+            Frame::HealthReq { app } => {
+                put_name(buf, app);
+            }
+            Frame::Health(health) => {
+                let report = &health.report;
+                buf.push(u8::from(health.known));
+                buf.push(report.status.as_u8());
+                put_u16(buf, HealthReason::pack(&report.reasons));
+                put_u32(buf, report.window_beats);
+                put_u32(buf, report.missing);
+                put_u32(buf, report.duplicated);
+                put_u32(buf, report.reordered);
+                put_u64(buf, report.silent_ns);
+                put_opt_f64(buf, report.window_rate_bps);
+                put_opt_f64(buf, report.jitter_cv);
+                put_name(buf, &health.app);
+            }
         }
     }
 
@@ -250,7 +457,9 @@ impl Frame {
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let header_at = buf.len();
         put_u32(buf, MAGIC);
-        buf.push(VERSION);
+        // Stamp the lowest version that defines the kind, so version-1
+        // peers keep accepting every frame they understand.
+        buf.push(wire_version(self.kind()).expect("own kinds are versioned"));
         buf.push(self.kind());
         put_u32(buf, 0); // payload_len, patched below
         put_u32(buf, 0); // crc, patched below
@@ -283,14 +492,20 @@ impl Frame {
             return Err(NetError::Protocol(format!("bad magic {magic:#010x}")));
         }
         let version = bytes[4];
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(NetError::Protocol(format!(
                 "unsupported protocol version {version}"
             )));
         }
         let kind = bytes[5];
-        if !(KIND_HELLO..=KIND_BYE).contains(&kind) {
-            return Err(NetError::Protocol(format!("unknown frame kind {kind}")));
+        match wire_version(kind) {
+            None => return Err(NetError::Protocol(format!("unknown frame kind {kind}"))),
+            Some(required) if version < required => {
+                return Err(NetError::Protocol(format!(
+                    "frame kind {kind} requires protocol version {required}, header claims {version}"
+                )));
+            }
+            Some(_) => {}
         }
         let payload_len = get_u32(bytes, 6) as usize;
         if payload_len > MAX_PAYLOAD {
@@ -384,6 +599,81 @@ impl Frame {
                 }
                 Ok(Frame::Bye)
             }
+            KIND_HISTORY_REQ => {
+                if payload.len() < 6 {
+                    return Err(NetError::Protocol("history request truncated".into()));
+                }
+                let limit = get_u32(payload, 0);
+                let (app, end) = get_name(payload, 4)?;
+                if end != payload.len() {
+                    return Err(NetError::Protocol("history request trailing bytes".into()));
+                }
+                Ok(Frame::HistoryReq { app, limit })
+            }
+            KIND_HISTORY => {
+                if payload.len() < 15 {
+                    return Err(NetError::Protocol("history payload truncated".into()));
+                }
+                let known = payload[0] != 0;
+                let count = get_u32(payload, 1) as usize;
+                let total = get_u64(payload, 5);
+                let (app, samples_at) = get_name(payload, 13)?;
+                if payload.len() != samples_at + count * SAMPLE_LEN {
+                    return Err(NetError::Protocol(format!(
+                        "history of {count} samples should be {} bytes, got {}",
+                        samples_at + count * SAMPLE_LEN,
+                        payload.len()
+                    )));
+                }
+                let mut samples = Vec::with_capacity(count);
+                for i in 0..count {
+                    let at = samples_at + i * SAMPLE_LEN;
+                    samples.push(decode_sample(&payload[at..at + SAMPLE_LEN])?);
+                }
+                Ok(Frame::History(HistoryChunk {
+                    app,
+                    known,
+                    total,
+                    samples,
+                }))
+            }
+            KIND_HEALTH_REQ => {
+                let (app, end) = get_name(payload, 0)?;
+                if end != payload.len() {
+                    return Err(NetError::Protocol("health request trailing bytes".into()));
+                }
+                Ok(Frame::HealthReq { app })
+            }
+            KIND_HEALTH => {
+                const FIXED: usize = 44;
+                if payload.len() < FIXED + 2 {
+                    return Err(NetError::Protocol("health payload truncated".into()));
+                }
+                let known = payload[0] != 0;
+                let status = HealthStatus::from_u8(payload[1]).ok_or_else(|| {
+                    NetError::Protocol(format!("invalid health status byte {}", payload[1]))
+                })?;
+                let reasons = HealthReason::unpack(get_u16(payload, 2));
+                let (app, end) = get_name(payload, FIXED)?;
+                if end != payload.len() {
+                    return Err(NetError::Protocol("health payload trailing bytes".into()));
+                }
+                Ok(Frame::Health(HealthFrame {
+                    app,
+                    known,
+                    report: HealthReport {
+                        status,
+                        reasons,
+                        window_beats: get_u32(payload, 4),
+                        missing: get_u32(payload, 8),
+                        duplicated: get_u32(payload, 12),
+                        reordered: get_u32(payload, 16),
+                        silent_ns: get_u64(payload, 20),
+                        window_rate_bps: get_opt_f64(payload, 28)?,
+                        jitter_cv: get_opt_f64(payload, 36)?,
+                    },
+                }))
+            }
             _ => unreachable!("kind validated by decode_header"),
         }
     }
@@ -452,7 +742,8 @@ impl BatchEncoder {
         self.count = 0;
         self.open = true;
         put_u32(&mut self.buf, MAGIC);
-        self.buf.push(VERSION);
+        self.buf
+            .push(wire_version(KIND_BEATS).expect("beats are versioned"));
         self.buf.push(KIND_BEATS);
         put_u32(&mut self.buf, 0); // payload_len, patched by finish()
         put_u32(&mut self.buf, 0); // crc, patched by finish()
@@ -795,6 +1086,236 @@ mod tests {
         assert_eq!(encoder.beats(), MAX_BATCH_BEATS);
         // Still decodable at the payload ceiling.
         assert!(Frame::decode(encoder.finish()).is_ok());
+    }
+
+    #[test]
+    fn history_and_health_frames_roundtrip() {
+        use crate::health::{HealthReason, HealthReport, HealthStatus, HistorySample};
+        let frames = [
+            Frame::HistoryReq {
+                app: "x264".into(),
+                limit: 128,
+            },
+            Frame::History(HistoryChunk {
+                app: "x264".into(),
+                known: true,
+                total: 5_000,
+                samples: vec![
+                    HistorySample {
+                        seq: 1,
+                        timestamp_ns: 1_000,
+                        tag: 7,
+                        interval_ns: 0,
+                        rate_bps: None,
+                    },
+                    HistorySample {
+                        seq: 2,
+                        timestamp_ns: 2_000,
+                        tag: 8,
+                        interval_ns: 1_000,
+                        rate_bps: Some(29.97),
+                    },
+                ],
+            }),
+            Frame::History(HistoryChunk {
+                app: "ghost".into(),
+                known: false,
+                total: 0,
+                samples: vec![],
+            }),
+            Frame::HealthReq { app: "dedup".into() },
+            Frame::Health(HealthFrame {
+                app: "dedup".into(),
+                known: true,
+                report: HealthReport {
+                    status: HealthStatus::Degraded,
+                    reasons: vec![HealthReason::RateBelowTarget, HealthReason::JitterSpike],
+                    window_beats: 42,
+                    window_rate_bps: Some(12.5),
+                    jitter_cv: Some(1.75),
+                    missing: 3,
+                    duplicated: 0,
+                    reordered: 1,
+                    silent_ns: 250_000_000,
+                },
+            }),
+            Frame::Health(HealthFrame {
+                app: "ghost".into(),
+                known: false,
+                report: HealthReport::no_signal(),
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(bytes[4], 2, "health query frames are version 2");
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_encode_as_version_1() {
+        // A version-1-only peer must keep accepting producer frames.
+        for frame in [
+            Frame::Hello(Hello {
+                app: "legacy".into(),
+                pid: 1,
+                default_window: 20,
+            }),
+            Frame::Beats(BeatBatch::default()),
+            Frame::Target {
+                min_bps: 1.0,
+                max_bps: 2.0,
+            },
+            Frame::Bye,
+        ] {
+            assert_eq!(frame.encode()[4], 1, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn v2_kind_in_v1_header_is_rejected() {
+        let mut bytes = Frame::HealthReq { app: "app".into() }.encode();
+        bytes[4] = 1; // claim version 1 for a version-2 kind
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("requires protocol version 2")
+        ));
+    }
+
+    #[test]
+    fn v2_header_accepts_v1_kinds() {
+        // Version upgrades are backward compatible: a v2 header on an old
+        // kind still decodes.
+        let mut bytes = Frame::Bye.encode();
+        bytes[4] = 2;
+        assert_eq!(Frame::decode(&bytes).unwrap().0, Frame::Bye);
+    }
+
+    #[test]
+    fn infinite_rate_in_sample_is_rejected() {
+        let frame = Frame::History(HistoryChunk {
+            app: "x".into(),
+            known: true,
+            total: 1,
+            samples: vec![HistorySample {
+                seq: 0,
+                timestamp_ns: 0,
+                tag: 0,
+                interval_ns: 0,
+                rate_bps: Some(1.0),
+            }],
+        });
+        let mut bytes = frame.encode();
+        // The rate is the final 8 bytes of the only sample.
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("non-finite")
+        ));
+    }
+
+    #[test]
+    fn invalid_health_status_byte_is_rejected() {
+        let frame = Frame::Health(HealthFrame {
+            app: "x".into(),
+            known: true,
+            report: HealthReport::no_signal(),
+        });
+        let mut bytes = frame.encode();
+        bytes[HEADER_LEN + 1] = 200; // status byte
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("status")
+        ));
+    }
+
+    #[test]
+    fn history_count_mismatch_is_rejected() {
+        let frame = Frame::History(HistoryChunk {
+            app: "x".into(),
+            known: true,
+            total: 1,
+            samples: vec![],
+        });
+        let mut bytes = frame.encode();
+        // Claim one sample while carrying none.
+        bytes[HEADER_LEN + 1..HEADER_LEN + 5].copy_from_slice(&1u32.to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn max_history_samples_fit_one_frame() {
+        let chunk = HistoryChunk {
+            app: "n".repeat(MAX_NAME_LEN),
+            known: true,
+            total: u64::MAX,
+            samples: vec![
+                HistorySample {
+                    seq: 0,
+                    timestamp_ns: 0,
+                    tag: 0,
+                    interval_ns: 0,
+                    rate_bps: None,
+                };
+                MAX_HISTORY_SAMPLES
+            ],
+        };
+        let bytes = Frame::History(chunk).encode();
+        assert!(bytes.len() - HEADER_LEN <= MAX_PAYLOAD);
+        assert!(Frame::decode(&bytes).is_ok());
+    }
+
+    /// Pins the worked hex examples in `docs/WIRE.md` byte for byte, so the
+    /// documentation cannot rot silently.
+    #[test]
+    fn worked_examples_match_wire_md() {
+        fn hex(bytes: &[u8]) -> String {
+            bytes
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        assert_eq!(
+            hex(&Frame::Bye.encode()),
+            "48 42 57 54 01 04 00 00 00 00 00 00 00 00"
+        );
+        assert_eq!(
+            hex(
+                &Frame::Hello(Hello {
+                    app: "cam".into(),
+                    pid: 7,
+                    default_window: 20,
+                })
+                .encode()
+            ),
+            "48 42 57 54 01 01 0d 00 00 00 0d 1b ff c1 \
+             07 00 00 00 14 00 00 00 03 00 63 61 6d"
+        );
+        assert_eq!(
+            hex(&Frame::HealthReq { app: "cam".into() }.encode()),
+            "48 42 57 54 02 07 05 00 00 00 b7 bf f6 84 03 00 63 61 6d"
+        );
+        assert_eq!(
+            hex(
+                &Frame::HistoryReq {
+                    app: "cam".into(),
+                    limit: 2,
+                }
+                .encode()
+            ),
+            "48 42 57 54 02 05 09 00 00 00 82 74 2b 8a \
+             02 00 00 00 03 00 63 61 6d"
+        );
     }
 
     #[test]
