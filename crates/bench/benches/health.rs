@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hb_net::health::{assess, HealthConfig, HistoryRing, HistorySample};
-use hb_net::wire::{BeatBatch, WireBeat};
+use hb_net::wire::WireBeat;
 use hb_net::{CollectorConfig, CollectorState};
 use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
 
@@ -99,22 +99,21 @@ fn bench_registry_ingest(c: &mut Criterion) {
         group.throughput(Throughput::Elements(BATCH as u64));
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
             b.iter(|| {
-                let batch = BeatBatch {
-                    dropped_total: 0,
-                    beats: (0..BATCH as u64)
-                        .map(|k| WireBeat {
-                            record: HeartbeatRecord::new(
-                                next + k,
-                                (next + k) * 1_000_000,
-                                Tag::new(next + k),
-                                BeatThreadId(0),
-                            ),
-                            scope: BeatScope::Global,
-                        })
-                        .collect(),
-                };
+                let base = next;
                 next += BATCH as u64;
-                state.ingest_batch("bench", &batch);
+                state.ingest_batch(
+                    "bench",
+                    0,
+                    (0..BATCH as u64).map(|k| WireBeat {
+                        record: HeartbeatRecord::new(
+                            base + k,
+                            (base + k) * 1_000_000,
+                            Tag::new(base + k),
+                            BeatThreadId(0),
+                        ),
+                        scope: BeatScope::Global,
+                    }),
+                );
                 std::hint::black_box(&state);
             });
         });

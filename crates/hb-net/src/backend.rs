@@ -7,8 +7,17 @@
 //! [`Frame`]s. When the collector is slow or down the queue fills and the
 //! backend sheds the *oldest* queued beats, counting every loss — the
 //! freshest telemetry is the most valuable, and the producer never stalls.
+//!
+//! On every (re)connect the flusher sends its hello and then briefly waits
+//! for the collector's [`Frame::HelloAck`]. A version-3 ack switches the
+//! connection to **compact beat framing** (delta/varint records, ~5 bytes
+//! per beat instead of 29); no ack within
+//! [`TcpBackendConfig::negotiate_timeout`] means an old collector, and the
+//! flusher stays on the universally accepted version-2 encoding. The
+//! outcome is visible via [`TcpBackend::negotiated_compact`].
 
 use std::collections::VecDeque;
+use std::io::Read;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -16,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use heartbeats::{Backend, BackendStats, BeatScope, HeartbeatRecord};
 
-use crate::frame::FrameWriter;
+use crate::frame::{FrameDecoder, FrameWriter};
 use crate::wire::{self, BatchEncoder, Frame, Hello, WireBeat, MAX_BATCH_BEATS};
 
 /// Tuning knobs for a [`TcpBackend`].
@@ -42,6 +51,16 @@ pub struct TcpBackendConfig {
     /// (`false`, the default) amortizes the 14-byte header, the CRC pass
     /// and the syscall over every beat drained per flush.
     pub frame_per_beat: bool,
+    /// Negotiate compact (version-3, delta/varint) beat framing when the
+    /// collector acknowledges support (the default). `false` pins the
+    /// connection to the fixed-width version-2 encoding — a diagnostic
+    /// escape hatch and the benchmark baseline.
+    pub prefer_compact: bool,
+    /// How long to wait for the collector's [`Frame::HelloAck`] after each
+    /// (re)connect before concluding the peer predates version 3 and
+    /// falling back to version-2 framing. Paid once per connection
+    /// establishment, and only against collectors that never answer.
+    pub negotiate_timeout: Duration,
 }
 
 impl Default for TcpBackendConfig {
@@ -54,6 +73,8 @@ impl Default for TcpBackendConfig {
             default_window: heartbeats::DEFAULT_WINDOW as u32,
             pid: std::process::id(),
             frame_per_beat: false,
+            prefer_compact: true,
+            negotiate_timeout: Duration::from_millis(100),
         }
     }
 }
@@ -78,6 +99,8 @@ struct Shared {
     dropped: AtomicU64,
     sent: AtomicU64,
     connected: AtomicBool,
+    /// True while the live connection negotiated compact (v3) framing.
+    compact: AtomicBool,
 }
 
 /// A [`Backend`] that ships heartbeats to an `hb-collector` over TCP.
@@ -147,6 +170,7 @@ impl TcpBackend {
             dropped: AtomicU64::new(0),
             sent: AtomicU64::new(0),
             connected: AtomicBool::new(false),
+            compact: AtomicBool::new(false),
         });
         let flusher = {
             let shared = Arc::clone(&shared);
@@ -181,6 +205,14 @@ impl TcpBackend {
     /// Whether the flusher currently holds a live connection.
     pub fn is_connected(&self) -> bool {
         self.shared.connected.load(Ordering::Relaxed)
+    }
+
+    /// Whether the live connection negotiated compact (version-3) beat
+    /// framing. `false` while disconnected, when
+    /// [`TcpBackendConfig::prefer_compact`] is off, or when the collector
+    /// never acknowledged version 3 (an old peer — the v2 fallback).
+    pub fn negotiated_compact(&self) -> bool {
+        self.shared.compact.load(Ordering::Relaxed)
     }
 
     /// Beats currently waiting in the queue.
@@ -288,6 +320,7 @@ fn collect_work(shared: &Shared, config: &TcpBackendConfig) -> Work {
 
 fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfig) {
     let mut connection: Option<FrameWriter<TcpStream>> = None;
+    let mut compact = false;
     let mut last_attempt: Option<Instant> = None;
     let mut encoder = BatchEncoder::new();
     loop {
@@ -304,7 +337,10 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
                 .unwrap_or(true);
             if due {
                 last_attempt = Some(Instant::now());
-                connection = try_connect(addr, app, config);
+                (connection, compact) = match try_connect(addr, app, config) {
+                    Some((writer, compact)) => (Some(writer), compact),
+                    None => (None, false),
+                };
                 if connection.is_some() {
                     // Re-announce the goal after every (re)connect.
                     let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -315,6 +351,7 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
                 shared
                     .connected
                     .store(connection.is_some(), Ordering::Relaxed);
+                shared.compact.store(compact, Ordering::Relaxed);
             }
         }
 
@@ -341,7 +378,7 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
         };
 
         let sent_len = beats.len() as u64;
-        let result = ship(writer, &mut encoder, &beats, target, config, shared);
+        let result = ship(writer, &mut encoder, &beats, target, config, shared, compact);
         match result {
             Ok(()) => {
                 shared.sent.fetch_add(sent_len, Ordering::Relaxed);
@@ -352,6 +389,7 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
                 shared.dropped.fetch_add(sent_len, Ordering::Relaxed);
                 connection = None;
                 shared.connected.store(false, Ordering::Relaxed);
+                shared.compact.store(false, Ordering::Relaxed);
             }
         }
     }
@@ -368,9 +406,18 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
         shared.dropped.fetch_add(remaining, Ordering::Relaxed);
     }
     shared.connected.store(false, Ordering::Relaxed);
+    shared.compact.store(false, Ordering::Relaxed);
 }
 
-fn try_connect(addr: &str, app: &str, config: &TcpBackendConfig) -> Option<FrameWriter<TcpStream>> {
+/// Connects, sends the hello, and — when compact framing is preferred —
+/// waits briefly for the collector's [`Frame::HelloAck`]. Returns the
+/// writer plus whether the connection negotiated compact (version-3)
+/// framing.
+fn try_connect(
+    addr: &str,
+    app: &str,
+    config: &TcpBackendConfig,
+) -> Option<(FrameWriter<TcpStream>, bool)> {
     let stream = TcpStream::connect(addr).ok()?;
     stream.set_nodelay(true).ok();
     stream
@@ -385,13 +432,61 @@ fn try_connect(addr: &str, app: &str, config: &TcpBackendConfig) -> Option<Frame
         }))
         .ok()?;
     writer.flush().ok()?;
-    Some(writer)
+    let compact = config.prefer_compact && negotiate_compact(writer.get_ref(), config);
+    Some((writer, compact))
+}
+
+/// Reads the collector's hello acknowledgment off the freshly connected
+/// ingest socket, bounded by [`TcpBackendConfig::negotiate_timeout`]. Old
+/// collectors never write on this socket, so the timeout (or any read
+/// error, EOF, or unexpected frame) means "assume version 2".
+fn negotiate_compact(stream: &TcpStream, config: &TcpBackendConfig) -> bool {
+    let timeout = config.negotiate_timeout.max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    let deadline = Instant::now() + timeout;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 64];
+    let mut reader = stream;
+    let compact = loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break false, // collector hung up
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                match decoder.next_frame() {
+                    Ok(Some(Frame::HelloAck { max_version })) => {
+                        break max_version >= 3;
+                    }
+                    Ok(Some(_)) => break false, // not a hello-ack: old/odd peer
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            break false;
+                        }
+                    }
+                    Err(_) => break false,
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {
+                if Instant::now() >= deadline {
+                    break false;
+                }
+            }
+            Err(_) => break false, // timeout (WouldBlock/TimedOut) or dead link
+        }
+    };
+    // The flusher never reads again; restore the blocking default anyway so
+    // the socket's behavior is unsurprising to future code.
+    stream.set_read_timeout(None).ok();
+    compact
 }
 
 /// Ships one drained flush: an optional target frame plus the beats —
-/// coalesced into a single [`Frame::Beats`] by the streaming
-/// [`BatchEncoder`] (default), or framed one beat at a time when
+/// coalesced into a single beats frame by the streaming [`BatchEncoder`]
+/// (compact version-3 framing when the connection negotiated it, else the
+/// fixed-width version-2 encoding), or framed one beat at a time when
 /// [`TcpBackendConfig::frame_per_beat`] asks for the diagnostic path.
+#[allow(clippy::too_many_arguments)]
 fn ship(
     writer: &mut FrameWriter<TcpStream>,
     encoder: &mut BatchEncoder,
@@ -399,7 +494,15 @@ fn ship(
     target: Option<(f64, f64)>,
     config: &TcpBackendConfig,
     shared: &Shared,
+    compact: bool,
 ) -> crate::error::Result<()> {
+    let begin = |encoder: &mut BatchEncoder, dropped_total: u64| {
+        if compact {
+            encoder.begin_compact(dropped_total);
+        } else {
+            encoder.begin(dropped_total);
+        }
+    };
     if let Some((min_bps, max_bps)) = target {
         writer.write_frame(&Frame::Target { min_bps, max_bps })?;
     }
@@ -407,16 +510,23 @@ fn ship(
         let dropped_total = shared.dropped.load(Ordering::Relaxed);
         if config.frame_per_beat {
             for beat in beats {
-                encoder.begin(dropped_total);
+                begin(encoder, dropped_total);
                 encoder.push(beat);
                 writer.write_encoded(encoder.finish())?;
             }
         } else {
-            encoder.begin(dropped_total);
+            begin(encoder, dropped_total);
             for beat in beats {
-                // collect_work drains at most batch_max <= MAX_BATCH_BEATS,
-                // so the frame can never fill mid-flush.
-                encoder.push(beat);
+                if !encoder.push(beat) {
+                    // The frame filled mid-flush (only possible when every
+                    // compact record is near its varint worst case): seal
+                    // and ship it, then continue in a fresh frame — no beat
+                    // is ever silently lost to the frame bound.
+                    writer.write_encoded(encoder.finish())?;
+                    begin(encoder, dropped_total);
+                    let pushed = encoder.push(beat);
+                    debug_assert!(pushed, "an empty frame must accept a record");
+                }
             }
             writer.write_encoded(encoder.finish())?;
         }

@@ -15,9 +15,15 @@
 //! threads ([`CollectorConfig::io_threads`], default 2), so thousands of
 //! concurrent connections cost file descriptors and per-connection state —
 //! not OS threads. Producer bytes run through an incremental
-//! [`FrameDecoder`]; each decoded beat batch is
-//! absorbed into the registry under a single shard lock, so observer
-//! queries always see per-application counts at batch granularity.
+//! [`FrameDecoder`] whose beat batches are yielded as borrowing
+//! [`BeatsView`](crate::wire::BeatsView)s — validated in place in the
+//! receive buffer, streamed into the registry through an iterator, zero
+//! per-frame allocation — and absorbed under a single shard lock resolved
+//! once per connection (an [`AppHandle`] cached at hello time), so observer
+//! queries always see per-application counts at batch granularity. The
+//! collector answers every hello with a [`Frame::HelloAck`] advertising
+//! protocol version 3, which lets capable producers switch to the compact
+//! delta/varint beat framing (~5 bytes per beat instead of 29).
 //!
 //! Beyond live aggregates, every ingested global beat is also sampled into
 //! a bounded per-application [`HistoryRing`] (preallocated; zero allocation
@@ -41,10 +47,10 @@ use std::time::{Duration, Instant};
 use heartbeats::stats::OnlineStats;
 use heartbeats::{BeatScope, MovingRate};
 
-use crate::frame::FrameDecoder;
+use crate::frame::{FrameDecoder, FrameEvent};
 use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample};
 use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
-use crate::wire::{Frame, HealthFrame, HistoryChunk, MAX_HISTORY_SAMPLES};
+use crate::wire::{Frame, HealthFrame, HistoryChunk, WireBeat, MAX_HISTORY_SAMPLES, VERSION};
 
 /// Tuning knobs for a [`Collector`].
 #[derive(Debug, Clone)]
@@ -181,6 +187,22 @@ pub struct AppSnapshot {
     pub alive: bool,
 }
 
+/// A resolved registry address: sanitized entry key plus shard index,
+/// computed once (at hello time on the network path) so per-batch ingest
+/// re-runs neither the name sanitizer nor the shard hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppHandle {
+    shard: usize,
+    key: String,
+}
+
+impl AppHandle {
+    /// The sanitized registry key the handle resolves to.
+    pub fn app(&self) -> &str {
+        &self.key
+    }
+}
+
 /// Shared collector state: the sharded application registry plus
 /// collector-wide counters.
 #[derive(Debug)]
@@ -214,10 +236,24 @@ impl CollectorState {
         }
     }
 
-    fn shard(&self, app: &str) -> &Mutex<HashMap<String, AppEntry>> {
+    fn shard_index(&self, app: &str) -> usize {
         let mut hasher = DefaultHasher::new();
         app.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn shard(&self, app: &str) -> &Mutex<HashMap<String, AppEntry>> {
+        &self.shards[self.shard_index(app)]
+    }
+
+    /// Resolves the registry address of `app` — name sanitation plus shard
+    /// selection — once, so a connection can ingest every subsequent batch
+    /// through [`ingest_batch_with`](Self::ingest_batch_with) without
+    /// re-running either.
+    pub fn handle(&self, app: &str) -> AppHandle {
+        let key = Self::registry_key(app).into_owned();
+        let shard = self.shard_index(&key);
+        AppHandle { shard, key }
     }
 
     /// Maps a caller-supplied name onto a valid registry key. Network input
@@ -237,17 +273,23 @@ impl CollectorState {
     /// [`Frame::Hello`] path): records identity, sizes the server-side
     /// rate window, and bumps the connection count. Names that violate the
     /// wire rules are sanitized the way
-    /// [`sanitize_app_name`](crate::wire::sanitize_app_name) does.
-    pub fn hello(&self, app: &str, pid: u32, default_window: u32) {
-        let app = Self::registry_key(app);
-        let mut shard = self.shard(&app).lock().unwrap_or_else(|e| e.into_inner());
+    /// [`sanitize_app_name`](crate::wire::sanitize_app_name) does. Returns
+    /// the resolved [`AppHandle`] so the connection's subsequent batches
+    /// skip sanitation and shard hashing.
+    pub fn hello(&self, app: &str, pid: u32, default_window: u32) -> AppHandle {
+        let handle = self.handle(app);
+        let mut shard = self.shards[handle.shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let entry = shard
-            .entry(app.into_owned())
+            .entry(handle.key.clone())
             .or_insert_with(|| AppEntry::new(pid, default_window, &self.config));
         entry.pid = pid;
         entry.default_window = default_window;
         entry.connections += 1;
         entry.last_seen = Instant::now();
+        drop(shard);
+        handle
     }
 
     fn goodbye(&self, app: &str) {
@@ -260,19 +302,65 @@ impl CollectorState {
     /// Absorbs one decoded beat batch for `app` under a single shard lock
     /// (the [`Frame::Beats`] path): rates, interval statistics, totals and
     /// the history ring all advance atomically with respect to queries.
-    /// Names that violate the wire rules are sanitized the way
+    /// Accepts any record iterator — a `Vec`, a slice, or a borrowing
+    /// [`BeatsView`](crate::wire::BeatsView) straight off the receive
+    /// buffer — so the caller never has to materialize the batch. Names
+    /// that violate the wire rules are sanitized the way
     /// [`sanitize_app_name`](crate::wire::sanitize_app_name) does.
-    pub fn ingest_batch(&self, app: &str, batch: &crate::wire::BeatBatch) {
-        let app = Self::registry_key(app);
-        let mut shard = self.shard(&app).lock().unwrap_or_else(|e| e.into_inner());
+    pub fn ingest_batch<I>(&self, app: &str, dropped_total: u64, beats: I)
+    where
+        I: IntoIterator<Item = WireBeat>,
+    {
+        let key = Self::registry_key(app);
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // get_mut first: the common case (entry already exists) costs one
+        // lookup and zero allocation; only an app's first-ever batch pays
+        // the entry() insert with its owned key.
+        if let Some(entry) = shard.get_mut(key.as_ref()) {
+            Self::absorb(entry, dropped_total, beats);
+            return;
+        }
         let config = &self.config;
         let entry = shard
-            .entry(app.into_owned())
+            .entry(key.into_owned())
             .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
-        entry.producer_dropped = entry.producer_dropped.max(batch.dropped_total);
+        Self::absorb(entry, dropped_total, beats);
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) through a pre-resolved
+    /// [`AppHandle`]: the per-connection hot path, skipping name sanitation
+    /// and shard hashing entirely.
+    pub fn ingest_batch_with<I>(&self, handle: &AppHandle, dropped_total: u64, beats: I)
+    where
+        I: IntoIterator<Item = WireBeat>,
+    {
+        let mut shard = self.shards[handle.shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = shard.get_mut(&handle.key) {
+            Self::absorb(entry, dropped_total, beats);
+            return;
+        }
+        let config = &self.config;
+        let entry = shard
+            .entry(handle.key.clone())
+            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
+        Self::absorb(entry, dropped_total, beats);
+    }
+
+    /// The shared per-record ingest loop: allocation-free (the history ring
+    /// is preallocated; statistics are fixed-size).
+    fn absorb<I>(entry: &mut AppEntry, dropped_total: u64, beats: I)
+    where
+        I: IntoIterator<Item = WireBeat>,
+    {
+        entry.producer_dropped = entry.producer_dropped.max(dropped_total);
         let now = Instant::now();
         entry.last_seen = now;
-        for beat in &batch.beats {
+        for beat in beats {
             match beat.scope {
                 BeatScope::Global => {
                     let ts = beat.record.timestamp_ns;
@@ -612,11 +700,11 @@ impl Collector {
 }
 
 /// Per-connection state machine for one producer: an incremental frame
-/// decoder plus the application identity established by its hello frame.
+/// decoder plus the registry handle established by its hello frame.
 struct ProducerHandler {
     state: Arc<CollectorState>,
     decoder: FrameDecoder,
-    app: Option<String>,
+    app: Option<AppHandle>,
 }
 
 impl ProducerHandler {
@@ -630,38 +718,57 @@ impl ProducerHandler {
 }
 
 impl Handler for ProducerHandler {
-    fn on_data(&mut self, input: &[u8], _out: &mut Vec<u8>) -> bool {
+    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
         self.decoder.push(input);
         loop {
-            match self.decoder.next_frame() {
-                Ok(Some(frame)) => {
+            // next_event keeps beat batches as borrowing views over the
+            // decoder's receive buffer: the decode→ingest path below
+            // performs no per-frame Vec<WireBeat> allocation.
+            match self.decoder.next_event() {
+                Ok(Some(event)) => {
                     self.state.frames_total.fetch_add(1, Ordering::Relaxed);
-                    match frame {
-                        Frame::Hello(hello) => {
-                            self.state.hello(&hello.app, hello.pid, hello.default_window);
-                            self.app = Some(hello.app);
+                    match event {
+                        FrameEvent::Beats(view) => match &self.app {
+                            Some(handle) => self.state.ingest_batch_with(
+                                handle,
+                                view.dropped_total(),
+                                view.iter(),
+                            ),
+                            None => {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                        },
+                        FrameEvent::Control(Frame::Hello(hello)) => {
+                            self.app = Some(self.state.hello(
+                                &hello.app,
+                                hello.pid,
+                                hello.default_window,
+                            ));
+                            // Advertise our maximum version so capable
+                            // producers switch to compact framing; old ones
+                            // never read the ingest socket and lose nothing.
+                            Frame::HelloAck {
+                                max_version: VERSION,
+                            }
+                            .encode_into(out);
                         }
-                        Frame::Beats(batch) => match &self.app {
-                            Some(app) => self.state.ingest_batch(app, &batch),
-                            None => {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                return false;
+                        FrameEvent::Control(Frame::Target { min_bps, max_bps }) => {
+                            match &self.app {
+                                Some(handle) => {
+                                    self.state.target(handle.app(), min_bps, max_bps)
+                                }
+                                None => {
+                                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    return false;
+                                }
                             }
-                        },
-                        Frame::Target { min_bps, max_bps } => match &self.app {
-                            Some(app) => self.state.target(app, min_bps, max_bps),
-                            None => {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                return false;
-                            }
-                        },
-                        Frame::Bye => return false,
-                        // Query frames belong on the query port; a producer
-                        // sending one is violating the protocol.
-                        Frame::HistoryReq { .. }
-                        | Frame::History(_)
-                        | Frame::HealthReq { .. }
-                        | Frame::Health(_) => {
+                        }
+                        FrameEvent::Control(Frame::Bye) => return false,
+                        // Query frames belong on the query port, and
+                        // HelloAck is collector → producer; receiving any
+                        // of them here is a protocol violation.
+                        FrameEvent::Control(_) => {
                             self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
                             return false;
                         }
@@ -684,8 +791,8 @@ impl Handler for ProducerHandler {
     }
 
     fn on_close(&mut self) {
-        if let Some(app) = self.app.take() {
-            self.state.goodbye(&app);
+        if let Some(handle) = self.app.take() {
+            self.state.goodbye(handle.app());
         }
     }
 }
@@ -1019,21 +1126,17 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{BeatBatch, WireBeat};
     use heartbeats::{BeatThreadId, HeartbeatRecord, Tag};
 
-    fn batch(timestamps: &[u64]) -> BeatBatch {
-        BeatBatch {
-            dropped_total: 0,
-            beats: timestamps
-                .iter()
-                .enumerate()
-                .map(|(i, &ts)| WireBeat {
-                    record: HeartbeatRecord::new(i as u64, ts, Tag::NONE, BeatThreadId(0)),
-                    scope: BeatScope::Global,
-                })
-                .collect(),
-        }
+    fn beats(timestamps: &[u64]) -> Vec<WireBeat> {
+        timestamps
+            .iter()
+            .enumerate()
+            .map(|(i, &ts)| WireBeat {
+                record: HeartbeatRecord::new(i as u64, ts, Tag::NONE, BeatThreadId(0)),
+                scope: BeatScope::Global,
+            })
+            .collect()
     }
 
     #[test]
@@ -1043,7 +1146,8 @@ mod tests {
         // Beats every 100 ms -> 10 beats/s.
         state.ingest_batch(
             "x264",
-            &batch(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000]),
+            0,
+            beats(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000]),
         );
         let snap = state.snapshot("x264").unwrap();
         assert_eq!(snap.total_beats, 5);
@@ -1059,9 +1163,7 @@ mod tests {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("dedup", 1, 20);
         state.target("dedup", 30.0, 35.0);
-        let mut b = batch(&[0, 1_000]);
-        b.dropped_total = 17;
-        state.ingest_batch("dedup", &b);
+        state.ingest_batch("dedup", 17, beats(&[0, 1_000]));
         let snap = state.snapshot("dedup").unwrap();
         assert_eq!(snap.target, Some((30.0, 35.0)));
         assert_eq!(snap.producer_dropped, 17);
@@ -1071,9 +1173,9 @@ mod tests {
     fn local_beats_count_separately() {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("ferret", 1, 20);
-        let mut b = batch(&[0, 1_000]);
-        b.beats[1].scope = BeatScope::Local;
-        state.ingest_batch("ferret", &b);
+        let mut b = beats(&[0, 1_000]);
+        b[1].scope = BeatScope::Local;
+        state.ingest_batch("ferret", 0, b);
         let snap = state.snapshot("ferret").unwrap();
         assert_eq!(snap.total_beats, 1);
         assert_eq!(snap.local_beats, 1);
@@ -1114,7 +1216,7 @@ mod tests {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("swaptions", 9, 20);
         state.target("swaptions", 5.0, 10.0);
-        state.ingest_batch("swaptions", &batch(&[0, 500_000_000, 1_000_000_000]));
+        state.ingest_batch("swaptions", 0, beats(&[0, 500_000_000, 1_000_000_000]));
         let text = state.prometheus();
         assert!(text.contains("hb_app_rate_bps{app=\"swaptions\"} 2"));
         assert!(text.contains("hb_app_beats_total{app=\"swaptions\"} 3"));
@@ -1127,7 +1229,7 @@ mod tests {
     fn query_protocol_responses() {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("app-a", 7, 20);
-        state.ingest_batch("app-a", &batch(&[0, 1_000_000]));
+        state.ingest_batch("app-a", 0, beats(&[0, 1_000_000]));
 
         let mut out = Vec::new();
         assert!(handle_query("PING", &state, &mut out).unwrap());
@@ -1157,7 +1259,8 @@ mod tests {
         state.hello("vips", 1, 20);
         state.ingest_batch(
             "vips",
-            &batch(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000, 500_000_000]),
+            0,
+            beats(&[0, 100_000_000, 200_000_000, 300_000_000, 400_000_000, 500_000_000]),
         );
         let (total, samples) = state.history("vips", 0).unwrap();
         assert_eq!(total, 6);
@@ -1180,9 +1283,9 @@ mod tests {
     #[test]
     fn local_beats_are_not_sampled_into_history() {
         let state = CollectorState::new(CollectorConfig::default());
-        let mut b = batch(&[0, 1_000_000]);
-        b.beats[1].scope = BeatScope::Local;
-        state.ingest_batch("mix", &b);
+        let mut b = beats(&[0, 1_000_000]);
+        b[1].scope = BeatScope::Local;
+        state.ingest_batch("mix", 0, b);
         let (total, samples) = state.history("mix", 0).unwrap();
         assert_eq!(total, 1);
         assert_eq!(samples.len(), 1);
@@ -1202,7 +1305,7 @@ mod tests {
         let report = state.health("cam").unwrap();
         assert_eq!(report.status, crate::health::HealthStatus::NoSignal);
 
-        state.ingest_batch("cam", &batch(&[0, 10_000_000, 20_000_000, 30_000_000]));
+        state.ingest_batch("cam", 0, beats(&[0, 10_000_000, 20_000_000, 30_000_000]));
         let report = state.health("cam").unwrap();
         assert_eq!(report.status, crate::health::HealthStatus::Healthy);
         assert_eq!(report.window_beats, 4);
@@ -1213,7 +1316,7 @@ mod tests {
         assert_eq!(report.status, crate::health::HealthStatus::Stalled);
 
         // ...and resuming beats recovers it.
-        state.ingest_batch("cam", &batch(&[40_000_000, 50_000_000]));
+        state.ingest_batch("cam", 0, beats(&[40_000_000, 50_000_000]));
         let report = state.health("cam").unwrap();
         assert_eq!(report.status, crate::health::HealthStatus::Healthy);
     }
@@ -1223,10 +1326,7 @@ mod tests {
         let state = CollectorState::new(CollectorConfig::default());
         state.target("slow", 100.0, 200.0);
         // 10 bps, far below the 100 bps floor.
-        state.ingest_batch(
-            "slow",
-            &batch(&[0, 100_000_000, 200_000_000, 300_000_000]),
-        );
+        state.ingest_batch("slow", 0, beats(&[0, 100_000_000, 200_000_000, 300_000_000]));
         let report = state.health("slow").unwrap();
         assert_eq!(report.status, crate::health::HealthStatus::Degraded);
         assert!(report
@@ -1238,7 +1338,7 @@ mod tests {
     fn history_and_health_query_lines() {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("app-a", 7, 20);
-        state.ingest_batch("app-a", &batch(&[0, 1_000_000, 2_000_000]));
+        state.ingest_batch("app-a", 0, beats(&[0, 1_000_000, 2_000_000]));
 
         let mut out = Vec::new();
         assert!(handle_query("HISTORY app-a", &state, &mut out).unwrap());
@@ -1280,7 +1380,7 @@ mod tests {
     fn prometheus_exports_health_gauge() {
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("quiet", 1, 20);
-        state.ingest_batch("live", &batch(&[0, 1_000_000, 2_000_000]));
+        state.ingest_batch("live", 0, beats(&[0, 1_000_000, 2_000_000]));
         let text = state.prometheus();
         assert!(text.contains("# TYPE hb_app_health gauge"));
         assert!(text.contains("hb_app_health{app=\"live\"} 3"), "healthy = 3");
@@ -1290,7 +1390,7 @@ mod tests {
     #[test]
     fn observer_handler_answers_binary_queries() {
         let state = Arc::new(CollectorState::new(CollectorConfig::default()));
-        state.ingest_batch("bin-app", &batch(&[0, 1_000_000, 2_000_000]));
+        state.ingest_batch("bin-app", 0, beats(&[0, 1_000_000, 2_000_000]));
         let mut handler = ObserverHandler::new(Arc::clone(&state));
         let mut out = Vec::new();
 
@@ -1372,7 +1472,7 @@ mod tests {
                     ts
                 })
                 .collect();
-            state.ingest_batch("big", &batch(&stamps));
+            state.ingest_batch("big", 0, beats(&stamps));
             pushed += n;
         }
         let (total, samples) = state.history("big", 0).unwrap();
@@ -1399,7 +1499,7 @@ mod tests {
         // the frame decoder).
         let state = CollectorState::new(CollectorConfig::default());
         state.hello("bad\"} name\nx", 1, 20);
-        state.ingest_batch("bad\"} name\nx", &batch(&[0, 1_000_000]));
+        state.ingest_batch("bad\"} name\nx", 0, beats(&[0, 1_000_000]));
         let names = state.app_names();
         assert_eq!(names.len(), 1);
         let key = &names[0];

@@ -1,18 +1,24 @@
 //! CRC-32 (IEEE 802.3 polynomial) used to checksum frame payloads.
 //!
-//! Table-driven, one byte per step. Frames are small (a few KiB at most) so
-//! this is far from the bottleneck; the checksum exists to reject corrupted
-//! or desynchronized streams deterministically rather than to win
-//! throughput records.
+//! Slicing-by-8: eight 256-entry tables (built at compile time) let the hot
+//! loop fold eight payload bytes per step instead of one, roughly a 4–6×
+//! speedup over the classic byte-at-a-time table walk. The polynomial,
+//! initial value and final XOR are the ubiquitous "CRC-32" of zlib and
+//! Ethernet, so every check value is unchanged — only the throughput is.
+//! Frame payloads are what gets summed: with v3 compact framing pushing
+//! batches toward payload-bound sizes, the CRC pass is a real fraction of
+//! encode/decode cost and worth the table space (8 KiB).
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing tables: `TABLES[0]` is the classic byte-at-a-time table;
+/// `TABLES[k][b]` is the CRC contribution of byte `b` seen `k` positions
+/// before the current window end.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,17 +31,46 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// One byte-at-a-time step, for the unaligned head and tail.
+#[inline]
+fn step(crc: u32, byte: u8) -> u32 {
+    (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize]
 }
 
 /// Computes the CRC-32 of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("8-byte chunk")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("8-byte chunk"));
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = step(crc, byte);
     }
     !crc
 }
@@ -44,12 +79,42 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// The original one-byte-per-step implementation, kept as the reference
+    /// the sliced version must agree with on every input.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &byte in bytes {
+            crc = step(crc, byte);
+        }
+        !crc
+    }
+
     #[test]
     fn known_vectors() {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // A vector long enough to exercise the 8-byte folding loop.
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sliced_matches_bytewise_at_every_length() {
+        // Lengths 0..=64 cover every head/tail alignment of the 8-byte loop.
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 24) as u8)
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "length {len}"
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,24 @@
 
 use std::io::{self, Read, Write};
 
+use crate::crc::crc32;
 use crate::error::{NetError, Result};
-use crate::wire::{Frame, HEADER_LEN};
+use crate::wire::{is_beats_kind, BeatsView, Frame, HEADER_LEN};
+
+/// One decoded message from a [`FrameDecoder`], borrowing beat payloads in
+/// place.
+///
+/// Beat batches — the hot path, thousands per second per connection — are
+/// yielded as a [`BeatsView`] over the decoder's receive buffer, so the
+/// decode→ingest path allocates nothing per frame. Everything else (hellos,
+/// targets, queries; rare, tiny) is materialized as an owned [`Frame`].
+#[derive(Debug)]
+pub enum FrameEvent<'a> {
+    /// A beat batch, validated and iterable in place.
+    Beats(BeatsView<'a>),
+    /// Any non-batch frame, decoded to its owned representation.
+    Control(Frame),
+}
 
 /// Incremental frame decoder for non-blocking transports.
 ///
@@ -78,6 +94,39 @@ impl FrameDecoder {
         let frame = Frame::decode_payload(kind, &avail[HEADER_LEN..total], crc)?;
         self.start += total;
         Ok(Some(frame))
+    }
+
+    /// Like [`next_frame`](Self::next_frame), but yields beat batches as a
+    /// borrowing [`BeatsView`] over the accumulation buffer instead of
+    /// materializing a `Vec<WireBeat>` — the reactor's allocation-free
+    /// ingest path. The view's borrow ends before the next `push`/
+    /// `next_event` call, which is exactly the consume-then-continue shape
+    /// of a handler loop.
+    pub fn next_event(&mut self) -> Result<Option<FrameEvent<'_>>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let (kind, payload_len, crc) = Frame::decode_header(avail)?;
+        let total = HEADER_LEN + payload_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        // Consume the frame first; the returned view borrows the (now
+        // dead-prefix) bytes, which outlive it because push() only compacts
+        // on the *next* call.
+        self.start += total;
+        let payload = &self.buf[self.start - payload_len..self.start];
+        if crc32(payload) != crc {
+            return Err(NetError::Protocol("payload CRC mismatch".into()));
+        }
+        if is_beats_kind(kind) {
+            Ok(Some(FrameEvent::Beats(BeatsView::parse(kind, payload)?)))
+        } else {
+            Ok(Some(FrameEvent::Control(Frame::decode_payload_body(
+                kind, payload,
+            )?)))
+        }
     }
 
     /// Bytes buffered but not yet consumed by a decoded frame.
@@ -403,6 +452,84 @@ mod tests {
             "decoder buffer grew to {} bytes",
             decoder.buf.capacity()
         );
+    }
+
+    #[test]
+    fn next_event_yields_borrowing_views_for_both_beat_encodings() {
+        use crate::wire::{BatchEncoder, WireBeat};
+
+        let beats: Vec<WireBeat> = (0..20)
+            .map(|i| WireBeat {
+                record: HeartbeatRecord::new(i, 1_000_000 * i + 17, Tag::NONE, BeatThreadId(0)),
+                scope: BeatScope::Global,
+            })
+            .collect();
+        let mut wire = Vec::new();
+        Frame::Hello(Hello {
+            app: "mix".into(),
+            pid: 1,
+            default_window: 20,
+        })
+        .encode_into(&mut wire);
+        // One fixed-width and one compact batch of the same records.
+        Frame::Beats(BeatBatch {
+            dropped_total: 5,
+            beats: beats.clone(),
+        })
+        .encode_into(&mut wire);
+        let mut encoder = BatchEncoder::new();
+        encoder.begin_compact(6);
+        for beat in &beats {
+            encoder.push(beat);
+        }
+        wire.extend_from_slice(encoder.finish());
+        Frame::Bye.encode_into(&mut wire);
+
+        // Feed in awkward fragments; events must appear exactly when the
+        // final byte of each frame lands.
+        let mut decoder = FrameDecoder::new();
+        let mut hellos = 0;
+        let mut byes = 0;
+        let mut batches = Vec::new();
+        for chunk in wire.chunks(7) {
+            decoder.push(chunk);
+            loop {
+                match decoder.next_event().unwrap() {
+                    Some(FrameEvent::Control(Frame::Hello(_))) => hellos += 1,
+                    Some(FrameEvent::Control(Frame::Bye)) => byes += 1,
+                    Some(FrameEvent::Control(other)) => panic!("unexpected {other:?}"),
+                    Some(FrameEvent::Beats(view)) => {
+                        let collected: Vec<WireBeat> = view.iter().collect();
+                        batches.push((view.dropped_total(), view.is_compact(), collected));
+                    }
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(hellos, 1);
+        assert_eq!(byes, 1);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], (5, false, beats.clone()));
+        assert_eq!(batches[1], (6, true, beats));
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn next_event_surfaces_crc_and_protocol_errors() {
+        let mut bytes = Frame::Hello(Hello {
+            app: "x".into(),
+            pid: 1,
+            default_window: 20,
+        })
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        assert!(matches!(
+            decoder.next_event(),
+            Err(NetError::Protocol(msg)) if msg.contains("CRC")
+        ));
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! crate takes the final step and ships heartbeat streams **off-box**:
 //!
 //! * [`wire`] — a compact, versioned binary wire protocol (length-prefixed,
-//!   CRC-checked frames; fixed 29-byte beat records) for heartbeat batches,
-//!   target-rate changes and application hello/goodbye.
-//! * [`frame`] — frame readers/writers over any `Read`/`Write` transport.
+//!   CRC-checked frames) for heartbeat batches, target-rate changes and
+//!   application hello/goodbye. Batches ship either as fixed 29-byte
+//!   records (v2) or, negotiated per connection, as delta/varint **compact
+//!   records** (v3, ~5–7 bytes per beat); both decode through the
+//!   zero-allocation [`wire::BeatsView`] iterator.
+//! * [`frame`] — frame readers/writers over any `Read`/`Write` transport,
+//!   plus the incremental decoder whose [`frame::FrameEvent`]s borrow beat
+//!   payloads in place.
 //! * [`TcpBackend`] — a [`heartbeats::Backend`] that buffers beats in a
 //!   bounded queue and ships batches from a background flusher thread. The
 //!   `on_beat` hot path never blocks: when the collector is slow or down the
