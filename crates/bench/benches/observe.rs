@@ -1,0 +1,152 @@
+//! Push-subscription fan-out benchmarks: events/second through the
+//! collector's subscription registry at 1 / 16 / 64 subscribers, plus the
+//! cost the subscription machinery adds to an unsubscribed ingest path
+//! (which must stay at one atomic load).
+//!
+//! Uses the embedded registry (`CollectorState::subscribe_local`) so the
+//! measurement isolates the fan-out plane — matching, event building,
+//! encoding, bounded-queue delivery, subscriber drain — from socket noise
+//! (the end-to-end path is covered by `tests/observe_soak.rs`).
+//!
+//! Results are recorded in `BENCH_observe.json` at the repo root.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_net::{CollectorConfig, CollectorState};
+use heartbeats::observe::Interest;
+use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+/// Beats per ingested batch (the collector's typical flush size).
+const BATCH: usize = 64;
+
+fn batch(base: u64) -> Vec<hb_net::WireBeat> {
+    (0..BATCH as u64)
+        .map(|k| hb_net::WireBeat {
+            record: HeartbeatRecord::new(
+                base + k,
+                (base + k) * 1_000_000,
+                Tag::NONE,
+                BeatThreadId(0),
+            ),
+            scope: BeatScope::Global,
+        })
+        .collect()
+}
+
+/// Beats-interest fan-out: every ingested batch becomes one event per
+/// subscriber; subscribers drain continuously (the soak regime). Throughput
+/// is events delivered per iteration.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_fanout");
+    for subscribers in [1usize, 16, 64] {
+        let state = CollectorState::new(CollectorConfig {
+            sub_queue_capacity: 1 << 14,
+            ..CollectorConfig::default()
+        });
+        state.hello("fan", 1, 20);
+        let subs: Vec<_> = (0..subscribers)
+            .map(|_| {
+                state
+                    .subscribe_local("fan*", Interest::BEATS, Duration::ZERO)
+                    .expect("subscribe")
+            })
+            .collect();
+        let mut next = 0u64;
+        group.throughput(Throughput::Elements(subscribers as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subscribers),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let beats = batch(next);
+                    next += BATCH as u64;
+                    state.ingest_batch("fan", 0, beats);
+                    let mut drained = 0usize;
+                    for sub in &subs {
+                        drained += sub.drain().len();
+                    }
+                    std::hint::black_box(drained)
+                });
+            },
+        );
+        assert_eq!(
+            state.events_dropped_total(),
+            0,
+            "drained subscribers must not shed"
+        );
+    }
+    group.finish();
+}
+
+/// Snapshot-interest fan-out with rate limiting: most batches emit nothing
+/// (the min-interval gate), so this measures the per-batch bookkeeping cost
+/// of a throttled subscription.
+fn bench_throttled_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_throttled");
+    for subscribers in [16usize, 64] {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("fan", 1, 20);
+        let _subs: Vec<_> = (0..subscribers)
+            .map(|_| {
+                state
+                    .subscribe_local("fan*", Interest::SNAPSHOTS, Duration::from_secs(3600))
+                    .expect("subscribe")
+            })
+            .collect();
+        let mut next = 0u64;
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subscribers),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let beats = batch(next);
+                    next += BATCH as u64;
+                    state.ingest_batch("fan", 0, beats);
+                    std::hint::black_box(&state)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The control: ingest with zero subscribers, before and after the
+/// subscription plane existed, must be indistinguishable — the fast path
+/// is one atomic load.
+fn bench_unsubscribed_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_unsubscribed_ingest");
+    let state = CollectorState::new(CollectorConfig::default());
+    state.hello("quiet", 1, 20);
+    let mut next = 0u64;
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("no_subs"), &(), |b, ()| {
+        b.iter(|| {
+            state.ingest_batch(
+                "quiet",
+                0,
+                (0..BATCH as u64).map(|k| hb_net::WireBeat {
+                    record: HeartbeatRecord::new(
+                        next + k,
+                        (next + k) * 1_000_000,
+                        Tag::NONE,
+                        BeatThreadId(0),
+                    ),
+                    scope: BeatScope::Global,
+                }),
+            );
+            next += BATCH as u64;
+            std::hint::black_box(&state)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout,
+    bench_throttled_snapshots,
+    bench_unsubscribed_ingest
+);
+criterion_main!(benches);

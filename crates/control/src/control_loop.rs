@@ -242,7 +242,9 @@ mod tests {
     }
 
     /// A scriptable remote-like source: a fixed rate/target plus a settable
-    /// health level, as a collector-backed source would report.
+    /// health level, as a collector-backed source would report. Implements
+    /// [`heartbeats::Observe`] — the blanket impls derive `RateSource` and
+    /// `HealthSource` from it, exactly as they do for real transports.
     struct ScriptedSource {
         beats: std::cell::Cell<u64>,
         rate: f64,
@@ -250,26 +252,37 @@ mod tests {
         level: std::cell::Cell<HealthLevel>,
     }
 
-    impl RateSource for ScriptedSource {
+    impl heartbeats::Observe for ScriptedSource {
         fn name(&self) -> &str {
             "scripted"
         }
-        fn total_beats(&self) -> u64 {
+
+        fn snapshot(&self) -> Option<heartbeats::ObservedSnapshot> {
             // Each sample sees fresh beats so the monitor cadence fires.
             self.beats.set(self.beats.get() + 1);
-            self.beats.get()
+            Some(heartbeats::ObservedSnapshot {
+                total_beats: self.beats.get(),
+                rate_bps: Some(self.rate),
+                target: Some(self.target),
+                dropped: 0,
+                alive: true,
+            })
         }
-        fn current_rate(&self, _window: usize) -> Option<f64> {
-            Some(self.rate)
-        }
-        fn target(&self) -> Option<(f64, f64)> {
-            Some(self.target)
-        }
-    }
 
-    impl HealthSource for ScriptedSource {
-        fn health_level(&self) -> HealthLevel {
-            self.level.get()
+        fn health(&self) -> heartbeats::ObservedHealth {
+            match self.level.get() {
+                HealthLevel::NoSignal => heartbeats::ObservedHealth::NoSignal,
+                HealthLevel::Stalled => heartbeats::ObservedHealth::Stalled,
+                HealthLevel::Degraded => heartbeats::ObservedHealth::Degraded,
+                HealthLevel::Healthy => heartbeats::ObservedHealth::Healthy,
+            }
+        }
+
+        fn subscribe(
+            &self,
+            _filter: &heartbeats::ObserveFilter,
+        ) -> Result<heartbeats::ObserveStream, heartbeats::ObserveError> {
+            Err(heartbeats::ObserveError::Unsupported("scripted".into()))
         }
     }
 

@@ -53,6 +53,22 @@ pub trait HealthSource: RateSource {
     fn health_level(&self) -> HealthLevel;
 }
 
+/// Every [`Observe`](heartbeats::Observe) transport is a [`HealthSource`]:
+/// the unified observer trait already carries the four-level triage, so
+/// guarded control loops run unchanged against any transport. (Because of
+/// this blanket, new sources implement `Observe` — never `HealthSource`
+/// directly.)
+impl<T: heartbeats::Observe> HealthSource for T {
+    fn health_level(&self) -> HealthLevel {
+        match heartbeats::Observe::health(self) {
+            heartbeats::ObservedHealth::NoSignal => HealthLevel::NoSignal,
+            heartbeats::ObservedHealth::Stalled => HealthLevel::Stalled,
+            heartbeats::ObservedHealth::Degraded => HealthLevel::Degraded,
+            heartbeats::ObservedHealth::Healthy => HealthLevel::Healthy,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

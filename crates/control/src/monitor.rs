@@ -78,25 +78,50 @@ fn classify(rate: Option<f64>, target: Option<(f64, f64)>) -> TargetStatus {
     }
 }
 
-impl RateSource for HeartbeatReader {
+/// Every [`Observe`](heartbeats::Observe) transport is a [`RateSource`]:
+/// the unified observer trait carries everything a monitor samples, so one
+/// blanket implementation covers the in-process reader, the shared-memory
+/// observer and the network collector client alike. (Because of this
+/// blanket, new sources implement `Observe` — never `RateSource` directly.)
+impl<T: heartbeats::Observe> RateSource for T {
     fn name(&self) -> &str {
-        HeartbeatReader::name(self)
+        heartbeats::Observe::name(self)
     }
 
     fn total_beats(&self) -> u64 {
-        HeartbeatReader::total_beats(self)
+        self.snapshot().map(|s| s.total_beats).unwrap_or(0)
     }
 
     fn current_rate(&self, window: usize) -> Option<f64> {
-        HeartbeatReader::current_rate(self, window)
+        self.rate(window)
     }
 
     fn target(&self) -> Option<(f64, f64)> {
-        HeartbeatReader::target(self)
+        self.snapshot().and_then(|s| s.target)
     }
 
-    fn target_status(&self, window: usize) -> TargetStatus {
-        HeartbeatReader::target_status(self, window)
+    fn sample(&self, window: usize) -> RateSample {
+        // One snapshot call per sample: beats, rate and target are never
+        // torn across transport round trips. Re-windowing (window != 0)
+        // asks the transport again only where it actually honors the
+        // window (can_rewindow — cheap in-process reads); a remote source
+        // keeps the snapshot's own rate, coherent with its totals.
+        match self.snapshot() {
+            Some(snapshot) => RateSample {
+                total_beats: snapshot.total_beats,
+                rate_bps: if window == 0 || !self.can_rewindow() {
+                    snapshot.rate_bps
+                } else {
+                    self.rate(window)
+                },
+                target: snapshot.target,
+            },
+            None => RateSample {
+                total_beats: 0,
+                rate_bps: None,
+                target: None,
+            },
+        }
     }
 }
 

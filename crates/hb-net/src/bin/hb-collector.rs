@@ -4,6 +4,7 @@
 //! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
 //!              [--io-threads N] [--idle-timeout SECS]
 //!              [--history-capacity N] [--health-window SECS]
+//!              [--sub-queue-capacity N]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
@@ -23,6 +24,12 @@
 //! ring of recent beat samples behind `HISTORY`; `--health-window` (default
 //! 5) sets the span the anomaly detector judges and the silence threshold
 //! past which an application is reported `stalled`.
+//!
+//! Observers may also open **push subscriptions** on the query port (binary
+//! `Subscribe` frames — see `docs/OBSERVERS.md`); `--sub-queue-capacity`
+//! (default 1024) bounds the events buffered per subscriber connection
+//! before the oldest is shed (counted in `events_dropped`). Connections
+//! holding an active subscription are exempt from `--idle-timeout`.
 
 use hb_net::{Collector, CollectorConfig};
 
@@ -34,6 +41,7 @@ struct Args {
     idle_timeout: u64,
     history_capacity: usize,
     health_window: f64,
+    sub_queue_capacity: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         idle_timeout: CollectorConfig::default().idle_timeout.as_secs(),
         history_capacity: CollectorConfig::default().history_capacity,
         health_window: CollectorConfig::default().health.window.as_secs_f64(),
+        sub_queue_capacity: CollectorConfig::default().sub_queue_capacity,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,11 +94,19 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&s: &f64| s.is_finite() && s > 0.0)
                     .ok_or_else(|| "--health-window expects a positive number of seconds".to_string())?;
             }
+            "--sub-queue-capacity" => {
+                args.sub_queue_capacity = value("--sub-queue-capacity")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--sub-queue-capacity expects a count >= 1".to_string())?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
                      [--print-every SECS] [--io-threads N] [--idle-timeout SECS] \
-                     [--history-capacity N] [--health-window SECS]"
+                     [--history-capacity N] [--health-window SECS] \
+                     [--sub-queue-capacity N]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +128,7 @@ fn main() {
         io_threads: args.io_threads,
         idle_timeout: std::time::Duration::from_secs(args.idle_timeout),
         history_capacity: args.history_capacity,
+        sub_queue_capacity: args.sub_queue_capacity,
         health: hb_net::HealthConfig {
             window: std::time::Duration::from_secs_f64(args.health_window),
             ..hb_net::HealthConfig::default()

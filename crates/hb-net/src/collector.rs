@@ -33,6 +33,16 @@
 //! the `HISTORY`/`HEALTH` line commands, binary
 //! [`Frame::HistoryReq`]/[`Frame::HealthReq`] queries, or the
 //! `hb_app_health` Prometheus gauge.
+//!
+//! Observers need not poll at all: a [`Frame::Subscribe`] on the query
+//! port opens a **push subscription** (application glob, interest mask,
+//! minimum update interval). Ingested batches fan out through the
+//! [`SubscriptionRegistry`] to per-subscriber bounded queues (drop-oldest
+//! with `events_dropped` accounting) that the reactor's pump pass drains
+//! into each connection's outbound buffer; health transitions are assessed
+//! at ingest — and by a silence sweep — so only *changes* travel. The
+//! zero-subscriber ingest path pays one atomic load. See
+//! `docs/OBSERVERS.md`.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -47,10 +57,16 @@ use std::time::{Duration, Instant};
 use heartbeats::stats::OnlineStats;
 use heartbeats::{BeatScope, MovingRate};
 
+use heartbeats::observe::Interest;
+
 use crate::frame::{FrameDecoder, FrameEvent};
 use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample};
 use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
-use crate::wire::{Frame, HealthFrame, HistoryChunk, WireBeat, MAX_HISTORY_SAMPLES, VERSION};
+use crate::subscribe::{LocalSubscription, SubEntry, SubscriberQueue, SubscriptionRegistry};
+use crate::wire::{
+    EventPayload, Frame, HealthFrame, HistoryChunk, SubStatus, SubscribeReq, WireBeat,
+    MAX_HISTORY_SAMPLES, VERSION,
+};
 
 /// Tuning knobs for a [`Collector`].
 #[derive(Debug, Clone)]
@@ -78,6 +94,10 @@ pub struct CollectorConfig {
     /// Windowed anomaly detector tuning (health window, jitter threshold,
     /// tag-as-sequence checks).
     pub health: HealthConfig,
+    /// Events buffered per subscriber connection before the oldest is shed
+    /// (drop-oldest, counted in `events_dropped`). A slow observer loses
+    /// history; it never stalls the collector.
+    pub sub_queue_capacity: usize,
 }
 
 impl Default for CollectorConfig {
@@ -90,6 +110,7 @@ impl Default for CollectorConfig {
             idle_timeout: Duration::from_secs(60),
             history_capacity: 1024,
             health: HealthConfig::default(),
+            sub_queue_capacity: 1024,
         }
     }
 }
@@ -187,6 +208,18 @@ pub struct AppSnapshot {
     pub alive: bool,
 }
 
+/// An event decided under the shard lock whose expensive parts (the batch
+/// copy) are deferred until after it drops.
+enum PendingEvent {
+    /// Fully built payload (snapshots, health transitions — scalar only).
+    Ready(EventPayload),
+    /// A raw-beats event; the batch is attached outside the lock.
+    Beats {
+        /// The producer's cumulative drop counter at this batch.
+        dropped_total: u64,
+    },
+}
+
 /// A resolved registry address: sanitized entry key plus shard index,
 /// computed once (at hello time on the network path) so per-batch ingest
 /// re-runs neither the name sanitizer nor the shard hash.
@@ -213,8 +246,14 @@ pub struct CollectorState {
     connections_total: AtomicU64,
     frames_total: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Observer requests answered (query lines + binary query frames).
+    /// Subscription control frames and pushed events are *not* requests —
+    /// the push plane exists precisely so this counter can stay flat.
+    queries_total: AtomicU64,
     /// Shared with the reactor's timer wheel, which bumps it on eviction.
     evicted_total: Arc<AtomicU64>,
+    /// Push-subscription registry and fan-out queues.
+    subs: Arc<SubscriptionRegistry>,
 }
 
 impl CollectorState {
@@ -232,7 +271,9 @@ impl CollectorState {
             connections_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            queries_total: AtomicU64::new(0),
             evicted_total: Arc::new(AtomicU64::new(0)),
+            subs: Arc::new(SubscriptionRegistry::new()),
         }
     }
 
@@ -312,22 +353,8 @@ impl CollectorState {
         I: IntoIterator<Item = WireBeat>,
     {
         let key = Self::registry_key(app);
-        let mut shard = self
-            .shard(&key)
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        // get_mut first: the common case (entry already exists) costs one
-        // lookup and zero allocation; only an app's first-ever batch pays
-        // the entry() insert with its owned key.
-        if let Some(entry) = shard.get_mut(key.as_ref()) {
-            Self::absorb(entry, dropped_total, beats);
-            return;
-        }
-        let config = &self.config;
-        let entry = shard
-            .entry(key.into_owned())
-            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
-        Self::absorb(entry, dropped_total, beats);
+        let shard = self.shard_index(&key);
+        self.ingest_resolved(shard, &key, dropped_total, beats);
     }
 
     /// [`ingest_batch`](Self::ingest_batch) through a pre-resolved
@@ -337,18 +364,242 @@ impl CollectorState {
     where
         I: IntoIterator<Item = WireBeat>,
     {
-        let mut shard = self.shards[handle.shard]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = shard.get_mut(&handle.key) {
+        self.ingest_resolved(handle.shard, &handle.key, dropped_total, beats);
+    }
+
+    /// The shared ingest body behind both public entry points.
+    fn ingest_resolved<I>(&self, shard_index: usize, key: &str, dropped_total: u64, beats: I)
+    where
+        I: IntoIterator<Item = WireBeat>,
+    {
+        let watchers = self.subs.matching(key);
+        if watchers.is_empty() {
+            // The common, zero-subscriber path: absorb straight off the
+            // iterator with no materialization. get_mut first: the common
+            // case (entry already exists) costs one lookup and zero
+            // allocation; only an app's first-ever batch pays the entry()
+            // insert with its owned key.
+            let mut shard = self.shards[shard_index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = shard.get_mut(key) {
+                Self::absorb(entry, dropped_total, beats);
+                return;
+            }
+            let config = &self.config;
+            let entry = shard
+                .entry(key.to_string())
+                .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
             Self::absorb(entry, dropped_total, beats);
             return;
         }
-        let config = &self.config;
-        let entry = shard
-            .entry(handle.key.clone())
-            .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
-        Self::absorb(entry, dropped_total, beats);
+        // Subscribed path. The batch is materialized only when some
+        // watcher actually wants the records; snapshot/health-only
+        // subscriptions (the alerting case) keep the zero-copy absorb —
+        // their events read entry scalars, never the records.
+        let wants_beats = watchers
+            .iter()
+            .any(|watcher| watcher.wants(Interest::BEATS.bits()));
+        let mut pending = Vec::new();
+        if !wants_beats {
+            {
+                let mut shard = self.shards[shard_index]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let config = &self.config;
+                let entry = match shard.get_mut(key) {
+                    Some(entry) => entry,
+                    None => shard.entry(key.to_string()).or_insert_with(|| {
+                        AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config)
+                    }),
+                };
+                let mut count = 0usize;
+                Self::absorb(
+                    entry,
+                    dropped_total,
+                    beats.into_iter().inspect(|_| count += 1),
+                );
+                self.collect_ingest_events(key, entry, count, &watchers, &mut pending);
+            }
+            for (watcher, event) in pending {
+                if let PendingEvent::Ready(payload) = event {
+                    self.subs.deliver(&watcher, key, payload);
+                }
+                // PendingEvent::Beats is unreachable: no watcher asked.
+            }
+            return;
+        }
+        let beats: Vec<WireBeat> = beats.into_iter().collect();
+        {
+            let mut shard = self.shards[shard_index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let config = &self.config;
+            let entry = match shard.get_mut(key) {
+                Some(entry) => entry,
+                None => shard
+                    .entry(key.to_string())
+                    .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config)),
+            };
+            Self::absorb(entry, dropped_total, beats.iter().copied());
+            self.collect_ingest_events(key, entry, beats.len(), &watchers, &mut pending);
+        }
+        // Per-watcher batch copies, encoding and enqueueing all happen
+        // outside the shard lock: fan-out work must not stall other
+        // producers of the same shard.
+        for (watcher, event) in pending {
+            let payload = match event {
+                PendingEvent::Ready(payload) => payload,
+                PendingEvent::Beats { dropped_total } => EventPayload::Beats {
+                    dropped_total,
+                    beats: beats.clone(),
+                },
+            };
+            self.subs.deliver(&watcher, key, payload);
+        }
+    }
+
+    /// Decides which events one absorbed batch owes each watching
+    /// subscription. Runs under the shard lock (it reads the live entry),
+    /// so it only *decides and snapshots scalars* — batch copies, encoding
+    /// and enqueueing happen after the lock drops.
+    fn collect_ingest_events(
+        &self,
+        app: &str,
+        entry: &AppEntry,
+        batch_len: usize,
+        watchers: &[Arc<SubEntry>],
+        pending: &mut Vec<(Arc<SubEntry>, PendingEvent)>,
+    ) {
+        if batch_len == 0 {
+            // Empty batches only refresh the producer drop counter; there
+            // is no progress to announce.
+            return;
+        }
+        let now = Instant::now();
+        for watcher in watchers {
+            // Raw beats are never throttled: counts must stay exact for any
+            // subscriber fast enough to drain its queue.
+            if watcher.wants(Interest::BEATS.bits()) {
+                pending.push((
+                    Arc::clone(watcher),
+                    PendingEvent::Beats {
+                        dropped_total: entry.producer_dropped,
+                    },
+                ));
+            }
+            if watcher.wants(Interest::SNAPSHOTS.bits()) && watcher.snapshot_due(app, now) {
+                pending.push((
+                    Arc::clone(watcher),
+                    PendingEvent::Ready(EventPayload::Snapshot {
+                        total_beats: entry.total_beats,
+                        producer_dropped: entry.producer_dropped,
+                        rate_bps: entry.window.rate(),
+                        target: entry.target,
+                        alive: true, // the batch in hand is the proof
+                    }),
+                ));
+            }
+            // Health transitions are detected *at ingest*, not when an
+            // observer happens to poll: the assessment runs right where the
+            // beat landed, and only actual transitions travel.
+            if watcher.wants(Interest::HEALTH.bits()) && watcher.assess_due(app, now) {
+                let report = entry.health(&self.config.health);
+                if let Some(from) = watcher.health_transition(app, report.status) {
+                    pending.push((
+                        Arc::clone(watcher),
+                        PendingEvent::Ready(EventPayload::HealthTransition {
+                            from,
+                            to: report.status,
+                            reasons: report.reasons,
+                            window_beats: report.window_beats,
+                        }),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Re-assesses health for every subscription bound to `queue` without
+    /// waiting for ingest traffic — silence is exactly the condition that
+    /// cannot announce itself, so the observer connection's pump pass
+    /// drives stall detection. Rate-limited per subscription by its own
+    /// minimum update interval.
+    pub fn sweep_subscriptions(&self, queue: &Arc<SubscriberQueue>) {
+        let now = Instant::now();
+        for entry in self.subs.entries_for(queue) {
+            if !entry.wants(Interest::HEALTH.bits()) || !entry.sweep_due(now) {
+                continue;
+            }
+            for app in self.app_names() {
+                if !entry.matches(&app) || !entry.assess_due(&app, now) {
+                    continue;
+                }
+                let Some(report) = self.health(&app) else {
+                    continue;
+                };
+                if let Some(from) = entry.health_transition(&app, report.status) {
+                    self.subs.deliver(
+                        &entry,
+                        &app,
+                        EventPayload::HealthTransition {
+                            from,
+                            to: report.status,
+                            reasons: report.reasons,
+                            window_beats: report.window_beats,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Opens an in-process push subscription over this registry — the same
+    /// fan-out machinery network observers use, without a socket. Events
+    /// accumulate in a bounded queue (capacity
+    /// [`CollectorConfig::sub_queue_capacity`], drop-oldest) until drained:
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use hb_net::{CollectorConfig, CollectorState};
+    /// use heartbeats::observe::Interest;
+    ///
+    /// let state = CollectorState::new(CollectorConfig::default());
+    /// let sub = state
+    ///     .subscribe_local("cam*", Interest::SNAPSHOTS, Duration::ZERO)
+    ///     .unwrap();
+    /// state.ingest_batch("cam1", 0, Vec::new());
+    /// assert!(sub.drain().is_empty(), "an empty batch emits no snapshot");
+    /// ```
+    pub fn subscribe_local(
+        &self,
+        pattern: &str,
+        interests: Interest,
+        min_interval: Duration,
+    ) -> std::result::Result<LocalSubscription, SubStatus> {
+        let queue = Arc::new(SubscriberQueue::new(self.config.sub_queue_capacity));
+        let req = SubscribeReq {
+            sub_id: 0,
+            pattern: pattern.to_string(),
+            interests: interests.bits(),
+            min_interval_ns: min_interval.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        self.subs.register(&queue, &req)?;
+        Ok(LocalSubscription::new(queue, Arc::clone(&self.subs), 0))
+    }
+
+    /// [`sweep_subscriptions`](Self::sweep_subscriptions) for an in-process
+    /// [`LocalSubscription`]: network subscribers get the silence sweep
+    /// from the reactor's pump pass automatically, but an embedded
+    /// subscriber has no connection — call this periodically (e.g. before
+    /// draining) so stalls are detected without ingest traffic.
+    pub fn sweep_local(&self, sub: &LocalSubscription) {
+        self.sweep_subscriptions(sub.queue());
+    }
+
+    /// The push-subscription registry (active counts, event counters).
+    pub fn subscriptions(&self) -> &Arc<SubscriptionRegistry> {
+        &self.subs
     }
 
     /// The shared per-record ingest loop: allocation-free (the history ring
@@ -509,6 +760,22 @@ impl CollectorState {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
+    /// Observer requests answered since start (query lines plus binary
+    /// query frames; subscription control and pushed events not included).
+    pub fn queries_total(&self) -> u64 {
+        self.queries_total.load(Ordering::Relaxed)
+    }
+
+    /// Events enqueued toward subscribers since start.
+    pub fn events_total(&self) -> u64 {
+        self.subs.events_enqueued()
+    }
+
+    /// Events shed because a subscriber queue was full.
+    pub fn events_dropped_total(&self) -> u64 {
+        self.subs.events_dropped()
+    }
+
     /// Connections evicted by the reactor's idle timer.
     pub fn evicted_total(&self) -> u64 {
         self.evicted_total.load(Ordering::Relaxed)
@@ -572,6 +839,23 @@ impl CollectorState {
         out.push_str(&format!(
             "hb_collector_idle_evicted_total {}\n",
             self.evicted_total()
+        ));
+        out.push_str("# TYPE hb_collector_queries_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_queries_total {}\n",
+            self.queries_total()
+        ));
+        out.push_str("# TYPE hb_collector_subscriptions gauge\n");
+        out.push_str(&format!(
+            "hb_collector_subscriptions {}\n",
+            self.subs.active()
+        ));
+        out.push_str("# TYPE hb_collector_events_total counter\n");
+        out.push_str(&format!("hb_collector_events_total {}\n", self.events_total()));
+        out.push_str("# TYPE hb_collector_events_dropped_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_events_dropped_total {}\n",
+            self.events_dropped_total()
         ));
         out.push_str("# TYPE hb_collector_uptime_seconds gauge\n");
         out.push_str(&format!(
@@ -825,6 +1109,10 @@ const MAX_PENDING_REPLIES: usize =
 struct ObserverHandler {
     state: Arc<CollectorState>,
     buf: Vec<u8>,
+    /// Created on the first [`Frame::Subscribe`]; its presence turns the
+    /// connection pumpable (the reactor then drains pushed events into the
+    /// outbound buffer between readiness events).
+    queue: Option<Arc<SubscriberQueue>>,
 }
 
 impl ObserverHandler {
@@ -832,13 +1120,41 @@ impl ObserverHandler {
         ObserverHandler {
             state,
             buf: Vec::new(),
+            queue: None,
         }
     }
 
     /// Answers one binary query frame. Returns `false` to close.
-    fn handle_frame(&self, frame: Frame, out: &mut Vec<u8>) -> bool {
+    fn handle_frame(&mut self, frame: Frame, out: &mut Vec<u8>) -> bool {
         let reply = match frame {
+            Frame::Subscribe(req) => {
+                let capacity = self.state.config.sub_queue_capacity;
+                let queue = self
+                    .queue
+                    .get_or_insert_with(|| Arc::new(SubscriberQueue::new(capacity)));
+                let status = match self.state.subs.register(queue, &req) {
+                    Ok(_) => SubStatus::Ok,
+                    Err(status) => status,
+                };
+                Frame::SubAck {
+                    sub_id: req.sub_id,
+                    status,
+                }
+            }
+            Frame::Unsubscribe { sub_id } => {
+                // Unregistering purges the subscription's queued events, so
+                // nothing for it can follow this ack. Unknown ids ack too:
+                // unsubscribing is idempotent.
+                if let Some(queue) = &self.queue {
+                    self.state.subs.unregister(queue, sub_id);
+                }
+                Frame::SubAck {
+                    sub_id,
+                    status: SubStatus::Ok,
+                }
+            }
             Frame::HistoryReq { app, limit } => {
+                self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let found = self.state.history(&app, limit as usize);
                 let known = found.is_some();
                 let (total, mut samples) = found.unwrap_or_default();
@@ -855,6 +1171,7 @@ impl ObserverHandler {
                 })
             }
             Frame::HealthReq { app } => {
+                self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let report = self.state.health(&app);
                 let known = report.is_some();
                 Frame::Health(HealthFrame {
@@ -936,6 +1253,44 @@ impl Handler for ObserverHandler {
         };
         self.buf.len() <= limit
     }
+
+    fn wants_pump(&self) -> bool {
+        self.queue.is_some()
+    }
+
+    fn on_pump(&mut self, out: &mut Vec<u8>, pending_out: usize) -> bool {
+        let Some(queue) = &self.queue else {
+            return true;
+        };
+        // Silence cannot announce itself through the ingest path; the pump
+        // pass drives stall re-assessment for this connection's health
+        // subscriptions (rate-limited per subscription).
+        self.state.sweep_subscriptions(queue);
+        // Drain queued events into the outbound buffer only while the peer
+        // keeps up; otherwise they stay queued and drop-oldest accounting
+        // applies at the bounded queue, never at the reactor's slow-consumer
+        // cap.
+        if pending_out < MAX_PENDING_REPLIES {
+            queue.drain_into(out, MAX_PENDING_REPLIES - pending_out);
+        }
+        true
+    }
+
+    fn keep_alive(&self) -> bool {
+        // An observer holding live subscriptions is legitimately silent
+        // between events — exempt from idle eviction exactly while its
+        // subscriptions exist.
+        self.queue
+            .as_ref()
+            .map(|queue| queue.active_subs() > 0)
+            .unwrap_or(false)
+    }
+
+    fn on_close(&mut self) {
+        if let Some(queue) = self.queue.take() {
+            self.state.subs.drop_queue(&queue);
+        }
+    }
 }
 
 /// Formats one application snapshot as the single-line `GET` response.
@@ -1011,6 +1366,7 @@ fn format_sample(sample: &HistorySample) -> String {
 const HELP_TEXT: &str = "\
 HELP                 this command list
 PING                 liveness probe; answers PONG
+VERSION              the collector's wire-protocol version (VERSION <n>)
 LIST                 application names (APPS <n>, one name per line, END)
 GET <app>            one-line snapshot of an application
 HISTORY <app> [n]    recent beat samples, newest n (default all retained), END-terminated
@@ -1018,16 +1374,29 @@ HEALTH [app]         windowed health classification; without <app>, all applicat
 METRICS              Prometheus text export, END-terminated
 STATS                one-line collector-wide counters
 QUIT                 close the connection
-binary               wire-protocol HistoryReq/HealthReq frames (magic HBWT) are answered in kind; see docs/WIRE.md";
+binary               wire-protocol query frames (magic HBWT) are answered in kind; Subscribe opens a push subscription; see docs/WIRE.md";
 
 /// Executes one query command; returns `false` when the connection should
 /// close.
 fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io::Result<bool> {
     let mut parts = line.split_whitespace();
-    match parts.next() {
+    let command = parts.next();
+    // VERSION is subscription negotiation, not an observation poll; it must
+    // not disturb the "zero requests while pushed" accounting.
+    if command.is_some() && command != Some("VERSION") {
+        state.queries_total.fetch_add(1, Ordering::Relaxed);
+    }
+    match command {
         None => Ok(true), // blank line
         Some("PING") => {
             writeln!(out, "PONG")?;
+            Ok(true)
+        }
+        Some("VERSION") => {
+            // Lets observers negotiate before subscribing: collectors that
+            // predate this command answer `ERR unknown command`, telling the
+            // client not to send a Subscribe it would never ack.
+            writeln!(out, "VERSION {}", VERSION)?;
             Ok(true)
         }
         Some("HELP") => {
@@ -1101,13 +1470,18 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
         Some("STATS") => {
             writeln!(
                 out,
-                "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} uptime_s={:.3}",
+                "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} \
+                 queries={} subs={} events={} events_dropped={} uptime_s={:.3}",
                 state.app_names().len(),
                 state.connections_total(),
                 state.frames_total(),
                 state.protocol_errors(),
                 state.io_threads(),
                 state.evicted_total(),
+                state.queries_total(),
+                state.subs.active(),
+                state.events_total(),
+                state.events_dropped_total(),
                 state.started.elapsed().as_secs_f64(),
             )?;
             Ok(true)

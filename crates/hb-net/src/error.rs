@@ -16,6 +16,10 @@ pub enum NetError {
     UnexpectedEof,
     /// A query-port response could not be interpreted.
     BadResponse(String),
+    /// The peer cannot provide the requested operation — e.g. subscribing
+    /// through a collector that negotiated a wire version older than 3,
+    /// which would never acknowledge a `Subscribe` frame.
+    Unsupported(String),
 }
 
 impl fmt::Display for NetError {
@@ -25,6 +29,7 @@ impl fmt::Display for NetError {
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             NetError::UnexpectedEof => write!(f, "connection closed mid-frame"),
             NetError::BadResponse(msg) => write!(f, "malformed collector response: {msg}"),
+            NetError::Unsupported(msg) => write!(f, "unsupported by peer: {msg}"),
         }
     }
 }
@@ -57,6 +62,9 @@ mod tests {
             .to_string()
             .contains("bad magic"));
         assert!(NetError::UnexpectedEof.to_string().contains("mid-frame"));
+        assert!(NetError::Unsupported("v2 collector".into())
+            .to_string()
+            .contains("v2 collector"));
         let io_err: NetError = io::Error::new(io::ErrorKind::ConnectionRefused, "nope").into();
         assert!(io_err.to_string().contains("nope"));
         assert!(std::error::Error::source(&io_err).is_some());

@@ -24,9 +24,13 @@
 //!   (server-side [`heartbeats::MovingRate`]) and goals, and serving a
 //!   line-based query port with a Prometheus-style text export.
 //! * [`RemoteReader`] / [`RemoteApp`] — the observer-side client;
-//!   `RemoteApp` implements [`control::RateSource`] so a
+//!   `RemoteApp` implements [`heartbeats::Observe`] (which carries blanket
+//!   `control::RateSource`/`HealthSource` impls) so a
 //!   [`control::ControlLoop`] can drive adaptation from a collector instead
-//!   of a local reader.
+//!   of a local reader — polling, or consuming **pushed** events through
+//!   [`RemoteReader::subscribe`] / the [`subscribe`] fan-out plane
+//!   (collector-side subscription registry, bounded per-subscriber queues,
+//!   ingest-time health transitions; see `docs/OBSERVERS.md`).
 //!
 //! ## End-to-end sketch
 //!
@@ -67,10 +71,11 @@ mod error;
 pub mod frame;
 pub mod health;
 pub mod reactor;
+pub mod subscribe;
 pub mod wire;
 
 pub use backend::{TcpBackend, TcpBackendConfig};
-pub use client::{CollectorStats, RemoteApp, RemoteReader};
+pub use client::{CollectorStats, RemoteApp, RemoteReader, Subscription};
 pub use collector::{AppSnapshot, Collector, CollectorConfig, CollectorState};
 pub use error::{NetError, Result};
 pub use frame::{FrameDecoder, FrameReader, FrameWriter};
@@ -78,4 +83,8 @@ pub use health::{
     HealthConfig, HealthReason, HealthReport, HealthStatus, HistoryRing, HistorySample,
 };
 pub use reactor::{Reactor, ReactorConfig};
-pub use wire::{BatchEncoder, BeatBatch, Frame, HealthFrame, Hello, HistoryChunk, WireBeat};
+pub use subscribe::{LocalSubscription, SubscriptionRegistry};
+pub use wire::{
+    BatchEncoder, BeatBatch, EventFrame, EventPayload, Frame, HealthFrame, Hello, HistoryChunk,
+    SubStatus, SubscribeReq, WireBeat,
+};

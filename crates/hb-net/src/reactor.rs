@@ -52,6 +52,32 @@ pub trait Handler: Send {
     /// (handler-requested close, peer EOF, I/O error, idle eviction,
     /// reactor shutdown).
     fn on_close(&mut self) {}
+
+    /// True if this connection wants periodic [`on_pump`](Self::on_pump)
+    /// callbacks — the hook push-subscription handlers use to move events
+    /// that originated on *other* connections (producer ingest) into this
+    /// connection's outbound buffer, from which the normal `EPOLLOUT` path
+    /// drains them. Checked on every pump pass, so a handler may become
+    /// pumpable mid-life (e.g. when its first subscription arrives).
+    fn wants_pump(&self) -> bool {
+        false
+    }
+
+    /// Called on every reactor pump pass (at least every poll timeout)
+    /// while [`wants_pump`](Self::wants_pump) is true. `pending_out` is the
+    /// connection's current outbound backlog, so a handler can hold off
+    /// enqueueing more for a slow consumer. Return `false` to close.
+    fn on_pump(&mut self, _out: &mut Vec<u8>, _pending_out: usize) -> bool {
+        true
+    }
+
+    /// True if this connection must never be idle-evicted — e.g. an
+    /// observer holding an active push subscription, which is legitimately
+    /// silent between events. Consulted when the idle timer fires, so the
+    /// exemption follows the subscription's lifetime.
+    fn keep_alive(&self) -> bool {
+        false
+    }
 }
 
 /// Creates a fresh [`Handler`] for each accepted connection.
@@ -103,6 +129,12 @@ const WHEEL_SLOTS: usize = 64;
 /// Poll timeout: bounds both shutdown latency and timer-wheel granularity
 /// drift.
 const POLL_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// Minimum spacing between pump passes over the connection table. Bounds
+/// push-event delivery latency from below while keeping a busy ingest loop
+/// (which wakes the poller far more often) from re-scanning every
+/// connection per readiness burst.
+const PUMP_INTERVAL: Duration = Duration::from_millis(5);
 
 /// Bytes read from one connection per readiness event before yielding to
 /// others (fairness bound; level-triggered polling re-notifies).
@@ -253,6 +285,9 @@ struct IoThread {
     stop: Arc<AtomicBool>,
     evicted: Arc<AtomicU64>,
     scratch: Vec<u8>,
+    last_pump: Instant,
+    /// Reused token buffer for pump passes (no per-pass allocation).
+    pump_scratch: Vec<u64>,
 }
 
 impl IoThread {
@@ -285,6 +320,8 @@ impl IoThread {
             stop,
             evicted,
             scratch: vec![0u8; READ_CHUNK],
+            last_pump: Instant::now(),
+            pump_scratch: Vec::new(),
         })
     }
 
@@ -306,6 +343,7 @@ impl IoThread {
                     self.drive(event.token, event.readable, event.writable);
                 }
             }
+            self.pump();
             self.evict_idle();
         }
 
@@ -462,6 +500,45 @@ impl IoThread {
         }
     }
 
+    /// Gives every pump-interested handler a chance to move externally
+    /// produced bytes (push-subscription events) into its outbound buffer,
+    /// then flushes. Rate-limited so a busy ingest loop does not scan the
+    /// connection table on every readiness burst.
+    fn pump(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.last_pump) < PUMP_INTERVAL {
+            return;
+        }
+        self.last_pump = now;
+        self.pump_scratch.clear();
+        self.pump_scratch.extend(
+            self.conns
+                .iter()
+                .filter(|(_, conn)| !conn.closing && conn.handler.wants_pump())
+                .map(|(&token, _)| token),
+        );
+        // Tokens were collected above; a handler closed by an earlier pump
+        // in this pass is simply skipped by the map lookup.
+        let tokens = std::mem::take(&mut self.pump_scratch);
+        for &token in &tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let pending = conn.pending_out();
+                let before = conn.out.len();
+                if !conn.handler.on_pump(&mut conn.out, pending) {
+                    conn.closing = true;
+                }
+                // Touch the timer wheel only on actual delivery: a static
+                // backlog toward a stuck peer must still idle out once the
+                // keep-alive exemption lapses.
+                if conn.out.len() > before {
+                    conn.last_active = Instant::now();
+                }
+                self.flush_conn(token);
+            }
+        }
+        self.pump_scratch = tokens;
+    }
+
     /// Removes a connection, deregistering it and firing `on_close` once.
     fn close(&mut self, token: u64) {
         if let Some(mut conn) = self.conns.remove(&token) {
@@ -484,7 +561,12 @@ impl IoThread {
                 return; // connection already gone; let the timer lapse
             };
             let idle = now.duration_since(conn.last_active);
-            if idle >= idle_timeout {
+            if conn.handler.keep_alive() {
+                // An active push subscription is legitimately silent between
+                // events — exempt it while the subscription lives, but keep
+                // it on the wheel so eviction resumes when it lapses.
+                wheel.insert_after(token, idle_timeout);
+            } else if idle >= idle_timeout {
                 evict.push(token);
             } else {
                 wheel.insert_after(token, idle_timeout - idle);
@@ -848,7 +930,14 @@ mod tests {
     fn peer_eof_fires_eof_then_close() {
         let (_reactor, addr, log) = echo_reactor(ReactorConfig::default());
         let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         stream.write_all(b"bye").unwrap();
+        // Drain the echo before dropping: closing with the reply still
+        // unsent would race the reactor's write into an RST, which is a
+        // connection *error* (close without eof), not the clean FIN this
+        // test pins.
+        let mut buf = [0u8; 3];
+        stream.read_exact(&mut buf).unwrap();
         drop(stream);
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
@@ -931,6 +1020,118 @@ mod tests {
             s.write_all(b"ping").unwrap();
         }
         assert_eq!(reactor.io_threads(), 3);
+    }
+
+    /// A handler fed by an external queue through the pump path, with an
+    /// eviction exemption while `keep` is set — the shape of a collector
+    /// observer holding an active subscription.
+    struct Pumped {
+        source: Arc<Mutex<Vec<u8>>>,
+        keep: Arc<AtomicBool>,
+    }
+
+    impl Handler for Pumped {
+        fn on_data(&mut self, _input: &[u8], _out: &mut Vec<u8>) -> bool {
+            true
+        }
+
+        fn wants_pump(&self) -> bool {
+            true
+        }
+
+        fn on_pump(&mut self, out: &mut Vec<u8>, _pending_out: usize) -> bool {
+            out.append(&mut self.source.lock().unwrap());
+            true
+        }
+
+        fn keep_alive(&self) -> bool {
+            self.keep.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn pump_delivers_externally_produced_bytes() {
+        let source = Arc::new(Mutex::new(Vec::new()));
+        let keep = Arc::new(AtomicBool::new(false));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = ListenerSpec {
+            listener,
+            factory: {
+                let source = Arc::clone(&source);
+                let keep = Arc::clone(&keep);
+                Arc::new(move |_| {
+                    Box::new(Pumped {
+                        source: Arc::clone(&source),
+                        keep: Arc::clone(&keep),
+                    }) as Box<dyn Handler>
+                })
+            },
+        };
+        let _reactor = Reactor::spawn(
+            vec![spec],
+            ReactorConfig::default(),
+            Arc::new(AtomicU64::new(0)),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Give the reactor a moment to accept, then inject bytes from
+        // "somewhere else" — no inbound traffic ever arrives on the socket.
+        std::thread::sleep(Duration::from_millis(50));
+        source.lock().unwrap().extend_from_slice(b"pushed!");
+        let mut buf = [0u8; 7];
+        stream.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pushed!");
+    }
+
+    #[test]
+    fn keep_alive_connections_survive_idle_eviction_until_released() {
+        let source = Arc::new(Mutex::new(Vec::new()));
+        let keep = Arc::new(AtomicBool::new(true));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = ListenerSpec {
+            listener,
+            factory: {
+                let source = Arc::clone(&source);
+                let keep = Arc::clone(&keep);
+                Arc::new(move |_| {
+                    Box::new(Pumped {
+                        source: Arc::clone(&source),
+                        keep: Arc::clone(&keep),
+                    }) as Box<dyn Handler>
+                })
+            },
+        };
+        let reactor = Reactor::spawn(
+            vec![spec],
+            ReactorConfig {
+                idle_timeout: Duration::from_millis(150),
+                ..ReactorConfig::default()
+            },
+            Arc::new(AtomicU64::new(0)),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        // Far past the idle timeout: the keep-alive exemption holds.
+        std::thread::sleep(Duration::from_millis(600));
+        assert_eq!(
+            reactor.evicted_total(),
+            0,
+            "keep-alive connection must not be evicted while exempt"
+        );
+        // Release the exemption: eviction resumes on the next wheel pass.
+        keep.store(false, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.evicted_total() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "released connection must be evicted"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(stream);
     }
 
     #[test]

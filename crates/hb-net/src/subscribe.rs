@@ -1,0 +1,740 @@
+//! Collector-side push subscriptions: the registry that fans ingested
+//! telemetry out to subscribed observers.
+//!
+//! A subscriber (one observer connection, or an in-process
+//! [`LocalSubscription`]) owns a bounded [`SubscriberQueue`] of encoded
+//! [`Frame::Event`]s. Subscriptions ([`SubEntry`]) pair that queue with an
+//! application glob, an interest mask and a minimum update interval. The
+//! ingest path asks the registry for the entries matching an application
+//! (one atomic load answers "nobody is subscribed", keeping the
+//! zero-subscriber hot path free), builds the due events under the shard
+//! lock, and enqueues them after it; the reactor's pump pass then drains
+//! each connection's queue into its outbound buffer, from which the normal
+//! `EPOLLOUT` path ships them.
+//!
+//! Backpressure is **drop-oldest with accounting**: a queue at capacity
+//! sheds its oldest event and bumps the subscriber's and the collector's
+//! `events_dropped` counters (exported via `STATS` and Prometheus) — a slow
+//! observer loses history, never stalls the collector.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::health::HealthStatus;
+use crate::wire::{self, EventFrame, EventPayload, Frame, SubscribeReq, SubStatus};
+
+/// Most subscriptions one connection may hold; beyond this a subscribe is
+/// answered [`SubStatus::TooManySubscriptions`].
+pub const MAX_SUBS_PER_CONNECTION: usize = 64;
+
+/// A bounded queue of encoded events owned by one subscriber (an observer
+/// connection or a [`LocalSubscription`]).
+#[derive(Debug)]
+pub struct SubscriberQueue {
+    inner: Mutex<VecDeque<(u32, Vec<u8>)>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    /// Subscriptions currently registered against this queue (drives the
+    /// observer connection's idle-eviction exemption).
+    active: AtomicUsize,
+}
+
+impl SubscriberQueue {
+    /// Creates a queue bounded at `capacity` events (clamped to >= 1).
+    pub fn new(capacity: usize) -> Self {
+        SubscriberQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Events shed from this queue because the subscriber was slow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Subscriptions currently registered against this queue.
+    pub fn active_subs(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends queued event frames to `out`, at most `max_bytes` worth
+    /// (always at least one event if any is queued, so huge events still
+    /// drain). Returns the number of events moved.
+    pub fn drain_into(&self, out: &mut Vec<u8>, max_bytes: usize) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut moved = 0;
+        let budget_end = out.len().saturating_add(max_bytes);
+        while let Some((_, bytes)) = inner.front() {
+            if moved > 0 && out.len() + bytes.len() > budget_end {
+                break;
+            }
+            let (_, bytes) = inner.pop_front().expect("front checked");
+            out.extend_from_slice(&bytes);
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Removes every queued event belonging to `sub_id` (an unsubscribed
+    /// stream must deliver nothing after its ack).
+    fn purge(&self, sub_id: u32) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.retain(|(id, _)| *id != sub_id);
+    }
+
+}
+
+/// Per-application delivery state of one subscription.
+#[derive(Debug)]
+struct AppWatch {
+    /// When a snapshot event was last emitted (rate limiting).
+    last_snapshot: Option<Instant>,
+    /// When health was last assessed (rate limiting).
+    last_assessed: Option<Instant>,
+    /// The last health classification delivered, so only transitions emit.
+    last_health: Option<HealthStatus>,
+}
+
+impl AppWatch {
+    fn new() -> Self {
+        AppWatch {
+            last_snapshot: None,
+            last_assessed: None,
+            last_health: None,
+        }
+    }
+}
+
+/// One registered subscription: a filter over the application namespace
+/// bound to a subscriber queue.
+#[derive(Debug)]
+pub struct SubEntry {
+    sub_id: u32,
+    pattern: String,
+    interests: u8,
+    min_interval: Duration,
+    queue: Arc<SubscriberQueue>,
+    /// Cleared on unsubscribe, under the queue lock, so no event can be
+    /// enqueued after the unsubscribe ack.
+    active: AtomicBool,
+    watches: Mutex<HashMap<String, AppWatch>>,
+    /// When this entry last swept for stalls (rate limiting the
+    /// no-ingest-traffic health path).
+    swept: Mutex<Option<Instant>>,
+}
+
+impl SubEntry {
+    /// The subscription id chosen by the subscriber.
+    pub fn sub_id(&self) -> u32 {
+        self.sub_id
+    }
+
+    /// The application glob this subscription matches.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if this subscription wants `interest` (one of the
+    /// [`heartbeats::observe::Interest`] bits).
+    pub fn wants(&self, interest: u8) -> bool {
+        self.interests & interest != 0
+    }
+
+    /// True if `app` matches this subscription's pattern.
+    pub fn matches(&self, app: &str) -> bool {
+        wire::glob_match(&self.pattern, app)
+    }
+
+    /// The subscription's minimum update interval.
+    pub fn min_interval(&self) -> Duration {
+        self.min_interval
+    }
+
+    /// True while the subscription is registered.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// True if a snapshot event is due for `app` (and records the emission
+    /// time when it is).
+    pub(crate) fn snapshot_due(&self, app: &str, now: Instant) -> bool {
+        let mut watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let watch = watches
+            .entry(app.to_string())
+            .or_insert_with(AppWatch::new);
+        let due = watch
+            .last_snapshot
+            .map(|at| now.duration_since(at) >= self.min_interval)
+            .unwrap_or(true);
+        if due {
+            watch.last_snapshot = Some(now);
+        }
+        due
+    }
+
+    /// True if a health (re-)assessment is due for `app` (and records the
+    /// assessment time when it is).
+    pub(crate) fn assess_due(&self, app: &str, now: Instant) -> bool {
+        let mut watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let watch = watches
+            .entry(app.to_string())
+            .or_insert_with(AppWatch::new);
+        let due = watch
+            .last_assessed
+            .map(|at| now.duration_since(at) >= self.min_interval)
+            .unwrap_or(true);
+        if due {
+            watch.last_assessed = Some(now);
+        }
+        due
+    }
+
+    /// Records `status` as the latest delivered classification for `app`,
+    /// returning the previous one if this is a transition (`None` if the
+    /// classification is unchanged — nothing to emit). The very first
+    /// assessment reports a transition from [`HealthStatus::NoSignal`], so
+    /// a fresh subscriber immediately learns the current state.
+    pub(crate) fn health_transition(&self, app: &str, status: HealthStatus) -> Option<HealthStatus> {
+        let mut watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let watch = watches
+            .entry(app.to_string())
+            .or_insert_with(AppWatch::new);
+        match watch.last_health {
+            None => {
+                watch.last_health = Some(status);
+                // A first report of NoSignal is not news.
+                (status != HealthStatus::NoSignal).then_some(HealthStatus::NoSignal)
+            }
+            Some(previous) if previous != status => {
+                watch.last_health = Some(status);
+                Some(previous)
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// True if a stall sweep is due for this entry as a whole (and records
+    /// the sweep time when it is).
+    pub(crate) fn sweep_due(&self, now: Instant) -> bool {
+        let mut swept = self.swept.lock().unwrap_or_else(|e| e.into_inner());
+        let due = swept
+            .map(|at| now.duration_since(at) >= self.min_interval.max(Duration::from_millis(10)))
+            .unwrap_or(true);
+        if due {
+            *swept = Some(now);
+        }
+        due
+    }
+}
+
+/// The collector's subscription registry: every live [`SubEntry`] across
+/// every subscriber, plus the collector-wide event counters.
+#[derive(Debug, Default)]
+pub struct SubscriptionRegistry {
+    entries: Mutex<Vec<Arc<SubEntry>>>,
+    /// Mirror of `entries.len()`, so the ingest hot path answers "nobody is
+    /// subscribed" with one atomic load and no lock.
+    count: AtomicUsize,
+    events_enqueued: AtomicU64,
+    events_dropped: AtomicU64,
+}
+
+impl SubscriptionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SubscriptionRegistry::default()
+    }
+
+    /// Registers a subscription for `queue`. Validates the pattern and
+    /// interest mask and enforces [`MAX_SUBS_PER_CONNECTION`]; a `sub_id`
+    /// already registered for this queue is replaced (the wire protocol
+    /// scopes ids to the connection).
+    pub fn register(
+        &self,
+        queue: &Arc<SubscriberQueue>,
+        req: &SubscribeReq,
+    ) -> Result<Arc<SubEntry>, SubStatus> {
+        let valid_interests = heartbeats::observe::Interest::from_bits(req.interests)
+            .is_some_and(|mask| !mask.is_empty());
+        if !wire::valid_subscribe_pattern(&req.pattern) || !valid_interests {
+            return Err(SubStatus::InvalidFilter);
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let own = entries
+            .iter()
+            .filter(|e| Arc::ptr_eq(&e.queue, queue) && e.is_active())
+            .count();
+        let replacing = entries
+            .iter()
+            .any(|e| Arc::ptr_eq(&e.queue, queue) && e.sub_id == req.sub_id && e.is_active());
+        if own >= MAX_SUBS_PER_CONNECTION && !replacing {
+            return Err(SubStatus::TooManySubscriptions);
+        }
+        if replacing {
+            self.remove_locked(&mut entries, queue, req.sub_id);
+        }
+        let entry = Arc::new(SubEntry {
+            sub_id: req.sub_id,
+            pattern: req.pattern.clone(),
+            interests: req.interests,
+            min_interval: Duration::from_nanos(req.min_interval_ns),
+            queue: Arc::clone(queue),
+            active: AtomicBool::new(true),
+            watches: Mutex::new(HashMap::new()),
+            swept: Mutex::new(None),
+        });
+        entries.push(Arc::clone(&entry));
+        self.count.store(entries.len(), Ordering::Release);
+        queue.active.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Cancels one subscription of `queue`, purging its queued events so
+    /// nothing for it is delivered after the unsubscribe ack. Returns
+    /// `true` if the subscription existed.
+    pub fn unregister(&self, queue: &Arc<SubscriberQueue>, sub_id: u32) -> bool {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let removed = self.remove_locked(&mut entries, queue, sub_id);
+        self.count.store(entries.len(), Ordering::Release);
+        removed
+    }
+
+    fn remove_locked(
+        &self,
+        entries: &mut Vec<Arc<SubEntry>>,
+        queue: &Arc<SubscriberQueue>,
+        sub_id: u32,
+    ) -> bool {
+        let mut removed = false;
+        entries.retain(|entry| {
+            let hit = Arc::ptr_eq(&entry.queue, queue) && entry.sub_id == sub_id;
+            if hit {
+                // Deactivate under the queue lock so a concurrent deliver()
+                // (which re-checks under the same lock) cannot enqueue after
+                // the purge.
+                let inner = queue.inner.lock().unwrap_or_else(|e| e.into_inner());
+                entry.active.store(false, Ordering::Release);
+                drop(inner);
+                queue.purge(sub_id);
+                queue.active.fetch_sub(1, Ordering::Relaxed);
+                removed = true;
+            }
+            !hit
+        });
+        removed
+    }
+
+    /// Drops every subscription of `queue` (its connection closed).
+    pub fn drop_queue(&self, queue: &Arc<SubscriberQueue>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.retain(|entry| {
+            let hit = Arc::ptr_eq(&entry.queue, queue);
+            if hit {
+                entry.active.store(false, Ordering::Release);
+                queue.active.fetch_sub(1, Ordering::Relaxed);
+            }
+            !hit
+        });
+        self.count.store(entries.len(), Ordering::Release);
+    }
+
+    /// The subscriptions whose patterns match `app`. The zero-subscriber
+    /// fast path — the common case on a collector nobody subscribed to —
+    /// is one atomic load and an unallocated empty `Vec`.
+    pub fn matching(&self, app: &str) -> Vec<Arc<SubEntry>> {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .filter(|entry| entry.is_active() && entry.matches(app))
+            .cloned()
+            .collect()
+    }
+
+    /// The active subscriptions registered against `queue`.
+    pub fn entries_for(&self, queue: &Arc<SubscriberQueue>) -> Vec<Arc<SubEntry>> {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .filter(|entry| entry.is_active() && Arc::ptr_eq(&entry.queue, queue))
+            .cloned()
+            .collect()
+    }
+
+    /// Subscriptions currently registered.
+    pub fn active(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Events enqueued toward subscribers since start.
+    pub fn events_enqueued(&self) -> u64 {
+        self.events_enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Events shed because a subscriber queue was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Encodes `payload` as one or more [`Frame::Event`]s for `entry` and
+    /// enqueues them (beat payloads beyond [`wire::MAX_EVENT_BEATS`] are
+    /// split). Skips silently if the subscription lapsed concurrently.
+    pub fn deliver(&self, entry: &SubEntry, app: &str, payload: EventPayload) {
+        if !entry.is_active() {
+            return;
+        }
+        match payload {
+            EventPayload::Beats {
+                dropped_total,
+                beats,
+            } if beats.len() > wire::MAX_EVENT_BEATS => {
+                for chunk in beats.chunks(wire::MAX_EVENT_BEATS) {
+                    self.deliver_one(
+                        entry,
+                        app,
+                        EventPayload::Beats {
+                            dropped_total,
+                            beats: chunk.to_vec(),
+                        },
+                    );
+                }
+            }
+            payload => self.deliver_one(entry, app, payload),
+        }
+    }
+
+    fn deliver_one(&self, entry: &SubEntry, app: &str, payload: EventPayload) {
+        let frame = Frame::Event(EventFrame {
+            sub_id: entry.sub_id,
+            app: app.to_string(),
+            payload,
+        });
+        let bytes = frame.encode();
+        // Re-check activity under the queue lock (see remove_locked): an
+        // unsubscribed stream must stay silent after its purge.
+        let mut inner = entry.queue.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if !entry.is_active() {
+            return;
+        }
+        let mut dropped = false;
+        if inner.len() >= entry.queue.capacity {
+            inner.pop_front();
+            entry.queue.dropped.fetch_add(1, Ordering::Relaxed);
+            dropped = true;
+        }
+        inner.push_back((entry.sub_id, bytes));
+        drop(inner);
+        self.events_enqueued.fetch_add(1, Ordering::Relaxed);
+        if dropped {
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An in-process subscription over an embedded
+/// [`CollectorState`](crate::CollectorState) — the same fan-out machinery
+/// the network observers use, without a socket. Used by embedders, tests
+/// and the fan-out benchmarks.
+#[derive(Debug)]
+pub struct LocalSubscription {
+    queue: Arc<SubscriberQueue>,
+    registry: Arc<SubscriptionRegistry>,
+    sub_id: u32,
+}
+
+impl LocalSubscription {
+    pub(crate) fn new(
+        queue: Arc<SubscriberQueue>,
+        registry: Arc<SubscriptionRegistry>,
+        sub_id: u32,
+    ) -> Self {
+        LocalSubscription {
+            queue,
+            registry,
+            sub_id,
+        }
+    }
+
+    /// Drains every queued event, decoded.
+    pub fn drain(&self) -> Vec<EventFrame> {
+        let mut bytes = Vec::new();
+        while self.queue.drain_into(&mut bytes, usize::MAX) > 0 {}
+        let mut events = Vec::new();
+        let mut at = 0;
+        while at < bytes.len() {
+            match Frame::decode(&bytes[at..]) {
+                Ok((Frame::Event(event), used)) => {
+                    events.push(event);
+                    at += used;
+                }
+                Ok((_, used)) => at += used,
+                Err(_) => break,
+            }
+        }
+        events
+    }
+
+    /// Events shed from this subscriber's queue because it was slow.
+    pub fn dropped(&self) -> u64 {
+        self.queue.dropped()
+    }
+
+    /// The underlying subscriber queue (for
+    /// [`CollectorState::sweep_local`](crate::CollectorState::sweep_local)).
+    pub(crate) fn queue(&self) -> &Arc<SubscriberQueue> {
+        &self.queue
+    }
+
+    /// Events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Drop for LocalSubscription {
+    fn drop(&mut self) {
+        self.registry.unregister(&self.queue, self.sub_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(sub_id: u32, pattern: &str, interests: u8) -> SubscribeReq {
+        SubscribeReq {
+            sub_id,
+            pattern: pattern.into(),
+            interests,
+            min_interval_ns: 0,
+        }
+    }
+
+    fn snapshot_payload(total: u64) -> EventPayload {
+        EventPayload::Snapshot {
+            total_beats: total,
+            producer_dropped: 0,
+            rate_bps: None,
+            target: None,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn register_match_deliver_drain() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        assert!(registry.matching("cam7").is_empty(), "fast path before subs");
+
+        let entry = registry.register(&queue, &req(1, "cam*", 0b001)).unwrap();
+        assert_eq!(registry.active(), 1);
+        assert_eq!(queue.active_subs(), 1);
+        assert!(entry.matches("cam7"));
+        assert!(!entry.matches("dam7"));
+        assert_eq!(registry.matching("cam7").len(), 1);
+        assert!(registry.matching("other").is_empty());
+
+        registry.deliver(&entry, "cam7", snapshot_payload(5));
+        assert_eq!(registry.events_enqueued(), 1);
+        let mut out = Vec::new();
+        assert_eq!(queue.drain_into(&mut out, usize::MAX), 1);
+        let (frame, _) = Frame::decode(&out).unwrap();
+        match frame {
+            Frame::Event(event) => {
+                assert_eq!(event.sub_id, 1);
+                assert_eq!(event.app, "cam7");
+                assert_eq!(event.payload, snapshot_payload(5));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_filters_are_rejected() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(4));
+        assert!(matches!(
+            registry.register(&queue, &req(1, "bad pattern", 0b001)),
+            Err(SubStatus::InvalidFilter)
+        ));
+        assert!(matches!(
+            registry.register(&queue, &req(1, "ok", 0)),
+            Err(SubStatus::InvalidFilter)
+        ));
+        assert!(matches!(
+            registry.register(&queue, &req(1, "ok", 0b1000)),
+            Err(SubStatus::InvalidFilter)
+        ));
+        assert_eq!(registry.active(), 0);
+    }
+
+    #[test]
+    fn per_connection_subscription_bound() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(4));
+        for i in 0..MAX_SUBS_PER_CONNECTION as u32 {
+            registry.register(&queue, &req(i, "*", 0b001)).unwrap();
+        }
+        assert!(matches!(
+            registry.register(&queue, &req(9999, "*", 0b001)),
+            Err(SubStatus::TooManySubscriptions)
+        ));
+        // Replacing an existing id is always allowed.
+        assert!(registry.register(&queue, &req(0, "narrow*", 0b001)).is_ok());
+        assert_eq!(registry.active(), MAX_SUBS_PER_CONNECTION);
+        // A second connection is unaffected by the first's bound.
+        let other = Arc::new(SubscriberQueue::new(4));
+        assert!(registry.register(&other, &req(0, "*", 0b001)).is_ok());
+    }
+
+    #[test]
+    fn unregister_purges_pending_events() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        let keep = registry.register(&queue, &req(1, "*", 0b001)).unwrap();
+        let gone = registry.register(&queue, &req(2, "*", 0b001)).unwrap();
+        registry.deliver(&keep, "a", snapshot_payload(1));
+        registry.deliver(&gone, "a", snapshot_payload(2));
+        registry.deliver(&keep, "a", snapshot_payload(3));
+        assert!(registry.unregister(&queue, 2));
+        assert!(!registry.unregister(&queue, 2), "already gone");
+        // Deliveries against the lapsed entry are silently skipped.
+        registry.deliver(&gone, "a", snapshot_payload(4));
+        let events = {
+            let mut out = Vec::new();
+            queue.drain_into(&mut out, usize::MAX);
+            let mut events = Vec::new();
+            let mut at = 0;
+            while at < out.len() {
+                let (frame, used) = Frame::decode(&out[at..]).unwrap();
+                if let Frame::Event(event) = frame {
+                    events.push(event);
+                }
+                at += used;
+            }
+            events
+        };
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.sub_id == 1), "sub 2 fully purged");
+    }
+
+    #[test]
+    fn slow_subscriber_drops_oldest_with_accounting() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(4));
+        let entry = registry.register(&queue, &req(1, "*", 0b001)).unwrap();
+        for i in 0..10 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+        }
+        assert_eq!(queue.len(), 4, "bounded at capacity");
+        assert_eq!(queue.dropped(), 6, "oldest six shed");
+        assert_eq!(registry.events_dropped(), 6);
+        assert_eq!(registry.events_enqueued(), 10);
+        // The retained events are the newest four.
+        let mut out = Vec::new();
+        queue.drain_into(&mut out, usize::MAX);
+        let (first, _) = Frame::decode(&out).unwrap();
+        match first {
+            Frame::Event(EventFrame {
+                payload: EventPayload::Snapshot { total_beats, .. },
+                ..
+            }) => assert_eq!(total_beats, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_beat_events_are_chunked() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(64));
+        let entry = registry.register(&queue, &req(1, "*", 0b100)).unwrap();
+        let beats: Vec<wire::WireBeat> = (0..wire::MAX_EVENT_BEATS as u64 + 10)
+            .map(|i| wire::WireBeat {
+                record: heartbeats::HeartbeatRecord::new(
+                    i,
+                    i * 1_000,
+                    heartbeats::Tag::NONE,
+                    heartbeats::BeatThreadId(0),
+                ),
+                scope: heartbeats::BeatScope::Global,
+            })
+            .collect();
+        registry.deliver(
+            &entry,
+            "big",
+            EventPayload::Beats {
+                dropped_total: 0,
+                beats,
+            },
+        );
+        assert_eq!(queue.len(), 2, "split into two events");
+        let mut out = Vec::new();
+        queue.drain_into(&mut out, usize::MAX);
+        let (first, used) = Frame::decode(&out).unwrap();
+        let (second, _) = Frame::decode(&out[used..]).unwrap();
+        let count = |frame: &Frame| match frame {
+            Frame::Event(EventFrame {
+                payload: EventPayload::Beats { beats, .. },
+                ..
+            }) => beats.len(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(count(&first), wire::MAX_EVENT_BEATS);
+        assert_eq!(count(&second), 10);
+    }
+
+    #[test]
+    fn health_transition_bookkeeping() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(4));
+        let entry = registry.register(&queue, &req(1, "*", 0b010)).unwrap();
+        // First assessment transitions from NoSignal, even to NoSignal? No:
+        // the first Healthy report transitions from NoSignal...
+        assert_eq!(
+            entry.health_transition("a", HealthStatus::Healthy),
+            Some(HealthStatus::NoSignal)
+        );
+        // ...repeats are silent...
+        assert_eq!(entry.health_transition("a", HealthStatus::Healthy), None);
+        // ...and changes report the previous state.
+        assert_eq!(
+            entry.health_transition("a", HealthStatus::Stalled),
+            Some(HealthStatus::Healthy)
+        );
+    }
+
+    #[test]
+    fn drain_respects_byte_budget_but_always_moves_one() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        let entry = registry.register(&queue, &req(1, "*", 0b001)).unwrap();
+        for i in 0..5 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(queue.drain_into(&mut out, 1), 1, "budget floor is one event");
+        let before = out.len();
+        assert_eq!(queue.drain_into(&mut out, usize::MAX), 4);
+        assert!(out.len() > before);
+    }
+}

@@ -74,6 +74,17 @@
 //! * Compact beats (kind 10) — the delta/varint encoding of a beat batch;
 //!   decodes to the same [`Frame::Beats`] as the fixed-width kind, and is
 //!   produced by [`BatchEncoder::begin_compact`].
+//!
+//! Push subscriptions, on the query port (version 3):
+//!
+//! * [`Frame::Subscribe`] / [`Frame::SubAck`] — open a push subscription
+//!   (application glob, interest mask, minimum update interval) /
+//!   acknowledge it.
+//! * [`Frame::Event`] — one pushed observation event (snapshot update,
+//!   health transition, or raw beats), varint/delta encoded with the same
+//!   machinery as compact beat records.
+//! * [`Frame::Unsubscribe`] — cancel a subscription; acknowledged with a
+//!   [`Frame::SubAck`], after which no events for it follow.
 
 use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
 
@@ -136,6 +147,10 @@ const KIND_HEALTH_REQ: u8 = 7;
 const KIND_HEALTH: u8 = 8;
 const KIND_HELLO_ACK: u8 = 9;
 const KIND_BEATS_COMPACT: u8 = 10;
+const KIND_SUBSCRIBE: u8 = 11;
+const KIND_SUB_ACK: u8 = 12;
+const KIND_EVENT: u8 = 13;
+const KIND_UNSUBSCRIBE: u8 = 14;
 
 /// The lowest protocol version that defines `kind`, which is also the
 /// version stamped into the header when the frame is encoded. `None` if no
@@ -144,7 +159,7 @@ pub fn wire_version(kind: u8) -> Option<u8> {
     match kind {
         KIND_HELLO..=KIND_BYE => Some(1),
         KIND_HISTORY_REQ..=KIND_HEALTH => Some(2),
-        KIND_HELLO_ACK..=KIND_BEATS_COMPACT => Some(3),
+        KIND_HELLO_ACK..=KIND_UNSUBSCRIBE => Some(3),
         _ => None,
     }
 }
@@ -165,6 +180,51 @@ pub fn valid_app_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| !c.is_whitespace() && !c.is_control() && c != '"' && c != '\\')
+}
+
+/// True if `pattern` is acceptable as a subscription application pattern:
+/// the same rules as [`valid_app_name`], except that `*` wildcards are also
+/// allowed (each matches any — possibly empty — run of characters).
+pub fn valid_subscribe_pattern(pattern: &str) -> bool {
+    !pattern.is_empty()
+        && pattern.len() <= MAX_NAME_LEN
+        && pattern
+            .chars()
+            .all(|c| c == '*' || (!c.is_whitespace() && !c.is_control() && c != '"' && c != '\\'))
+}
+
+/// Matches an application name against a subscription pattern: literal
+/// characters match themselves, `*` matches any (possibly empty) run.
+/// Byte-wise (safe for UTF-8: `*` is ASCII and multi-byte sequences only
+/// match themselves).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p = pattern.as_bytes();
+    let n = name.as_bytes();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    // Backtracking point: the most recent `*` and the name position its
+    // match currently extends to.
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && p[pi] == b'*' {
+            star = pi;
+            mark = ni;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == n[ni] {
+            pi += 1;
+            ni += 1;
+        } else if star != usize::MAX {
+            // Extend the last star's match by one byte and retry.
+            pi = star + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// Rewrites an arbitrary string into a valid wire application name:
@@ -249,6 +309,116 @@ pub struct HealthFrame {
     pub report: HealthReport,
 }
 
+/// A push-subscription request, as carried by [`Frame::Subscribe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeReq {
+    /// Client-chosen subscription id, echoed in the [`Frame::SubAck`] and
+    /// stamped on every [`Frame::Event`] the subscription produces. Scoped
+    /// to the connection.
+    pub sub_id: u32,
+    /// Application pattern (`*` wildcards; see [`glob_match`]).
+    pub pattern: String,
+    /// Interest mask — the stable bit layout of
+    /// [`heartbeats::observe::Interest`] (`1` snapshots, `2` health
+    /// transitions, `4` raw beats).
+    pub interests: u8,
+    /// Minimum spacing between snapshot events and health re-assessments
+    /// per application, in nanoseconds. Raw-beat events are not throttled
+    /// (they are bounded by the subscriber queue instead).
+    pub min_interval_ns: u64,
+}
+
+/// Outcome of a [`Frame::Subscribe`] / [`Frame::Unsubscribe`] request, as
+/// carried by [`Frame::SubAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SubStatus {
+    /// The subscription was registered (or removed).
+    Ok = 0,
+    /// The pattern violates [`valid_subscribe_pattern`] or the interest
+    /// mask has no (or unknown) bits.
+    InvalidFilter = 1,
+    /// The connection reached the collector's per-connection subscription
+    /// bound.
+    TooManySubscriptions = 2,
+}
+
+impl SubStatus {
+    /// The stable wire encoding.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the stable wire encoding.
+    pub fn from_u8(value: u8) -> Option<SubStatus> {
+        match value {
+            0 => Some(SubStatus::Ok),
+            1 => Some(SubStatus::InvalidFilter),
+            2 => Some(SubStatus::TooManySubscriptions),
+            _ => None,
+        }
+    }
+}
+
+/// One pushed observation event, as carried by [`Frame::Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventFrame {
+    /// The subscription that produced the event.
+    pub sub_id: u32,
+    /// The application the event describes.
+    pub app: String,
+    /// What happened.
+    pub payload: EventPayload,
+}
+
+/// The body of an [`EventFrame`]. Numeric fields are varint/delta encoded
+/// with the same machinery as compact (version-3) beat records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventPayload {
+    /// A periodic application snapshot (interest bit `1`).
+    Snapshot {
+        /// Global beats received so far.
+        total_beats: u64,
+        /// Beats the producer shed before they reached the collector.
+        producer_dropped: u64,
+        /// The collector's windowed rate estimate, if measurable.
+        rate_bps: Option<f64>,
+        /// The application's declared target range, if any.
+        target: Option<(f64, f64)>,
+        /// False once the stream is stale by the collector's threshold.
+        alive: bool,
+    },
+    /// The windowed health classification changed (interest bit `2`).
+    HealthTransition {
+        /// Classification before the transition.
+        from: HealthStatus,
+        /// Classification after the transition.
+        to: HealthStatus,
+        /// Machine-readable reasons for the new classification.
+        reasons: Vec<HealthReason>,
+        /// Beats inside the assessed window.
+        window_beats: u32,
+    },
+    /// Raw beats as they arrived at the collector (interest bit `4`),
+    /// compact-encoded. Batches larger than [`MAX_EVENT_BEATS`] are split
+    /// across several events by the emitter.
+    Beats {
+        /// The producer's cumulative drop counter at this batch.
+        dropped_total: u64,
+        /// The records, in arrival order.
+        beats: Vec<WireBeat>,
+    },
+}
+
+/// Most beat records one [`EventPayload::Beats`] may carry; emitters chunk
+/// larger batches so every event fits a frame with room to spare
+/// (worst-case compact records are [`MAX_COMPACT_BEAT_LEN`] bytes).
+pub const MAX_EVENT_BEATS: usize = 8192;
+
+const EVENT_SNAPSHOT: u8 = 1;
+const EVENT_HEALTH: u8 = 2;
+const EVENT_BEATS: u8 = 3;
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -293,6 +463,26 @@ pub enum Frame {
     HelloAck {
         /// Highest protocol version the collector accepts.
         max_version: u8,
+    },
+    /// Observer → collector, on the query port: open a push subscription.
+    /// Answered with a [`Frame::SubAck`]; matching [`Frame::Event`]s follow
+    /// on the same connection, interleaved with any query replies.
+    Subscribe(SubscribeReq),
+    /// Collector → observer: outcome of a [`Frame::Subscribe`] or
+    /// [`Frame::Unsubscribe`].
+    SubAck {
+        /// The request's subscription id, echoed back.
+        sub_id: u32,
+        /// Whether the request was applied.
+        status: SubStatus,
+    },
+    /// Collector → observer: one pushed observation event.
+    Event(EventFrame),
+    /// Observer → collector: cancel a subscription. Answered with a
+    /// [`Frame::SubAck`]; no events for the subscription follow the ack.
+    Unsubscribe {
+        /// The subscription to cancel.
+        sub_id: u32,
     },
 }
 
@@ -702,6 +892,33 @@ fn get_name(payload: &[u8], at: usize) -> Result<(String, usize)> {
     Ok((name, end))
 }
 
+/// Decodes a length-prefixed subscription pattern at `at` (the [`get_name`]
+/// layout, validated with [`valid_subscribe_pattern`] instead).
+fn get_pattern(payload: &[u8], at: usize) -> Result<(String, usize)> {
+    if payload.len() < at + 2 {
+        return Err(NetError::Protocol("pattern length truncated".into()));
+    }
+    let len = get_u16(payload, at) as usize;
+    if len > MAX_NAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "pattern of {len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
+        )));
+    }
+    let end = at + 2 + len;
+    if payload.len() < end {
+        return Err(NetError::Protocol("pattern truncated".into()));
+    }
+    let pattern = std::str::from_utf8(&payload[at + 2..end])
+        .map_err(|_| NetError::Protocol("pattern is not UTF-8".into()))?
+        .to_string();
+    if !valid_subscribe_pattern(&pattern) {
+        return Err(NetError::Protocol(format!(
+            "invalid subscription pattern {pattern:?}"
+        )));
+    }
+    Ok((pattern, end))
+}
+
 /// Encodes an optional finite f64 as its bit pattern, with NaN as the
 /// `None` sentinel.
 fn put_opt_f64(buf: &mut Vec<u8>, value: Option<f64>) {
@@ -752,6 +969,10 @@ impl Frame {
             Frame::HealthReq { .. } => KIND_HEALTH_REQ,
             Frame::Health(_) => KIND_HEALTH,
             Frame::HelloAck { .. } => KIND_HELLO_ACK,
+            Frame::Subscribe(_) => KIND_SUBSCRIBE,
+            Frame::SubAck { .. } => KIND_SUB_ACK,
+            Frame::Event(_) => KIND_EVENT,
+            Frame::Unsubscribe { .. } => KIND_UNSUBSCRIBE,
         }
     }
 
@@ -808,6 +1029,66 @@ impl Frame {
             }
             Frame::HelloAck { max_version } => {
                 buf.push(*max_version);
+            }
+            Frame::Subscribe(req) => {
+                put_u32(buf, req.sub_id);
+                buf.push(req.interests);
+                put_u64(buf, req.min_interval_ns);
+                put_name(buf, &req.pattern);
+            }
+            Frame::SubAck { sub_id, status } => {
+                put_u32(buf, *sub_id);
+                buf.push(status.as_u8());
+            }
+            Frame::Event(event) => {
+                put_varint(buf, event.sub_id as u64);
+                match &event.payload {
+                    EventPayload::Snapshot { .. } => buf.push(EVENT_SNAPSHOT),
+                    EventPayload::HealthTransition { .. } => buf.push(EVENT_HEALTH),
+                    EventPayload::Beats { .. } => buf.push(EVENT_BEATS),
+                }
+                put_name(buf, &event.app);
+                match &event.payload {
+                    EventPayload::Snapshot {
+                        total_beats,
+                        producer_dropped,
+                        rate_bps,
+                        target,
+                        alive,
+                    } => {
+                        put_varint(buf, *total_beats);
+                        put_varint(buf, *producer_dropped);
+                        put_opt_f64(buf, *rate_bps);
+                        put_opt_f64(buf, target.map(|(min, _)| min));
+                        put_opt_f64(buf, target.map(|(_, max)| max));
+                        buf.push(u8::from(*alive));
+                    }
+                    EventPayload::HealthTransition {
+                        from,
+                        to,
+                        reasons,
+                        window_beats,
+                    } => {
+                        buf.push(from.as_u8());
+                        buf.push(to.as_u8());
+                        put_u16(buf, HealthReason::pack(reasons));
+                        put_u32(buf, *window_beats);
+                    }
+                    EventPayload::Beats {
+                        dropped_total,
+                        beats,
+                    } => {
+                        debug_assert!(beats.len() <= MAX_EVENT_BEATS, "unchunked beats event");
+                        put_varint(buf, *dropped_total);
+                        let mut state = DeltaState::default();
+                        for beat in beats {
+                            encode_compact_beat(buf, &mut state, beat);
+                        }
+                    }
+                }
+            }
+            Frame::Unsubscribe { sub_id } => {
+                put_u32(buf, *sub_id);
             }
         }
     }
@@ -1044,6 +1325,158 @@ impl Frame {
                     )));
                 }
                 Ok(Frame::HelloAck { max_version })
+            }
+            KIND_SUBSCRIBE => {
+                if payload.len() < 15 {
+                    return Err(NetError::Protocol("subscribe payload truncated".into()));
+                }
+                let sub_id = get_u32(payload, 0);
+                let interests = payload[4];
+                // One source of truth for the bit layout: the shared
+                // Interest mask.
+                let valid = heartbeats::observe::Interest::from_bits(interests)
+                    .is_some_and(|mask| !mask.is_empty());
+                if !valid {
+                    return Err(NetError::Protocol(format!(
+                        "invalid subscription interest mask {interests:#04x}"
+                    )));
+                }
+                let min_interval_ns = get_u64(payload, 5);
+                let (pattern, end) = get_pattern(payload, 13)?;
+                if end != payload.len() {
+                    return Err(NetError::Protocol("subscribe trailing bytes".into()));
+                }
+                Ok(Frame::Subscribe(SubscribeReq {
+                    sub_id,
+                    pattern,
+                    interests,
+                    min_interval_ns,
+                }))
+            }
+            KIND_SUB_ACK => {
+                if payload.len() != 5 {
+                    return Err(NetError::Protocol(format!(
+                        "sub-ack payload is {} bytes, expected 5",
+                        payload.len()
+                    )));
+                }
+                let sub_id = get_u32(payload, 0);
+                let status = SubStatus::from_u8(payload[4]).ok_or_else(|| {
+                    NetError::Protocol(format!("invalid sub-ack status byte {}", payload[4]))
+                })?;
+                Ok(Frame::SubAck { sub_id, status })
+            }
+            KIND_EVENT => {
+                let (sub_id, at) = get_varint(payload, 0)?;
+                if sub_id > u32::MAX as u64 {
+                    return Err(NetError::Protocol(format!(
+                        "event subscription id {sub_id} exceeds u32"
+                    )));
+                }
+                let Some(&event_kind) = payload.get(at) else {
+                    return Err(NetError::Protocol("event kind truncated".into()));
+                };
+                let (app, at) = get_name(payload, at + 1)?;
+                let payload_body = match event_kind {
+                    EVENT_SNAPSHOT => {
+                        let (total_beats, at) = get_varint(payload, at)?;
+                        let (producer_dropped, at) = get_varint(payload, at)?;
+                        if payload.len() != at + 25 {
+                            return Err(NetError::Protocol(
+                                "snapshot event length mismatch".into(),
+                            ));
+                        }
+                        let rate_bps = get_opt_f64(payload, at)?;
+                        let target = match (
+                            get_opt_f64(payload, at + 8)?,
+                            get_opt_f64(payload, at + 16)?,
+                        ) {
+                            (Some(min), Some(max)) => Some((min, max)),
+                            (None, None) => None,
+                            _ => {
+                                return Err(NetError::Protocol(
+                                    "half-set snapshot event target".into(),
+                                ))
+                            }
+                        };
+                        let alive = match payload[at + 24] {
+                            0 => false,
+                            1 => true,
+                            other => {
+                                return Err(NetError::Protocol(format!(
+                                    "invalid snapshot event alive byte {other}"
+                                )))
+                            }
+                        };
+                        EventPayload::Snapshot {
+                            total_beats,
+                            producer_dropped,
+                            rate_bps,
+                            target,
+                            alive,
+                        }
+                    }
+                    EVENT_HEALTH => {
+                        if payload.len() != at + 8 {
+                            return Err(NetError::Protocol(
+                                "health event length mismatch".into(),
+                            ));
+                        }
+                        let from = HealthStatus::from_u8(payload[at]).ok_or_else(|| {
+                            NetError::Protocol(format!(
+                                "invalid health status byte {}",
+                                payload[at]
+                            ))
+                        })?;
+                        let to = HealthStatus::from_u8(payload[at + 1]).ok_or_else(|| {
+                            NetError::Protocol(format!(
+                                "invalid health status byte {}",
+                                payload[at + 1]
+                            ))
+                        })?;
+                        EventPayload::HealthTransition {
+                            from,
+                            to,
+                            reasons: HealthReason::unpack(get_u16(payload, at + 2)),
+                            window_beats: get_u32(payload, at + 4),
+                        }
+                    }
+                    EVENT_BEATS => {
+                        let (dropped_total, mut at) = get_varint(payload, at)?;
+                        let mut beats = Vec::new();
+                        let mut state = DeltaState::default();
+                        while at < payload.len() {
+                            let (beat, next) = decode_compact_beat(payload, at, &mut state)?;
+                            beats.push(beat);
+                            at = next;
+                        }
+                        EventPayload::Beats {
+                            dropped_total,
+                            beats,
+                        }
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "unknown event kind {other}"
+                        )))
+                    }
+                };
+                Ok(Frame::Event(EventFrame {
+                    sub_id: sub_id as u32,
+                    app,
+                    payload: payload_body,
+                }))
+            }
+            KIND_UNSUBSCRIBE => {
+                if payload.len() != 4 {
+                    return Err(NetError::Protocol(format!(
+                        "unsubscribe payload is {} bytes, expected 4",
+                        payload.len()
+                    )));
+                }
+                Ok(Frame::Unsubscribe {
+                    sub_id: get_u32(payload, 0),
+                })
             }
             _ => unreachable!("kind validated by decode_header"),
         }
@@ -2026,6 +2459,275 @@ mod tests {
             Frame::decode(&bytes),
             Err(NetError::Protocol(msg)) if msg.contains("requires protocol version 3")
         ));
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription frames (version 3, kinds 11–14)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn glob_match_semantics() {
+        for (pattern, name, expected) in [
+            ("*", "anything", true),
+            ("*", "", true),
+            ("cam", "cam", true),
+            ("cam", "camera", false),
+            ("cam*", "camera", true),
+            ("cam*", "cam", true),
+            ("cam*", "dam", false),
+            ("*cam", "webcam", true),
+            ("*cam*", "a-camera", true),
+            ("a*b*c", "a-bee-c", true),
+            ("a*b*c", "a-c", false),
+            ("**", "x", true),
+            ("shard-*-replica", "shard-7-replica", true),
+            ("shard-*-replica", "shard-7-primary", false),
+        ] {
+            assert_eq!(
+                glob_match(pattern, name),
+                expected,
+                "glob_match({pattern:?}, {name:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn subscribe_pattern_validation() {
+        assert!(valid_subscribe_pattern("*"));
+        assert!(valid_subscribe_pattern("cam*"));
+        assert!(valid_subscribe_pattern("exact-name"));
+        assert!(!valid_subscribe_pattern(""));
+        assert!(!valid_subscribe_pattern("two words"));
+        assert!(!valid_subscribe_pattern("quo\"te"));
+        assert!(!valid_subscribe_pattern(&"x".repeat(MAX_NAME_LEN + 1)));
+    }
+
+    #[test]
+    fn subscription_frames_roundtrip() {
+        let frames = [
+            Frame::Subscribe(SubscribeReq {
+                sub_id: 7,
+                pattern: "cam*".into(),
+                interests: 0b111,
+                min_interval_ns: 250_000_000,
+            }),
+            Frame::SubAck {
+                sub_id: 7,
+                status: SubStatus::Ok,
+            },
+            Frame::SubAck {
+                sub_id: 9,
+                status: SubStatus::TooManySubscriptions,
+            },
+            Frame::Unsubscribe { sub_id: 7 },
+            Frame::Event(EventFrame {
+                sub_id: 7,
+                app: "cam3".into(),
+                payload: EventPayload::Snapshot {
+                    total_beats: 12_345,
+                    producer_dropped: 9,
+                    rate_bps: Some(29.97),
+                    target: Some((30.0, 35.0)),
+                    alive: true,
+                },
+            }),
+            Frame::Event(EventFrame {
+                sub_id: 7,
+                app: "cam3".into(),
+                payload: EventPayload::Snapshot {
+                    total_beats: 1,
+                    producer_dropped: 0,
+                    rate_bps: None,
+                    target: None,
+                    alive: false,
+                },
+            }),
+            Frame::Event(EventFrame {
+                sub_id: u32::MAX,
+                app: "cam3".into(),
+                payload: EventPayload::HealthTransition {
+                    from: crate::health::HealthStatus::Healthy,
+                    to: crate::health::HealthStatus::Stalled,
+                    reasons: vec![crate::health::HealthReason::Silent],
+                    window_beats: 42,
+                },
+            }),
+            Frame::Event(EventFrame {
+                sub_id: 0,
+                app: "cam3".into(),
+                payload: EventPayload::Beats {
+                    dropped_total: 3,
+                    beats: vec![
+                        beat(5, BeatScope::Global),
+                        beat(6, BeatScope::Local),
+                        beat(7, BeatScope::Global),
+                    ],
+                },
+            }),
+            Frame::Event(EventFrame {
+                sub_id: 1,
+                app: "cam3".into(),
+                payload: EventPayload::Beats {
+                    dropped_total: 0,
+                    beats: vec![],
+                },
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(bytes[4], 3, "subscription frames are version 3: {frame:?}");
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn malformed_subscription_frames_are_rejected() {
+        // Interest mask with no bits.
+        let mut bad = Frame::Subscribe(SubscribeReq {
+            sub_id: 1,
+            pattern: "x".into(),
+            interests: 0b001,
+            min_interval_ns: 0,
+        })
+        .encode();
+        bad[HEADER_LEN + 4] = 0;
+        let crc = crate::crc::crc32(&bad[HEADER_LEN..]);
+        bad[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(NetError::Protocol(msg)) if msg.contains("interest")
+        ));
+
+        // Interest mask with unknown bits.
+        bad[HEADER_LEN + 4] = 0b1001;
+        let crc = crate::crc::crc32(&bad[HEADER_LEN..]);
+        bad[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(Frame::decode(&bad).is_err());
+
+        // A pattern that violates the pattern rules (whitespace).
+        let mut sneaky = Frame::Subscribe(SubscribeReq {
+            sub_id: 1,
+            pattern: "ab".into(),
+            interests: 0b010,
+            min_interval_ns: 0,
+        })
+        .encode();
+        let at = sneaky.len() - 2;
+        sneaky[at] = b' ';
+        let crc = crate::crc::crc32(&sneaky[HEADER_LEN..]);
+        sneaky[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&sneaky),
+            Err(NetError::Protocol(msg)) if msg.contains("pattern")
+        ));
+
+        // Unknown sub-ack status byte.
+        let mut ack = Frame::SubAck {
+            sub_id: 1,
+            status: SubStatus::Ok,
+        }
+        .encode();
+        ack[HEADER_LEN + 4] = 99;
+        let crc = crate::crc::crc32(&ack[HEADER_LEN..]);
+        ack[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&ack),
+            Err(NetError::Protocol(msg)) if msg.contains("status")
+        ));
+
+        // Unknown event kind byte (sits right after the 1-byte sub_id
+        // varint).
+        let mut event = Frame::Event(EventFrame {
+            sub_id: 1,
+            app: "x".into(),
+            payload: EventPayload::Snapshot {
+                total_beats: 0,
+                producer_dropped: 0,
+                rate_bps: None,
+                target: None,
+                alive: true,
+            },
+        })
+        .encode();
+        event[HEADER_LEN + 1] = 77;
+        let crc = crate::crc::crc32(&event[HEADER_LEN..]);
+        event[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&event),
+            Err(NetError::Protocol(msg)) if msg.contains("event kind")
+        ));
+    }
+
+    /// Pins the subscription-frame worked hex examples in `docs/WIRE.md`
+    /// byte for byte, so the documentation cannot rot silently.
+    #[test]
+    fn subscription_worked_examples_match_wire_md() {
+        fn hex(bytes: &[u8]) -> String {
+            bytes
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        assert_eq!(
+            hex(
+                &Frame::Subscribe(SubscribeReq {
+                    sub_id: 1,
+                    pattern: "cam*".into(),
+                    interests: 0b010,
+                    min_interval_ns: 1_000_000_000,
+                })
+                .encode()
+            ),
+            "48 42 57 54 03 0b 13 00 00 00 c9 eb 88 ff \
+             01 00 00 00 02 00 ca 9a 3b 00 00 00 00 04 00 63 61 6d 2a"
+        );
+        assert_eq!(
+            hex(
+                &Frame::SubAck {
+                    sub_id: 1,
+                    status: SubStatus::Ok,
+                }
+                .encode()
+            ),
+            "48 42 57 54 03 0c 05 00 00 00 ad de 42 fb 01 00 00 00 00"
+        );
+        assert_eq!(
+            hex(
+                &Frame::Event(EventFrame {
+                    sub_id: 1,
+                    app: "cam7".into(),
+                    payload: EventPayload::HealthTransition {
+                        from: crate::health::HealthStatus::Healthy,
+                        to: crate::health::HealthStatus::Stalled,
+                        reasons: vec![crate::health::HealthReason::Silent],
+                        window_beats: 42,
+                    },
+                })
+                .encode()
+            ),
+            "48 42 57 54 03 0d 10 00 00 00 93 d3 99 f9 \
+             01 02 04 00 63 61 6d 37 03 01 02 00 2a 00 00 00"
+        );
+        assert_eq!(
+            hex(&Frame::Unsubscribe { sub_id: 1 }.encode()),
+            "48 42 57 54 03 0e 04 00 00 00 79 b8 f8 99 01 00 00 00"
+        );
+    }
+
+    #[test]
+    fn sub_status_encoding_is_stable() {
+        for (status, value) in [
+            (SubStatus::Ok, 0),
+            (SubStatus::InvalidFilter, 1),
+            (SubStatus::TooManySubscriptions, 2),
+        ] {
+            assert_eq!(status.as_u8(), value);
+            assert_eq!(SubStatus::from_u8(value), Some(status));
+        }
+        assert_eq!(SubStatus::from_u8(3), None);
     }
 
     /// Pins the version-3 worked hex examples in `docs/WIRE.md`.

@@ -319,17 +319,46 @@ impl Backend for ShmBackend {
 }
 
 /// External-observer handle over a shared-memory heartbeat segment.
-#[derive(Debug)]
+///
+/// Cloning is cheap (the mapping is shared), which is what lets
+/// [`Observe::subscribe`](heartbeats::Observe::subscribe) hand out an event
+/// stream that owns its own handle.
+#[derive(Debug, Clone)]
 pub struct ShmObserver {
-    segment: ShmSegment,
+    name: String,
+    segment: Arc<ShmSegment>,
+    /// Observer-side progress probe `(last total, when it last advanced)`:
+    /// the producer's clock is process-local, so the only stall signal an
+    /// external mapping has is "the beat total stopped moving". Shared
+    /// across clones so every handle agrees.
+    progress: Arc<std::sync::Mutex<(u64, std::time::Instant)>>,
 }
 
 impl ShmObserver {
     /// Attaches to the segment named `name`.
     pub fn attach(name: &str) -> Result<Self> {
         Ok(ShmObserver {
-            segment: ShmSegment::open(name)?,
+            name: name.to_string(),
+            segment: Arc::new(ShmSegment::open(name)?),
+            progress: Arc::new(std::sync::Mutex::new((0, std::time::Instant::now()))),
         })
+    }
+
+    /// True if the beat total has advanced within the stall horizon
+    /// (observer clock). Updates the progress probe.
+    fn progressing(&self, total: u64) -> bool {
+        let mut probe = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        let now = std::time::Instant::now();
+        if total != probe.0 {
+            *probe = (total, now);
+            return true;
+        }
+        now.duration_since(probe.1).as_nanos() < heartbeats::observe::DEFAULT_STALE_NS as u128
+    }
+
+    /// The shared-memory object name this observer is attached to.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Total number of global beats recorded.
@@ -367,6 +396,73 @@ impl ShmObserver {
     /// The producer's default window.
     pub fn default_window(&self) -> usize {
         self.segment.default_window()
+    }
+}
+
+impl heartbeats::Observe for ShmObserver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn snapshot(&self) -> Option<heartbeats::ObservedSnapshot> {
+        let total = self.total_beats();
+        Some(heartbeats::ObservedSnapshot {
+            total_beats: total,
+            rate_bps: self.current_rate(0),
+            target: self.target(),
+            dropped: 0, // the shared ring overwrites in place, never sheds
+            alive: total > 0 && self.progressing(total),
+        })
+    }
+
+    fn health(&self) -> heartbeats::ObservedHealth {
+        let total = self.total_beats();
+        if total == 0 {
+            return heartbeats::ObservedHealth::NoSignal;
+        }
+        // The segment's rate is computed from frozen producer timestamps,
+        // so it never decays on its own; a dead producer is detected by
+        // the observer-side progress probe instead (a guarded control loop
+        // must hold rather than act on the frozen rate).
+        if !self.progressing(total) {
+            return heartbeats::ObservedHealth::Stalled;
+        }
+        match (self.current_rate(0), self.target()) {
+            (Some(rate), Some((min, _))) if rate < min => heartbeats::ObservedHealth::Degraded,
+            _ => heartbeats::ObservedHealth::Healthy,
+        }
+    }
+
+    fn rate(&self, window: usize) -> Option<f64> {
+        self.current_rate(window)
+    }
+
+    fn beats_since(&self, seen_total: u64) -> Option<Vec<heartbeats::ObservedBeat>> {
+        let total = self.total_beats();
+        let fresh = total.saturating_sub(seen_total);
+        if fresh == 0 {
+            return Some(Vec::new());
+        }
+        Some(
+            self.history(fresh.min(usize::MAX as u64) as usize)
+                .into_iter()
+                .filter(|record| record.seq >= seen_total)
+                .map(|record| heartbeats::ObservedBeat {
+                    record,
+                    scope: BeatScope::Global, // only global beats are mirrored
+                })
+                .collect(),
+        )
+    }
+
+    fn subscribe(
+        &self,
+        filter: &heartbeats::ObserveFilter,
+    ) -> std::result::Result<heartbeats::ObserveStream, heartbeats::ObserveError> {
+        Ok(heartbeats::observe::polling_stream(
+            self.clone(),
+            filter.clone(),
+        ))
     }
 }
 

@@ -45,6 +45,9 @@
 //!
 //! * [`Heartbeat`] / [`HeartbeatBuilder`] — producer API (Table 1 of the paper).
 //! * [`HeartbeatReader`] — read-only observer handle.
+//! * [`observe`] — the unified [`Observe`] trait (snapshot / health / push
+//!   subscriptions), implemented by every observer path so consumers run
+//!   unchanged over in-process, shared-memory, and network transports.
 //! * [`Registry`] — in-process discovery of heartbeat-enabled applications.
 //! * [`record`], [`window`], [`stats`] — records, windowed-rate estimation,
 //!   summary statistics.
@@ -67,6 +70,7 @@ pub mod clock;
 mod error;
 pub mod ffi;
 mod heartbeat;
+pub mod observe;
 mod reader;
 pub mod record;
 mod registry;
@@ -81,6 +85,10 @@ pub use builder::{HeartbeatBuilder, DEFAULT_WINDOW};
 pub use clock::{Clock, ManualClock, MonotonicClock, SharedClock};
 pub use error::{HeartbeatError, Result};
 pub use heartbeat::{current_thread_id, BufferKind, Heartbeat};
+pub use observe::{
+    Interest, Observe, ObserveError, ObserveEvent, ObserveEventKind, ObserveFilter,
+    ObserveStream, ObservedBeat, ObservedHealth, ObservedSnapshot,
+};
 pub use reader::{HealthStatus, HeartbeatReader};
 pub use record::{BeatThreadId, HeartbeatRecord, Tag};
 pub use registry::Registry;
@@ -93,6 +101,9 @@ pub mod prelude {
     pub use crate::builder::HeartbeatBuilder;
     pub use crate::clock::{Clock, ManualClock, MonotonicClock};
     pub use crate::heartbeat::Heartbeat;
+    pub use crate::observe::{
+        Interest, Observe, ObserveEvent, ObserveEventKind, ObserveFilter, ObservedHealth,
+    };
     pub use crate::reader::{HealthStatus, HeartbeatReader};
     pub use crate::record::{BeatThreadId, HeartbeatRecord, Tag};
     pub use crate::registry::Registry;

@@ -159,6 +159,72 @@ impl HeartbeatReader {
     }
 }
 
+impl crate::observe::Observe for HeartbeatReader {
+    fn name(&self) -> &str {
+        HeartbeatReader::name(self)
+    }
+
+    fn snapshot(&self) -> Option<crate::observe::ObservedSnapshot> {
+        Some(crate::observe::ObservedSnapshot {
+            total_beats: self.total_beats(),
+            rate_bps: self.current_rate(0),
+            target: self.target(),
+            dropped: 0, // the in-process buffers never shed beats
+            alive: self.health(crate::observe::DEFAULT_STALE_NS) == HealthStatus::Alive,
+        })
+    }
+
+    fn health(&self) -> crate::observe::ObservedHealth {
+        use crate::observe::ObservedHealth;
+        match HeartbeatReader::health(self, crate::observe::DEFAULT_STALE_NS) {
+            HealthStatus::NeverBeat => ObservedHealth::NoSignal,
+            HealthStatus::Stalled => ObservedHealth::Stalled,
+            HealthStatus::Alive => {
+                // Mirror the collector's rate-below-target anomaly so local
+                // and remote observers agree on what "degraded" means.
+                match (self.current_rate(0), self.target()) {
+                    (Some(rate), Some((min, _))) if rate < min => ObservedHealth::Degraded,
+                    _ => ObservedHealth::Healthy,
+                }
+            }
+        }
+    }
+
+    fn rate(&self, window: usize) -> Option<f64> {
+        self.current_rate(window)
+    }
+
+    fn beats_since(&self, seen_total: u64) -> Option<Vec<crate::observe::ObservedBeat>> {
+        let total = self.total_beats();
+        let fresh = total.saturating_sub(seen_total);
+        if fresh == 0 {
+            return Some(Vec::new());
+        }
+        // The bounded history may have already evicted the oldest of the
+        // fresh beats; return what is retained (sequence numbers make any
+        // gap visible to the consumer).
+        Some(
+            self.history(fresh.min(usize::MAX as u64) as usize)
+                .into_iter()
+                .filter(|record| record.seq >= seen_total)
+                .map(|record| crate::observe::ObservedBeat {
+                    record,
+                    scope: crate::backend::BeatScope::Global,
+                })
+                .collect(),
+        )
+    }
+
+    fn subscribe(
+        &self,
+        filter: &crate::observe::ObserveFilter,
+    ) -> Result<crate::observe::ObserveStream, crate::observe::ObserveError> {
+        // No push plane in-process: synthesize the identical event stream
+        // from polling (cheap — the reader shares the producer's buffers).
+        Ok(crate::observe::polling_stream(self.clone(), filter.clone()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
