@@ -4,7 +4,7 @@
 //! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
 //!              [--io-threads N] [--idle-timeout SECS]
 //!              [--history-capacity N] [--health-window SECS]
-//!              [--sub-queue-capacity N]
+//!              [--sub-queue-capacity N] [--log-level LEVEL]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
@@ -30,7 +30,15 @@
 //! (default 1024) bounds the events buffered per subscriber connection
 //! before the oldest is shed (counted in `events_dropped`). Connections
 //! holding an active subscription are exempt from `--idle-timeout`.
+//!
+//! Lifecycle events (accepts, hellos, protocol errors, evictions, health
+//! transitions) go to the in-process journal — replay them with `TRACE [n]`
+//! on the query port. `--log-level LEVEL` (trace|debug|info|warn|error|off,
+//! default `info`) additionally mirrors entries at or above LEVEL to
+//! stderr; the journal itself always records everything. See
+//! `docs/TELEMETRY.md`.
 
+use hb_net::telemetry::{self, Level};
 use hb_net::{Collector, CollectorConfig};
 
 struct Args {
@@ -42,6 +50,9 @@ struct Args {
     history_capacity: usize,
     health_window: f64,
     sub_queue_capacity: usize,
+    /// `None` silences the stderr mirror (`--log-level off`); the journal
+    /// records at every level regardless.
+    log_level: Option<Level>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         history_capacity: CollectorConfig::default().history_capacity,
         health_window: CollectorConfig::default().health.window.as_secs_f64(),
         sub_queue_capacity: CollectorConfig::default().sub_queue_capacity,
+        log_level: Some(Level::Info),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,12 +113,22 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| "--sub-queue-capacity expects a count >= 1".to_string())?;
             }
+            "--log-level" => {
+                let raw = value("--log-level")?;
+                args.log_level = if raw.eq_ignore_ascii_case("off") {
+                    None
+                } else {
+                    Some(Level::parse(&raw).ok_or_else(|| {
+                        "--log-level expects trace|debug|info|warn|error|off".to_string()
+                    })?)
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
                      [--print-every SECS] [--io-threads N] [--idle-timeout SECS] \
                      [--history-capacity N] [--health-window SECS] \
-                     [--sub-queue-capacity N]"
+                     [--sub-queue-capacity N] [--log-level LEVEL]"
                 );
                 std::process::exit(0);
             }
@@ -117,13 +139,31 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    // Usage errors must reach the terminal even under `--log-level off`,
+    // so the mirror starts at the default before flags are applied.
+    telemetry::set_stderr_level(Some(Level::Info));
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
-            eprintln!("hb-collector: {msg}");
+            hb_net::log!(Level::Error, "{msg}");
             std::process::exit(2);
         }
     };
+    telemetry::set_stderr_level(args.log_level);
+    hb_net::log!(
+        Level::Info,
+        "config ingest={} query={} io_threads={} idle_timeout_s={} history_capacity={} \
+         health_window_s={} sub_queue_capacity={} print_every_s={} log_level={}",
+        args.ingest,
+        args.query,
+        args.io_threads,
+        args.idle_timeout,
+        args.history_capacity,
+        args.health_window,
+        args.sub_queue_capacity,
+        args.print_every.unwrap_or(0),
+        args.log_level.map_or("off", |l| l.as_str()),
+    );
     let config = CollectorConfig {
         io_threads: args.io_threads,
         idle_timeout: std::time::Duration::from_secs(args.idle_timeout),
@@ -138,7 +178,7 @@ fn main() {
     let collector = match Collector::with_config(&args.ingest, &args.query, config) {
         Ok(collector) => collector,
         Err(err) => {
-            eprintln!("hb-collector: failed to bind: {err}");
+            hb_net::log!(Level::Error, "failed to bind: {err}");
             std::process::exit(1);
         }
     };

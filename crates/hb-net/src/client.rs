@@ -39,6 +39,7 @@ use crate::collector::AppSnapshot;
 use crate::error::{NetError, Result};
 use crate::frame::FrameReader;
 use crate::health::{HealthReport, HealthStatus};
+use crate::telemetry::{self, HistoSnapshot, LatencyHisto};
 use crate::wire::{self, EventFrame, EventPayload, Frame, HistoryChunk, SubStatus, SubscribeReq};
 
 /// How long a synchronous query waits for its reply before treating the
@@ -218,12 +219,22 @@ struct SubShared {
     ready: Condvar,
     closed: AtomicBool,
     lost: AtomicU64,
+    /// Wire-faithful delivery lag: the collector's enqueue wall clock
+    /// (`sent_at_ns`) to this process's receive wall clock. Spans the
+    /// collector pump, the kernel, and the wire — see
+    /// [`Subscription::delivery_lag`] for the clock-agreement caveat.
+    lag: LatencyHisto,
 }
 
 impl SubShared {
     fn push(&self, event: EventFrame) {
         if self.closed.load(Ordering::Acquire) {
             return;
+        }
+        // sent_at_ns == 0 marks a pre-telemetry collector: no lag sample.
+        if event.sent_at_ns > 0 {
+            self.lag
+                .record(telemetry::wall_clock_ns().saturating_sub(event.sent_at_ns));
         }
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= SUB_QUEUE_CAPACITY {
@@ -800,6 +811,17 @@ impl Subscription {
     /// counter).
     pub fn lost(&self) -> u64 {
         self.shared.lost.load(Ordering::Relaxed)
+    }
+
+    /// Observed end-to-end delivery lag: collector enqueue wall clock
+    /// ([`EventFrame::sent_at_ns`]) to this process's receive wall clock,
+    /// one sample per event received so far. Meaningful to the extent the
+    /// two hosts' clocks agree (same host: exact; NTP-synced: tens of
+    /// microseconds); skew that would make a lag negative clamps the
+    /// sample to zero, and events from collectors that predate stamping
+    /// (`sent_at_ns == 0`) record nothing.
+    pub fn delivery_lag(&self) -> HistoSnapshot {
+        self.shared.lag.snapshot()
     }
 
     /// Cancels the subscription synchronously: sends the unsubscribe,

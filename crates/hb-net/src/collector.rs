@@ -63,6 +63,7 @@ use crate::frame::{FrameDecoder, FrameEvent};
 use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample};
 use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
 use crate::subscribe::{LocalSubscription, SubEntry, SubscriberQueue, SubscriptionRegistry};
+use crate::telemetry::{self, Level, PipelineTelemetry, ReactorThreads};
 use crate::wire::{
     EventPayload, Frame, HealthFrame, HistoryChunk, SubStatus, SubscribeReq, WireBeat,
     MAX_HISTORY_SAMPLES, VERSION,
@@ -98,6 +99,11 @@ pub struct CollectorConfig {
     /// (drop-oldest, counted in `events_dropped`). A slow observer loses
     /// history; it never stalls the collector.
     pub sub_queue_capacity: usize,
+    /// Record pipeline latency histograms, delivery lag and per-reactor-
+    /// thread utilization. When `false` every instrumented stage costs one
+    /// relaxed atomic load and nothing else (pinned by the `telemetry`
+    /// bench); the histogram/thread series then export empty.
+    pub telemetry: bool,
 }
 
 impl Default for CollectorConfig {
@@ -111,6 +117,7 @@ impl Default for CollectorConfig {
             history_capacity: 1024,
             health: HealthConfig::default(),
             sub_queue_capacity: 1024,
+            telemetry: true,
         }
     }
 }
@@ -254,6 +261,12 @@ pub struct CollectorState {
     evicted_total: Arc<AtomicU64>,
     /// Push-subscription registry and fan-out queues.
     subs: Arc<SubscriptionRegistry>,
+    /// Per-stage latency histograms (decode, ingest, fan-out, pump, query,
+    /// delivery lag).
+    telemetry: Arc<PipelineTelemetry>,
+    /// Per-reactor-thread utilization counters, registered by the reactor
+    /// at spawn when telemetry is on (empty for embedded registries).
+    reactor_threads: Arc<ReactorThreads>,
 }
 
 impl CollectorState {
@@ -264,6 +277,7 @@ impl CollectorState {
         let shards = (0..config.shards.max(1))
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
+        let telemetry = Arc::new(PipelineTelemetry::new(config.telemetry));
         CollectorState {
             shards,
             config,
@@ -274,7 +288,20 @@ impl CollectorState {
             queries_total: AtomicU64::new(0),
             evicted_total: Arc::new(AtomicU64::new(0)),
             subs: Arc::new(SubscriptionRegistry::new()),
+            telemetry,
+            reactor_threads: Arc::new(ReactorThreads::new()),
         }
+    }
+
+    /// The pipeline latency histograms (and their runtime enable switch).
+    pub fn telemetry(&self) -> &Arc<PipelineTelemetry> {
+        &self.telemetry
+    }
+
+    /// Per-reactor-thread utilization counters. Empty unless this state
+    /// serves a [`Collector`] built with telemetry on.
+    pub fn reactor_threads(&self) -> &Arc<ReactorThreads> {
+        &self.reactor_threads
     }
 
     fn shard_index(&self, app: &str) -> usize {
@@ -379,11 +406,14 @@ impl CollectorState {
             // case (entry already exists) costs one lookup and zero
             // allocation; only an app's first-ever batch pays the entry()
             // insert with its owned key.
+            let started = self.telemetry.start();
             let mut shard = self.shards[shard_index]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = shard.get_mut(key) {
                 Self::absorb(entry, dropped_total, beats);
+                drop(shard);
+                self.telemetry.observe(&self.telemetry.ingest, started);
                 return;
             }
             let config = &self.config;
@@ -391,6 +421,8 @@ impl CollectorState {
                 .entry(key.to_string())
                 .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
             Self::absorb(entry, dropped_total, beats);
+            drop(shard);
+            self.telemetry.observe(&self.telemetry.ingest, started);
             return;
         }
         // Subscribed path. The batch is materialized only when some
@@ -402,6 +434,7 @@ impl CollectorState {
             .any(|watcher| watcher.wants(Interest::BEATS.bits()));
         let mut pending = Vec::new();
         if !wants_beats {
+            let mut mark = self.telemetry.start();
             {
                 let mut shard = self.shards[shard_index]
                     .lock()
@@ -421,15 +454,24 @@ impl CollectorState {
                 );
                 self.collect_ingest_events(key, entry, count, &watchers, &mut pending);
             }
+            // Lap the clock at the lock boundary: one read closes the
+            // ingest span and opens the fan-out span.
+            self.telemetry.lap(&self.telemetry.ingest, &mut mark);
+            if pending.is_empty() {
+                return;
+            }
             for (watcher, event) in pending {
                 if let PendingEvent::Ready(payload) = event {
+                    self.journal_health(key, &payload);
                     self.subs.deliver(&watcher, key, payload);
                 }
                 // PendingEvent::Beats is unreachable: no watcher asked.
             }
+            self.telemetry.observe(&self.telemetry.fanout, mark);
             return;
         }
         let beats: Vec<WireBeat> = beats.into_iter().collect();
+        let mut mark = self.telemetry.start();
         {
             let mut shard = self.shards[shard_index]
                 .lock()
@@ -444,9 +486,13 @@ impl CollectorState {
             Self::absorb(entry, dropped_total, beats.iter().copied());
             self.collect_ingest_events(key, entry, beats.len(), &watchers, &mut pending);
         }
+        self.telemetry.lap(&self.telemetry.ingest, &mut mark);
         // Per-watcher batch copies, encoding and enqueueing all happen
         // outside the shard lock: fan-out work must not stall other
         // producers of the same shard.
+        if pending.is_empty() {
+            return;
+        }
         for (watcher, event) in pending {
             let payload = match event {
                 PendingEvent::Ready(payload) => payload,
@@ -455,7 +501,17 @@ impl CollectorState {
                     beats: beats.clone(),
                 },
             };
+            self.journal_health(key, &payload);
             self.subs.deliver(&watcher, key, payload);
+        }
+        self.telemetry.observe(&self.telemetry.fanout, mark);
+    }
+
+    /// Journals a health transition about to be delivered. Transitions are
+    /// rare and high-signal — exactly what the `TRACE` window is for.
+    fn journal_health(&self, app: &str, payload: &EventPayload) {
+        if let EventPayload::HealthTransition { from, to, .. } = payload {
+            crate::log!(Level::Info, "health transition app={app} {from} -> {to}");
         }
     }
 
@@ -539,16 +595,14 @@ impl CollectorState {
                     continue;
                 };
                 if let Some(from) = entry.health_transition(&app, report.status) {
-                    self.subs.deliver(
-                        &entry,
-                        &app,
-                        EventPayload::HealthTransition {
-                            from,
-                            to: report.status,
-                            reasons: report.reasons,
-                            window_beats: report.window_beats,
-                        },
-                    );
+                    let payload = EventPayload::HealthTransition {
+                        from,
+                        to: report.status,
+                        reasons: report.reasons,
+                        window_beats: report.window_beats,
+                    };
+                    self.journal_health(&app, &payload);
+                    self.subs.deliver(&entry, &app, payload);
                 }
             }
         }
@@ -577,7 +631,12 @@ impl CollectorState {
         interests: Interest,
         min_interval: Duration,
     ) -> std::result::Result<LocalSubscription, SubStatus> {
-        let queue = Arc::new(SubscriberQueue::new(self.config.sub_queue_capacity));
+        let queue = Arc::new(SubscriberQueue::with_telemetry(
+            self.config.sub_queue_capacity,
+            self.config
+                .telemetry
+                .then(|| Arc::clone(&self.telemetry.delivery)),
+        ));
         let req = SubscribeReq {
             sub_id: 0,
             pattern: pattern.to_string(),
@@ -768,12 +827,12 @@ impl CollectorState {
 
     /// Events enqueued toward subscribers since start.
     pub fn events_total(&self) -> u64 {
-        self.subs.events_enqueued()
+        self.subs.event_counters().0
     }
 
     /// Events shed because a subscriber queue was full.
     pub fn events_dropped_total(&self) -> u64 {
-        self.subs.events_dropped()
+        self.subs.event_counters().1
     }
 
     /// Connections evicted by the reactor's idle timer.
@@ -786,17 +845,67 @@ impl CollectorState {
         self.config.io_threads.max(1)
     }
 
-    /// Renders the registry as Prometheus text-format metrics.
+    /// One consistent reading of every collector-wide counter, taken for a
+    /// whole `STATS` or `/metrics` render. The event pair comes from
+    /// [`SubscriptionRegistry::event_counters`], so a scrape racing an
+    /// ingest can never report more drops than enqueues.
+    pub fn counters(&self) -> CollectorCounters {
+        let (events_total, events_dropped_total) = self.subs.event_counters();
+        CollectorCounters {
+            connections_total: self.connections_total(),
+            frames_total: self.frames_total(),
+            protocol_errors: self.protocol_errors(),
+            queries_total: self.queries_total(),
+            evicted_total: self.evicted_total(),
+            subscriptions: self.subs.active(),
+            events_total,
+            events_dropped_total,
+            uptime: self.started.elapsed(),
+        }
+    }
+
+    /// Escapes a string for use as a Prometheus label value. Registry keys
+    /// are already sanitized at ingest, so this is a second fence — it
+    /// keeps the export well-formed even if a future path lets a raw name
+    /// through.
+    fn escape_label(value: &str) -> std::borrow::Cow<'_, str> {
+        if !value.contains(['\\', '"', '\n']) {
+            return std::borrow::Cow::Borrowed(value);
+        }
+        let mut escaped = String::with_capacity(value.len() + 4);
+        for c in value.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                '\n' => escaped.push_str("\\n"),
+                other => escaped.push(other),
+            }
+        }
+        std::borrow::Cow::Owned(escaped)
+    }
+
+    /// Renders the registry as Prometheus text-format metrics: per-app
+    /// gauges, collector-wide counters, per-pipeline-stage latency
+    /// histograms and per-reactor-thread utilization (see
+    /// `docs/TELEMETRY.md` for the full series catalogue).
     pub fn prometheus(&self) -> String {
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(4096);
+        out.push_str("# HELP hb_app_rate_bps Windowed heartbeat rate, beats per second.\n");
         out.push_str("# TYPE hb_app_rate_bps gauge\n");
+        out.push_str("# HELP hb_app_beats_total Global beats ingested for the application.\n");
         out.push_str("# TYPE hb_app_beats_total counter\n");
+        out.push_str("# HELP hb_app_target_min_bps Declared target rate floor.\n");
         out.push_str("# TYPE hb_app_target_min_bps gauge\n");
+        out.push_str("# HELP hb_app_target_max_bps Declared target rate ceiling.\n");
         out.push_str("# TYPE hb_app_target_max_bps gauge\n");
+        out.push_str(
+            "# HELP hb_app_producer_dropped_total Beats shed producer-side before reaching the collector.\n",
+        );
         out.push_str("# TYPE hb_app_producer_dropped_total counter\n");
+        out.push_str("# HELP hb_app_alive 1 while the application beat within the staleness window.\n");
         out.push_str("# TYPE hb_app_alive gauge\n");
         for snap in self.snapshots() {
-            let app = &snap.app;
+            let app = Self::escape_label(&snap.app);
             if let Some(rate) = snap.rate_bps {
                 out.push_str(&format!("hb_app_rate_bps{{app=\"{app}\"}} {rate}\n"));
             }
@@ -819,51 +928,217 @@ impl CollectorState {
         }
         // Health gauge: 0 = nosignal, 1 = stalled, 2 = degraded,
         // 3 = healthy (the stable HealthStatus encoding; higher is better).
+        out.push_str(
+            "# HELP hb_app_health Windowed health class: 0 nosignal, 1 stalled, 2 degraded, 3 healthy.\n",
+        );
         out.push_str("# TYPE hb_app_health gauge\n");
         for (app, report) in self.healths() {
             out.push_str(&format!(
-                "hb_app_health{{app=\"{app}\"}} {}\n",
+                "hb_app_health{{app=\"{}\"}} {}\n",
+                Self::escape_label(&app),
                 report.status.as_u8()
             ));
         }
+        let counters = self.counters();
+        out.push_str("# HELP hb_collector_connections_total Producer connections accepted since start.\n");
         out.push_str("# TYPE hb_collector_connections_total counter\n");
         out.push_str(&format!(
             "hb_collector_connections_total {}\n",
-            self.connections_total()
+            counters.connections_total
         ));
+        out.push_str("# HELP hb_collector_frames_total Frames ingested since start.\n");
         out.push_str("# TYPE hb_collector_frames_total counter\n");
-        out.push_str(&format!("hb_collector_frames_total {}\n", self.frames_total()));
+        out.push_str(&format!(
+            "hb_collector_frames_total {}\n",
+            counters.frames_total
+        ));
+        out.push_str("# HELP hb_collector_protocol_errors_total Connections dropped for protocol violations.\n");
+        out.push_str("# TYPE hb_collector_protocol_errors_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_protocol_errors_total {}\n",
+            counters.protocol_errors
+        ));
+        out.push_str("# HELP hb_collector_io_threads Reactor I/O threads serving all sockets.\n");
         out.push_str("# TYPE hb_collector_io_threads gauge\n");
         out.push_str(&format!("hb_collector_io_threads {}\n", self.io_threads()));
+        out.push_str("# HELP hb_collector_idle_evicted_total Connections evicted by the idle timer.\n");
         out.push_str("# TYPE hb_collector_idle_evicted_total counter\n");
         out.push_str(&format!(
             "hb_collector_idle_evicted_total {}\n",
-            self.evicted_total()
+            counters.evicted_total
         ));
+        out.push_str("# HELP hb_collector_queries_total Observer requests answered.\n");
         out.push_str("# TYPE hb_collector_queries_total counter\n");
         out.push_str(&format!(
             "hb_collector_queries_total {}\n",
-            self.queries_total()
+            counters.queries_total
         ));
+        out.push_str("# HELP hb_collector_subscriptions Push subscriptions currently registered.\n");
         out.push_str("# TYPE hb_collector_subscriptions gauge\n");
         out.push_str(&format!(
             "hb_collector_subscriptions {}\n",
-            self.subs.active()
+            counters.subscriptions
         ));
+        out.push_str("# HELP hb_collector_events_total Events enqueued toward subscribers.\n");
         out.push_str("# TYPE hb_collector_events_total counter\n");
-        out.push_str(&format!("hb_collector_events_total {}\n", self.events_total()));
+        out.push_str(&format!(
+            "hb_collector_events_total {}\n",
+            counters.events_total
+        ));
+        out.push_str("# HELP hb_collector_events_dropped_total Events shed because a subscriber queue was full.\n");
         out.push_str("# TYPE hb_collector_events_dropped_total counter\n");
         out.push_str(&format!(
             "hb_collector_events_dropped_total {}\n",
-            self.events_dropped_total()
+            counters.events_dropped_total
         ));
+        out.push_str("# HELP hb_collector_uptime_seconds Seconds since the collector started.\n");
         out.push_str("# TYPE hb_collector_uptime_seconds gauge\n");
         out.push_str(&format!(
             "hb_collector_uptime_seconds {:.3}\n",
-            self.started.elapsed().as_secs_f64()
+            counters.uptime.as_secs_f64()
         ));
+        // Pipeline latency histograms (empty until the matching stage has
+        // run with telemetry on).
+        for (histo, name, help) in [
+            (
+                &self.telemetry.decode,
+                "hb_collector_decode_latency_seconds",
+                "Incremental frame decode latency per yielded frame.",
+            ),
+            (
+                &self.telemetry.ingest,
+                "hb_collector_ingest_latency_seconds",
+                "Registry ingest latency per absorbed batch (shard lock held).",
+            ),
+            (
+                &self.telemetry.fanout,
+                "hb_collector_fanout_latency_seconds",
+                "Subscription fan-out latency per batch with watchers (encode + enqueue).",
+            ),
+            (
+                &self.telemetry.pump,
+                "hb_collector_pump_latency_seconds",
+                "Observer pump pass latency (silence sweep + queue drain).",
+            ),
+            (
+                &self.telemetry.query,
+                "hb_collector_query_latency_seconds",
+                "Query handling latency per request (line commands and binary queries).",
+            ),
+            (
+                &*self.telemetry.delivery,
+                "hb_collector_delivery_lag_seconds",
+                "Event delivery lag: enqueue to drain into the subscriber's outbound buffer.",
+            ),
+        ] {
+            histo.snapshot().render_prometheus(&mut out, name, help);
+        }
+        // Per-reactor-thread utilization: aggregates hide one hot thread;
+        // per-thread series do not.
+        let threads = self.reactor_threads.snapshot();
+        if !threads.is_empty() {
+            out.push_str("# HELP hb_reactor_thread_busy_seconds_total Seconds the I/O thread spent working.\n");
+            out.push_str("# TYPE hb_reactor_thread_busy_seconds_total counter\n");
+            for t in &threads {
+                out.push_str(&format!(
+                    "hb_reactor_thread_busy_seconds_total{{thread=\"{}\"}} {}\n",
+                    t.index,
+                    t.busy_ns as f64 / 1e9
+                ));
+            }
+            out.push_str("# HELP hb_reactor_thread_wait_seconds_total Seconds the I/O thread spent parked in the poller.\n");
+            out.push_str("# TYPE hb_reactor_thread_wait_seconds_total counter\n");
+            for t in &threads {
+                out.push_str(&format!(
+                    "hb_reactor_thread_wait_seconds_total{{thread=\"{}\"}} {}\n",
+                    t.index,
+                    t.wait_ns as f64 / 1e9
+                ));
+            }
+            out.push_str("# HELP hb_reactor_thread_loops_total Readiness-loop iterations.\n");
+            out.push_str("# TYPE hb_reactor_thread_loops_total counter\n");
+            for t in &threads {
+                out.push_str(&format!(
+                    "hb_reactor_thread_loops_total{{thread=\"{}\"}} {}\n",
+                    t.index, t.loops
+                ));
+            }
+            out.push_str("# HELP hb_reactor_thread_dispatches_total Readiness events dispatched to handlers.\n");
+            out.push_str("# TYPE hb_reactor_thread_dispatches_total counter\n");
+            for t in &threads {
+                out.push_str(&format!(
+                    "hb_reactor_thread_dispatches_total{{thread=\"{}\"}} {}\n",
+                    t.index, t.dispatches
+                ));
+            }
+            out.push_str("# HELP hb_reactor_thread_utilization Busy fraction of observed time, 0 to 1.\n");
+            out.push_str("# TYPE hb_reactor_thread_utilization gauge\n");
+            for t in &threads {
+                out.push_str(&format!(
+                    "hb_reactor_thread_utilization{{thread=\"{}\"}} {:.6}\n",
+                    t.index,
+                    t.utilization()
+                ));
+            }
+        }
         out
     }
+
+    /// An app × time-bucket beat-rate matrix rendered from the history
+    /// rings — the CloudHeatMap view of the fleet. Each application's
+    /// window is anchored at its **own newest sample** (producer clocks are
+    /// not comparable across hosts): bucket `buckets-1` is the `width`
+    /// ending at that sample, bucket `buckets-2` the `width` before it, and
+    /// so on. Returns `(app, rates)` sorted by name; `rates[i]` is in
+    /// beats/second, `0.0` where the ring holds no samples that old.
+    pub fn heatmap(&self, buckets: usize, width: Duration) -> Vec<(String, Vec<f64>)> {
+        let buckets = buckets.clamp(1, 64);
+        let width_ns = width.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        let mut rows = Vec::new();
+        for app in self.app_names() {
+            let Some((_, samples)) = self.history(&app, 0) else {
+                continue;
+            };
+            let mut counts = vec![0u64; buckets];
+            if let Some(newest) = samples.iter().map(|s| s.timestamp_ns).max() {
+                for sample in &samples {
+                    let age = newest - sample.timestamp_ns;
+                    let back = (age / width_ns) as usize;
+                    if back < buckets {
+                        counts[buckets - 1 - back] += 1;
+                    }
+                }
+            }
+            let width_s = width_ns as f64 / 1e9;
+            rows.push((app, counts.into_iter().map(|c| c as f64 / width_s).collect()));
+        }
+        rows
+    }
+}
+
+/// A consistent point-in-time reading of the collector-wide counters,
+/// produced by [`CollectorState::counters`] and consumed whole by `STATS`
+/// and the Prometheus export.
+#[derive(Debug, Clone)]
+pub struct CollectorCounters {
+    /// Producer connections accepted since start.
+    pub connections_total: u64,
+    /// Frames ingested since start.
+    pub frames_total: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Observer requests answered.
+    pub queries_total: u64,
+    /// Connections evicted by the idle timer.
+    pub evicted_total: u64,
+    /// Push subscriptions currently registered.
+    pub subscriptions: usize,
+    /// Events enqueued toward subscribers (always >= the drop count below).
+    pub events_total: u64,
+    /// Events shed because a subscriber queue was full.
+    pub events_dropped_total: u64,
+    /// Time since the collector started.
+    pub uptime: Duration,
 }
 
 /// The collector daemon: an ingest listener for producers and a query
@@ -913,19 +1188,24 @@ impl Collector {
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
 
+        let state = Arc::new(CollectorState::new(config));
         let reactor_config = ReactorConfig {
-            io_threads: config.io_threads,
-            idle_timeout: config.idle_timeout,
+            io_threads: state.config.io_threads,
+            idle_timeout: state.config.idle_timeout,
+            thread_stats: state
+                .config
+                .telemetry
+                .then(|| Arc::clone(&state.reactor_threads)),
             ..ReactorConfig::default()
         };
-        let state = Arc::new(CollectorState::new(config));
 
         let ingest_spec = ListenerSpec {
             listener: ingest_listener,
             factory: {
                 let state = Arc::clone(&state);
-                Arc::new(move |_peer| {
+                Arc::new(move |peer| {
                     state.connections_total.fetch_add(1, Ordering::Relaxed);
+                    crate::log!(Level::Debug, "producer connected peer={peer}");
                     Box::new(ProducerHandler::new(Arc::clone(&state))) as Box<dyn Handler>
                 })
             },
@@ -934,7 +1214,8 @@ impl Collector {
             listener: query_listener,
             factory: {
                 let state = Arc::clone(&state);
-                Arc::new(move |_peer| {
+                Arc::new(move |peer| {
+                    crate::log!(Level::Debug, "observer connected peer={peer}");
                     Box::new(ObserverHandler::new(Arc::clone(&state))) as Box<dyn Handler>
                 })
             },
@@ -1008,8 +1289,12 @@ impl Handler for ProducerHandler {
             // next_event keeps beat batches as borrowing views over the
             // decoder's receive buffer: the decode→ingest path below
             // performs no per-frame Vec<WireBeat> allocation.
+            let started = self.state.telemetry.start();
             match self.decoder.next_event() {
                 Ok(Some(event)) => {
+                    self.state
+                        .telemetry
+                        .observe(&self.state.telemetry.decode, started);
                     self.state.frames_total.fetch_add(1, Ordering::Relaxed);
                     match event {
                         FrameEvent::Beats(view) => match &self.app {
@@ -1020,10 +1305,21 @@ impl Handler for ProducerHandler {
                             ),
                             None => {
                                 self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: beats before hello, dropping producer"
+                                );
                                 return false;
                             }
                         },
                         FrameEvent::Control(Frame::Hello(hello)) => {
+                            crate::log!(
+                                Level::Info,
+                                "hello app={} pid={} window={}",
+                                hello.app,
+                                hello.pid,
+                                hello.default_window
+                            );
                             self.app = Some(self.state.hello(
                                 &hello.app,
                                 hello.pid,
@@ -1044,23 +1340,44 @@ impl Handler for ProducerHandler {
                                 }
                                 None => {
                                     self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    crate::log!(
+                                        Level::Warn,
+                                        "protocol error: target before hello, dropping producer"
+                                    );
                                     return false;
                                 }
                             }
                         }
-                        FrameEvent::Control(Frame::Bye) => return false,
+                        FrameEvent::Control(Frame::Bye) => {
+                            crate::log!(
+                                Level::Debug,
+                                "bye app={}",
+                                self.app.as_ref().map_or("?", |h| h.app())
+                            );
+                            return false;
+                        }
                         // Query frames belong on the query port, and
                         // HelloAck is collector → producer; receiving any
                         // of them here is a protocol violation.
                         FrameEvent::Control(_) => {
                             self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            crate::log!(
+                                Level::Warn,
+                                "protocol error: unexpected control frame on ingest port app={}",
+                                self.app.as_ref().map_or("?", |h| h.app())
+                            );
                             return false;
                         }
                     }
                 }
                 Ok(None) => return true, // need more bytes
-                Err(_) => {
+                Err(err) => {
                     self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    crate::log!(
+                        Level::Warn,
+                        "protocol error: bad frame from app={}: {err:?}",
+                        self.app.as_ref().map_or("?", |h| h.app())
+                    );
                     return false;
                 }
             }
@@ -1071,6 +1388,11 @@ impl Handler for ProducerHandler {
         if self.decoder.has_partial() {
             // The stream died mid-frame: truncation, not a clean goodbye.
             self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            crate::log!(
+                Level::Warn,
+                "producer stream truncated mid-frame app={}",
+                self.app.as_ref().map_or("?", |h| h.app())
+            );
         }
     }
 
@@ -1128,14 +1450,25 @@ impl ObserverHandler {
     fn handle_frame(&mut self, frame: Frame, out: &mut Vec<u8>) -> bool {
         let reply = match frame {
             Frame::Subscribe(req) => {
-                let capacity = self.state.config.sub_queue_capacity;
-                let queue = self
-                    .queue
-                    .get_or_insert_with(|| Arc::new(SubscriberQueue::new(capacity)));
-                let status = match self.state.subs.register(queue, &req) {
+                let state = &self.state;
+                let queue = self.queue.get_or_insert_with(|| {
+                    Arc::new(SubscriberQueue::with_telemetry(
+                        state.config.sub_queue_capacity,
+                        state
+                            .config
+                            .telemetry
+                            .then(|| Arc::clone(&state.telemetry.delivery)),
+                    ))
+                });
+                let status = match state.subs.register(queue, &req) {
                     Ok(_) => SubStatus::Ok,
                     Err(status) => status,
                 };
+                crate::log!(
+                    Level::Debug,
+                    "subscribe sub={} status={status:?}",
+                    req.sub_id
+                );
                 Frame::SubAck {
                     sub_id: req.sub_id,
                     status,
@@ -1154,6 +1487,7 @@ impl ObserverHandler {
                 }
             }
             Frame::HistoryReq { app, limit } => {
+                let started = self.state.telemetry.start();
                 self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let found = self.state.history(&app, limit as usize);
                 let known = found.is_some();
@@ -1163,22 +1497,31 @@ impl ObserverHandler {
                 if samples.len() > MAX_HISTORY_SAMPLES {
                     samples.drain(..samples.len() - MAX_HISTORY_SAMPLES);
                 }
-                Frame::History(HistoryChunk {
+                let reply = Frame::History(HistoryChunk {
                     app,
                     known,
                     total,
                     samples,
-                })
+                });
+                self.state
+                    .telemetry
+                    .observe(&self.state.telemetry.query, started);
+                reply
             }
             Frame::HealthReq { app } => {
+                let started = self.state.telemetry.start();
                 self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let report = self.state.health(&app);
                 let known = report.is_some();
-                Frame::Health(HealthFrame {
+                let reply = Frame::Health(HealthFrame {
                     app,
                     known,
                     report: report.unwrap_or_else(HealthReport::no_signal),
-                })
+                });
+                self.state
+                    .telemetry
+                    .observe(&self.state.telemetry.query, started);
+                reply
             }
             // Producer frames (and unsolicited responses) do not belong on
             // the query port.
@@ -1262,6 +1605,7 @@ impl Handler for ObserverHandler {
         let Some(queue) = &self.queue else {
             return true;
         };
+        let started = self.state.telemetry.start();
         // Silence cannot announce itself through the ingest path; the pump
         // pass drives stall re-assessment for this connection's health
         // subscriptions (rate-limited per subscription).
@@ -1273,6 +1617,9 @@ impl Handler for ObserverHandler {
         if pending_out < MAX_PENDING_REPLIES {
             queue.drain_into(out, MAX_PENDING_REPLIES - pending_out);
         }
+        self.state
+            .telemetry
+            .observe(&self.state.telemetry.pump, started);
         true
     }
 
@@ -1373,12 +1720,26 @@ HISTORY <app> [n]    recent beat samples, newest n (default all retained), END-t
 HEALTH [app]         windowed health classification; without <app>, all applications, END-terminated
 METRICS              Prometheus text export, END-terminated
 STATS                one-line collector-wide counters
+HEATMAP [b] [w_ms]   app x time-bucket beat-rate matrix from the history rings (default 8 buckets x 1000 ms), END-terminated
+TRACE [n]            newest n in-process journal entries (default 64), END-terminated
 QUIT                 close the connection
 binary               wire-protocol query frames (magic HBWT) are answered in kind; Subscribe opens a push subscription; see docs/WIRE.md";
 
 /// Executes one query command; returns `false` when the connection should
 /// close.
 fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io::Result<bool> {
+    let started = state.telemetry.start();
+    let keep_open = handle_query_inner(line, state, out);
+    state.telemetry.observe(&state.telemetry.query, started);
+    keep_open
+}
+
+/// The un-instrumented body of [`handle_query`].
+fn handle_query_inner(
+    line: &str,
+    state: &CollectorState,
+    out: &mut impl Write,
+) -> io::Result<bool> {
     let mut parts = line.split_whitespace();
     let command = parts.next();
     // VERSION is subscription negotiation, not an observation poll; it must
@@ -1468,22 +1829,68 @@ fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io:
             Ok(true)
         }
         Some("STATS") => {
+            let counters = state.counters();
             writeln!(
                 out,
                 "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} \
                  queries={} subs={} events={} events_dropped={} uptime_s={:.3}",
                 state.app_names().len(),
-                state.connections_total(),
-                state.frames_total(),
-                state.protocol_errors(),
+                counters.connections_total,
+                counters.frames_total,
+                counters.protocol_errors,
                 state.io_threads(),
-                state.evicted_total(),
-                state.queries_total(),
-                state.subs.active(),
-                state.events_total(),
-                state.events_dropped_total(),
-                state.started.elapsed().as_secs_f64(),
+                counters.evicted_total,
+                counters.queries_total,
+                counters.subscriptions,
+                counters.events_total,
+                counters.events_dropped_total,
+                counters.uptime.as_secs_f64(),
             )?;
+            Ok(true)
+        }
+        Some("HEATMAP") => {
+            let buckets = parts
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or(8)
+                .clamp(1, 64);
+            let width_ms = parts
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+                .filter(|&w| w > 0)
+                .unwrap_or(1000);
+            let rows = state.heatmap(buckets, Duration::from_millis(width_ms));
+            writeln!(
+                out,
+                "HEATMAP apps={} buckets={buckets} width_ms={width_ms}",
+                rows.len()
+            )?;
+            for (app, rates) in &rows {
+                let rates = rates
+                    .iter()
+                    .map(|r| format!("{r:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                writeln!(out, "R app={app} rates={rates}")?;
+            }
+            writeln!(out, "END")?;
+            Ok(true)
+        }
+        Some("TRACE") => {
+            let limit = parts
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or(64);
+            let entries = telemetry::journal().latest(limit);
+            writeln!(out, "TRACE count={}", entries.len())?;
+            for entry in &entries {
+                writeln!(
+                    out,
+                    "J ts_ms={} level={} {}",
+                    entry.ts_ms, entry.level, entry.message
+                )?;
+            }
+            writeln!(out, "END")?;
             Ok(true)
         }
         Some("QUIT") => {
@@ -1740,7 +2147,10 @@ mod tests {
         let mut out = Vec::new();
         assert!(handle_query("HELP", &state, &mut out).unwrap());
         let text = String::from_utf8(out).unwrap();
-        for command in ["HELP", "PING", "LIST", "GET", "HISTORY", "HEALTH", "METRICS", "STATS", "QUIT"] {
+        for command in [
+            "HELP", "PING", "LIST", "GET", "HISTORY", "HEALTH", "METRICS", "STATS", "HEATMAP",
+            "TRACE", "QUIT",
+        ] {
             assert!(text.contains(command), "HELP must list {command}");
         }
         assert!(text.trim_end().ends_with("END"));
@@ -1895,5 +2305,126 @@ mod tests {
         assert!(state.snapshot("sleepy").unwrap().alive);
         std::thread::sleep(Duration::from_millis(25));
         assert!(!state.snapshot("sleepy").unwrap().alive);
+    }
+
+    #[test]
+    fn prometheus_has_help_for_every_type_and_exports_histograms() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("cam", 1, 20);
+        state.ingest_batch("cam", 0, beats(&[0, 1_000_000, 2_000_000]));
+        let mut sink = Vec::new();
+        assert!(handle_query("LIST", &state, &mut sink).unwrap());
+        let text = state.prometheus();
+        // Every declared series carries documentation.
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    text.contains(&format!("# HELP {name} ")),
+                    "series {name} lacks a HELP line"
+                );
+            }
+        }
+        // All six pipeline histograms render the full triplet.
+        for series in [
+            "hb_collector_decode_latency_seconds",
+            "hb_collector_ingest_latency_seconds",
+            "hb_collector_fanout_latency_seconds",
+            "hb_collector_pump_latency_seconds",
+            "hb_collector_query_latency_seconds",
+            "hb_collector_delivery_lag_seconds",
+        ] {
+            assert!(text.contains(&format!("# TYPE {series} histogram")));
+            assert!(text.contains(&format!("{series}_bucket{{le=\"+Inf\"}}")));
+            assert!(text.contains(&format!("{series}_sum ")));
+            assert!(text.contains(&format!("{series}_count ")));
+        }
+        // The exercised stages recorded real samples.
+        assert!(state.telemetry().ingest.count() >= 1);
+        assert!(state.telemetry().query.count() >= 1);
+        assert!(text.contains("hb_collector_protocol_errors_total 0"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        assert_eq!(CollectorState::escape_label("plain-name"), "plain-name");
+        assert_eq!(
+            CollectorState::escape_label("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd"
+        );
+    }
+
+    #[test]
+    fn heatmap_buckets_beat_counts_by_age() {
+        let state = CollectorState::new(CollectorConfig::default());
+        state.hello("cam", 1, 20);
+        // Newest sample at 3.1 s anchors the window: ages 3.1 s, 3.0 s,
+        // 2.9 s, 0 s land in buckets 0, 0, 1, 3 of a 4 x 1 s matrix.
+        state.ingest_batch(
+            "cam",
+            0,
+            beats(&[0, 100_000_000, 200_000_000, 3_100_000_000]),
+        );
+        let rows = state.heatmap(4, Duration::from_secs(1));
+        assert_eq!(rows.len(), 1);
+        let (app, rates) = &rows[0];
+        assert_eq!(app, "cam");
+        assert_eq!(rates, &[2.0, 1.0, 0.0, 1.0]);
+
+        let mut out = Vec::new();
+        assert!(handle_query("HEATMAP 4 1000", &state, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HEATMAP apps=1 buckets=4 width_ms=1000\n"));
+        assert!(text.contains("R app=cam rates=2.000,1.000,0.000,1.000\n"));
+        assert!(text.trim_end().ends_with("END"));
+    }
+
+    #[test]
+    fn heatmap_anchors_each_app_at_its_own_newest_sample() {
+        // Producer clocks are not comparable: each app's newest beat must
+        // land in the final bucket regardless of absolute timestamps.
+        let state = CollectorState::new(CollectorConfig::default());
+        state.ingest_batch("early-epoch", 0, beats(&[1_000, 2_000]));
+        state.ingest_batch(
+            "late-epoch",
+            0,
+            beats(&[9_000_000_000_000, 9_000_000_001_000]),
+        );
+        for (_, rates) in state.heatmap(8, Duration::from_secs(1)) {
+            assert!(rates[7] > 0.0, "newest beat must fill the last bucket");
+        }
+    }
+
+    #[test]
+    fn trace_replays_journal_entries_over_the_query_port() {
+        let state = CollectorState::new(CollectorConfig::default());
+        crate::log!(Level::Info, "trace-test-sentinel-48151623");
+        let mut out = Vec::new();
+        assert!(handle_query("TRACE 2000", &state, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("TRACE count="), "got: {text}");
+        assert!(
+            text.contains("trace-test-sentinel-48151623"),
+            "TRACE must replay the sentinel entry"
+        );
+        let sentinel_line = text
+            .lines()
+            .find(|l| l.contains("trace-test-sentinel"))
+            .unwrap();
+        assert!(sentinel_line.starts_with("J ts_ms="));
+        assert!(sentinel_line.contains("level=info"));
+        assert!(text.trim_end().ends_with("END"));
+    }
+
+    #[test]
+    fn stats_and_metrics_share_one_consistent_event_reading() {
+        let state = CollectorState::new(CollectorConfig::default());
+        let counters = state.counters();
+        assert!(counters.events_total >= counters.events_dropped_total);
+        let mut out = Vec::new();
+        assert!(handle_query("STATS", &state, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("COLLECTOR apps=0 "), "got: {text}");
+        assert!(text.contains("events=0 events_dropped=0"));
     }
 }

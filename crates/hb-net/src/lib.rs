@@ -31,6 +31,9 @@
 //!   [`RemoteReader::subscribe`] / the [`subscribe`] fan-out plane
 //!   (collector-side subscription registry, bounded per-subscriber queues,
 //!   ingest-time health transitions; see `docs/OBSERVERS.md`).
+//! * [`telemetry`] — the collector watching itself: per-stage latency
+//!   histograms, per-reactor-thread utilization, and a lock-free journal of
+//!   recent events behind the [`log!`] macro (see `docs/TELEMETRY.md`).
 //!
 //! ## End-to-end sketch
 //!
@@ -72,6 +75,7 @@ pub mod frame;
 pub mod health;
 pub mod reactor;
 pub mod subscribe;
+pub mod telemetry;
 pub mod wire;
 
 pub use backend::{TcpBackend, TcpBackendConfig};
@@ -84,6 +88,10 @@ pub use health::{
 };
 pub use reactor::{Reactor, ReactorConfig};
 pub use subscribe::{LocalSubscription, SubscriptionRegistry};
+pub use telemetry::{
+    HistoSnapshot, Journal, JournalEntry, LatencyHisto, Level, PipelineTelemetry, ReactorThreads,
+    ThreadStats, ThreadStatsSnapshot,
+};
 pub use wire::{
     BatchEncoder, BeatBatch, EventFrame, EventPayload, Frame, HealthFrame, Hello, HistoryChunk,
     SubStatus, SubscribeReq, WireBeat,

@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::telemetry::{Level, ReactorThreads, ThreadStats};
+
 /// A per-connection protocol state machine driven by the reactor.
 ///
 /// The reactor owns the socket and performs all I/O; implementations only
@@ -111,6 +113,10 @@ pub struct ReactorConfig {
     /// Upper bound on bytes queued toward one peer; a connection whose
     /// outbound buffer exceeds this is dropped as a slow consumer.
     pub max_outbound: usize,
+    /// When set, each I/O thread registers its utilization counters
+    /// (busy/wait ns, loop iterations, dispatches) here at spawn, in thread
+    /// index order. `None` (the default) skips the bookkeeping entirely.
+    pub thread_stats: Option<Arc<ReactorThreads>>,
 }
 
 impl Default for ReactorConfig {
@@ -119,6 +125,7 @@ impl Default for ReactorConfig {
             io_threads: 2,
             idle_timeout: Duration::from_secs(60),
             max_outbound: 4 << 20,
+            thread_stats: None,
         }
     }
 }
@@ -193,11 +200,15 @@ impl Reactor {
                 for (listener, factory) in &shared_listeners {
                     own.push((listener.try_clone()?, Arc::clone(factory)));
                 }
+                // Registration order matches spawn order, so stats index N
+                // is always thread `hb-reactor-N`.
+                let stats = config.thread_stats.as_ref().map(|threads| threads.register());
                 let io_thread = IoThread::build(
                     own,
                     config.clone(),
                     Arc::clone(&stop),
                     Arc::clone(&evicted),
+                    stats,
                 )?;
                 std::thread::Builder::new()
                     .name(format!("hb-reactor-{index}"))
@@ -288,6 +299,8 @@ struct IoThread {
     last_pump: Instant,
     /// Reused token buffer for pump passes (no per-pass allocation).
     pump_scratch: Vec<u64>,
+    /// This thread's utilization counters, when the owner asked for them.
+    stats: Option<Arc<ThreadStats>>,
 }
 
 impl IoThread {
@@ -299,6 +312,7 @@ impl IoThread {
         config: ReactorConfig,
         stop: Arc<AtomicBool>,
         evicted: Arc<AtomicU64>,
+        stats: Option<Arc<ThreadStats>>,
     ) -> io::Result<Self> {
         let wheel_tick = if config.idle_timeout.is_zero() {
             Duration::from_secs(3600)
@@ -322,6 +336,7 @@ impl IoThread {
             scratch: vec![0u8; READ_CHUNK],
             last_pump: Instant::now(),
             pump_scratch: Vec::new(),
+            stats,
         })
     }
 
@@ -330,7 +345,20 @@ impl IoThread {
         let mut events = Vec::with_capacity(128);
         while !self.stop.load(Ordering::SeqCst) {
             events.clear();
-            if let Err(err) = self.poller.wait(&mut events, POLL_TIMEOUT) {
+            // Three clock reads per iteration split the loop into a parked
+            // span (inside the poller) and a busy span (everything else) —
+            // at most once per POLL_TIMEOUT when idle.
+            let parked_at = self.stats.as_ref().map(|_| Instant::now());
+            let wait_result = self.poller.wait(&mut events, POLL_TIMEOUT);
+            let busy_at = match (&self.stats, parked_at) {
+                (Some(stats), Some(parked_at)) => {
+                    let now = Instant::now();
+                    stats.add_wait(now.duration_since(parked_at));
+                    Some(now)
+                }
+                _ => None,
+            };
+            if let Err(err) = wait_result {
                 if err.kind() == io::ErrorKind::Interrupted {
                     continue;
                 }
@@ -345,6 +373,10 @@ impl IoThread {
             }
             self.pump();
             self.evict_idle();
+            if let (Some(stats), Some(busy_at)) = (&self.stats, busy_at) {
+                stats.add_busy(busy_at.elapsed());
+                stats.add_loop(events.len());
+            }
         }
 
         // Orderly teardown: every live connection gets its close callback.
@@ -573,8 +605,20 @@ impl IoThread {
             }
         });
         for token in evict {
+            let peer = self
+                .conns
+                .get(&token)
+                .and_then(|conn| conn.stream.peer_addr().ok());
             self.close(token);
             self.evicted.fetch_add(1, Ordering::Relaxed);
+            match peer {
+                Some(peer) => crate::log!(
+                    Level::Warn,
+                    "evicted idle connection peer={peer} after {:?}",
+                    idle_timeout
+                ),
+                None => crate::log!(Level::Warn, "evicted idle connection"),
+            }
         }
     }
 }
@@ -904,6 +948,38 @@ mod tests {
         let mut buf = [0u8; 9];
         stream.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"heartbeat");
+    }
+
+    #[test]
+    fn thread_stats_track_wait_busy_and_dispatches() {
+        let threads = Arc::new(ReactorThreads::new());
+        let (_reactor, addr, _log) = echo_reactor(ReactorConfig {
+            io_threads: 2,
+            thread_stats: Some(Arc::clone(&threads)),
+            ..ReactorConfig::default()
+        });
+        assert_eq!(threads.snapshot().len(), 2, "one entry per I/O thread");
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(b"tick").unwrap();
+        let mut buf = [0u8; 4];
+        stream.read_exact(&mut buf).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snaps = threads.snapshot();
+            let total_loops: u64 = snaps.iter().map(|s| s.loops).sum();
+            let total_dispatches: u64 = snaps.iter().map(|s| s.dispatches).sum();
+            let waited: u64 = snaps.iter().map(|s| s.wait_ns).sum();
+            if total_loops > 0 && total_dispatches > 0 && waited > 0 {
+                for snap in &snaps {
+                    let u = snap.utilization();
+                    assert!((0.0..=1.0).contains(&u), "utilization out of range: {u}");
+                }
+                break;
+            }
+            assert!(Instant::now() < deadline, "thread stats never advanced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

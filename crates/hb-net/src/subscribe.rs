@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::health::HealthStatus;
+use crate::telemetry::{self, LatencyHisto, Level};
 use crate::wire::{self, EventFrame, EventPayload, Frame, SubscribeReq, SubStatus};
 
 /// Most subscriptions one connection may hold; beyond this a subscribe is
@@ -33,22 +34,34 @@ pub const MAX_SUBS_PER_CONNECTION: usize = 64;
 /// connection or a [`LocalSubscription`]).
 #[derive(Debug)]
 pub struct SubscriberQueue {
-    inner: Mutex<VecDeque<(u32, Vec<u8>)>>,
+    /// Queued events: `(sub_id, encoded frame, enqueue instant)` — the
+    /// instant feeds the collector-side delivery-lag histogram at drain.
+    inner: Mutex<VecDeque<(u32, Vec<u8>, Instant)>>,
     capacity: usize,
     dropped: AtomicU64,
     /// Subscriptions currently registered against this queue (drives the
     /// observer connection's idle-eviction exemption).
     active: AtomicUsize,
+    /// Enqueue-to-drain latency sink, when the owning collector records
+    /// delivery lag.
+    lag: Option<Arc<LatencyHisto>>,
 }
 
 impl SubscriberQueue {
     /// Creates a queue bounded at `capacity` events (clamped to >= 1).
     pub fn new(capacity: usize) -> Self {
+        SubscriberQueue::with_telemetry(capacity, None)
+    }
+
+    /// Creates a bounded queue that records enqueue-to-drain delivery lag
+    /// into `lag` as events leave toward the subscriber's socket buffer.
+    pub fn with_telemetry(capacity: usize, lag: Option<Arc<LatencyHisto>>) -> Self {
         SubscriberQueue {
             inner: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
             active: AtomicUsize::new(0),
+            lag,
         }
     }
 
@@ -79,11 +92,20 @@ impl SubscriberQueue {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut moved = 0;
         let budget_end = out.len().saturating_add(max_bytes);
-        while let Some((_, bytes)) = inner.front() {
+        // One clock read covers every event drained this pass.
+        let now = self
+            .lag
+            .as_ref()
+            .filter(|_| !inner.is_empty())
+            .map(|_| Instant::now());
+        while let Some((_, bytes, _)) = inner.front() {
             if moved > 0 && out.len() + bytes.len() > budget_end {
                 break;
             }
-            let (_, bytes) = inner.pop_front().expect("front checked");
+            let (_, bytes, queued_at) = inner.pop_front().expect("front checked");
+            if let (Some(lag), Some(now)) = (&self.lag, now) {
+                lag.record_duration(now.saturating_duration_since(queued_at));
+            }
             out.extend_from_slice(&bytes);
             moved += 1;
         }
@@ -94,7 +116,7 @@ impl SubscriberQueue {
     /// stream must deliver nothing after its ack).
     fn purge(&self, sub_id: u32) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.retain(|(id, _)| *id != sub_id);
+        inner.retain(|(id, _, _)| *id != sub_id);
     }
 
 }
@@ -396,6 +418,16 @@ impl SubscriptionRegistry {
         self.events_dropped.load(Ordering::Relaxed)
     }
 
+    /// One consistent `(enqueued, dropped)` reading: `dropped` is loaded
+    /// first with acquire, pairing with the releasing drop increment in
+    /// [`deliver`](Self::deliver), so the pair can never show more drops
+    /// than enqueues — even when the scrape races a delivery.
+    pub fn event_counters(&self) -> (u64, u64) {
+        let dropped = self.events_dropped.load(Ordering::Acquire);
+        let enqueued = self.events_enqueued.load(Ordering::Relaxed).max(dropped);
+        (enqueued, dropped)
+    }
+
     /// Encodes `payload` as one or more [`Frame::Event`]s for `entry` and
     /// enqueues them (beat payloads beyond [`wire::MAX_EVENT_BEATS`] are
     /// split). Skips silently if the subscription lapsed concurrently.
@@ -426,6 +458,7 @@ impl SubscriptionRegistry {
     fn deliver_one(&self, entry: &SubEntry, app: &str, payload: EventPayload) {
         let frame = Frame::Event(EventFrame {
             sub_id: entry.sub_id,
+            sent_at_ns: telemetry::wall_clock_ns(),
             app: app.to_string(),
             payload,
         });
@@ -442,11 +475,23 @@ impl SubscriptionRegistry {
             entry.queue.dropped.fetch_add(1, Ordering::Relaxed);
             dropped = true;
         }
-        inner.push_back((entry.sub_id, bytes));
-        drop(inner);
+        inner.push_back((entry.sub_id, bytes, Instant::now()));
+        // Counter order pins the exported invariant dropped <= enqueued:
+        // the enqueue increment precedes the drop's releasing increment, and
+        // snapshot readers load `dropped` first with acquire — whatever drop
+        // count a scrape observes, the matching enqueues are visible too.
+        // (The queue lock serializes writers, so the pair never interleaves.)
         self.events_enqueued.fetch_add(1, Ordering::Relaxed);
         if dropped {
-            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            self.events_dropped.fetch_add(1, Ordering::Release);
+        }
+        drop(inner);
+        if dropped {
+            crate::log!(
+                Level::Trace,
+                "subscriber queue full: dropped oldest event sub={} app={app}",
+                entry.sub_id
+            );
         }
     }
 }
@@ -659,6 +704,55 @@ mod tests {
                 payload: EventPayload::Snapshot { total_beats, .. },
                 ..
             }) => assert_eq!(total_beats, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_counters_never_show_more_drops_than_enqueues() {
+        let registry = Arc::new(SubscriptionRegistry::new());
+        // Capacity 1 makes nearly every delivery also a drop — the tightest
+        // race between the two counters.
+        let queue = Arc::new(SubscriberQueue::new(1));
+        let entry = registry.register(&queue, &req(1, "*", 0b001)).unwrap();
+        let writer = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for i in 0..20_000 {
+                    registry.deliver(&entry, "a", snapshot_payload(i));
+                }
+            })
+        };
+        while !writer.is_finished() {
+            let (enqueued, dropped) = registry.event_counters();
+            assert!(
+                dropped <= enqueued,
+                "scrape raced ahead: dropped={dropped} enqueued={enqueued}"
+            );
+        }
+        writer.join().unwrap();
+        let (enqueued, dropped) = registry.event_counters();
+        assert_eq!(enqueued, 20_000);
+        assert_eq!(dropped, 19_999, "capacity-1 queue keeps only the newest");
+    }
+
+    #[test]
+    fn delivery_lag_histogram_fills_at_drain() {
+        let registry = SubscriptionRegistry::new();
+        let lag = Arc::new(LatencyHisto::new());
+        let queue = Arc::new(SubscriberQueue::with_telemetry(16, Some(Arc::clone(&lag))));
+        let entry = registry.register(&queue, &req(1, "*", 0b001)).unwrap();
+        for i in 0..3 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+        }
+        assert_eq!(lag.count(), 0, "lag is measured at drain, not enqueue");
+        let mut out = Vec::new();
+        queue.drain_into(&mut out, usize::MAX);
+        assert_eq!(lag.count(), 3);
+        // Events also carry the collector's wall-clock send timestamp.
+        let (frame, _) = Frame::decode(&out).unwrap();
+        match frame {
+            Frame::Event(event) => assert!(event.sent_at_ns > 0),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -365,6 +365,11 @@ impl SubStatus {
 pub struct EventFrame {
     /// The subscription that produced the event.
     pub sub_id: u32,
+    /// When the collector enqueued the event: wall-clock nanoseconds since
+    /// the UNIX epoch (collector clock), or `0` when unknown. Observers
+    /// subtract their own wall clock to estimate delivery lag
+    /// ([`Subscription::delivery_lag`](crate::Subscription::delivery_lag)).
+    pub sent_at_ns: u64,
     /// The application the event describes.
     pub app: String,
     /// What happened.
@@ -1048,6 +1053,7 @@ impl Frame {
                     EventPayload::Beats { .. } => buf.push(EVENT_BEATS),
                 }
                 put_name(buf, &event.app);
+                put_varint(buf, event.sent_at_ns);
                 match &event.payload {
                     EventPayload::Snapshot {
                         total_beats,
@@ -1377,6 +1383,7 @@ impl Frame {
                     return Err(NetError::Protocol("event kind truncated".into()));
                 };
                 let (app, at) = get_name(payload, at + 1)?;
+                let (sent_at_ns, at) = get_varint(payload, at)?;
                 let payload_body = match event_kind {
                     EVENT_SNAPSHOT => {
                         let (total_beats, at) = get_varint(payload, at)?;
@@ -1463,6 +1470,7 @@ impl Frame {
                 };
                 Ok(Frame::Event(EventFrame {
                     sub_id: sub_id as u32,
+                    sent_at_ns,
                     app,
                     payload: payload_body,
                 }))
@@ -2522,6 +2530,7 @@ mod tests {
             Frame::Unsubscribe { sub_id: 7 },
             Frame::Event(EventFrame {
                 sub_id: 7,
+                sent_at_ns: 1_722_000_000_123_456_789,
                 app: "cam3".into(),
                 payload: EventPayload::Snapshot {
                     total_beats: 12_345,
@@ -2533,6 +2542,7 @@ mod tests {
             }),
             Frame::Event(EventFrame {
                 sub_id: 7,
+                sent_at_ns: 0,
                 app: "cam3".into(),
                 payload: EventPayload::Snapshot {
                     total_beats: 1,
@@ -2544,6 +2554,7 @@ mod tests {
             }),
             Frame::Event(EventFrame {
                 sub_id: u32::MAX,
+                sent_at_ns: u64::MAX,
                 app: "cam3".into(),
                 payload: EventPayload::HealthTransition {
                     from: crate::health::HealthStatus::Healthy,
@@ -2554,6 +2565,7 @@ mod tests {
             }),
             Frame::Event(EventFrame {
                 sub_id: 0,
+                sent_at_ns: 1,
                 app: "cam3".into(),
                 payload: EventPayload::Beats {
                     dropped_total: 3,
@@ -2566,6 +2578,7 @@ mod tests {
             }),
             Frame::Event(EventFrame {
                 sub_id: 1,
+                sent_at_ns: 128,
                 app: "cam3".into(),
                 payload: EventPayload::Beats {
                     dropped_total: 0,
@@ -2641,6 +2654,7 @@ mod tests {
         // varint).
         let mut event = Frame::Event(EventFrame {
             sub_id: 1,
+            sent_at_ns: 0,
             app: "x".into(),
             payload: EventPayload::Snapshot {
                 total_beats: 0,
@@ -2698,6 +2712,7 @@ mod tests {
             hex(
                 &Frame::Event(EventFrame {
                     sub_id: 1,
+                    sent_at_ns: 0,
                     app: "cam7".into(),
                     payload: EventPayload::HealthTransition {
                         from: crate::health::HealthStatus::Healthy,
@@ -2708,8 +2723,8 @@ mod tests {
                 })
                 .encode()
             ),
-            "48 42 57 54 03 0d 10 00 00 00 93 d3 99 f9 \
-             01 02 04 00 63 61 6d 37 03 01 02 00 2a 00 00 00"
+            "48 42 57 54 03 0d 11 00 00 00 71 4c 8b f8 \
+             01 02 04 00 63 61 6d 37 00 03 01 02 00 2a 00 00 00"
         );
         assert_eq!(
             hex(&Frame::Unsubscribe { sub_id: 1 }.encode()),

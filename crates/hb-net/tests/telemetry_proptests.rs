@@ -1,0 +1,96 @@
+//! Randomized property tests for the telemetry histogram: the bucket
+//! layout is a total, monotone partition of `u64`, recording conserves
+//! counts and sums, and snapshot merging is associative and commutative —
+//! the property that makes per-shard histograms summable without locks.
+
+use proptest::prelude::*;
+
+use hb_net::telemetry::{HistoSnapshot, LatencyHisto, HISTO_BUCKETS};
+
+/// Builds a snapshot holding exactly the given observations.
+fn snapshot_of(values: &[u64]) -> HistoSnapshot {
+    let histo = LatencyHisto::new();
+    for &v in values {
+        histo.record(v);
+    }
+    histo.snapshot()
+}
+
+#[test]
+fn merged_sums_saturate_instead_of_wrapping() {
+    let big = snapshot_of(&[u64::MAX - 10]);
+    let mut merged = big.clone();
+    merged.merge(&big);
+    assert_eq!(merged.sum_ns, u64::MAX, "saturate, never wrap");
+    assert_eq!(merged.count, 2);
+}
+
+#[test]
+fn bucket_upper_bounds_are_strictly_monotone() {
+    for index in 1..HISTO_BUCKETS {
+        assert!(
+            LatencyHisto::bucket_upper_ns(index) > LatencyHisto::bucket_upper_ns(index - 1),
+            "bound must grow at index {index}"
+        );
+    }
+    assert_eq!(LatencyHisto::bucket_upper_ns(HISTO_BUCKETS - 1), u64::MAX);
+}
+
+proptest! {
+    /// Every u64 lands in exactly one bucket: within its bound, above the
+    /// previous bucket's bound.
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(value in any::<u64>()) {
+        let index = LatencyHisto::bucket_index(value);
+        prop_assert!(index < HISTO_BUCKETS);
+        prop_assert!(value <= LatencyHisto::bucket_upper_ns(index));
+        if index > 0 {
+            prop_assert!(value > LatencyHisto::bucket_upper_ns(index - 1));
+        }
+    }
+
+    /// Recording conserves observations: the bucket total, the count, and
+    /// the (wrapping) sum all match the inputs exactly.
+    #[test]
+    fn recording_conserves_count_and_sum(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        let sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum_ns, sum);
+    }
+
+    /// Merge order never matters: (a+b)+c == a+(b+c) and a+b == b+a.
+    /// Values are bounded so no sum crosses `u64::MAX` — at the overflow
+    /// boundary recording wraps while merging saturates (pinned in
+    /// `merged_sums_saturate_instead_of_wrapping`), and ~584 years of
+    /// recorded nanoseconds are out of scope for a latency histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..(u64::MAX >> 8), 0..50),
+        b in prop::collection::vec(0u64..(u64::MAX >> 8), 0..50),
+        c in prop::collection::vec(0u64..(u64::MAX >> 8), 0..50),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+
+        // Merging is the same as recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+}
