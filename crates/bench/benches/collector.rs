@@ -1,13 +1,18 @@
 //! Collector ingest benchmarks: end-to-end beats/second through the
-//! event-driven reactor across producer connection counts, plus the
-//! batched vs. per-beat `TcpBackend` framing comparison.
+//! sharded event-driven reactor across a connections × io_threads matrix,
+//! plus the batched vs. per-beat `TcpBackend` framing comparison.
 //!
 //! Each iteration enqueues a burst of beats into every producer's
-//! `TcpBackend` and waits until the collector's registry has absorbed them
-//! all, so the measurement covers the full path: queue → flusher →
-//! batch framing → TCP → reactor → frame decode → sharded registry.
+//! `TcpBackend` and waits until the collector has accounted for them all,
+//! so the measurement covers the full path: queue → flusher → batch
+//! framing → TCP → reactor shard → frame decode → sharded registry.
+//! Completion is detected with one relaxed load
+//! (`CollectorState::beats_accounted`) so the spin loop does not perturb
+//! the registry it is measuring.
 //!
-//! Results are recorded in `BENCH_collector.json` at the repo root.
+//! `HB_BENCH_SMOKE=1` (set by CI) trims the matrix to its corner points so
+//! the smoke run finishes quickly while still exercising the multi-shard
+//! path. Results are recorded in `BENCH_collector.json` at the repo root.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +24,10 @@ use heartbeats::{Backend, BeatScope, BeatThreadId, HeartbeatRecord, Tag};
 /// Beats pumped per connection per iteration.
 const BURST: u64 = 64;
 
+fn smoke() -> bool {
+    std::env::var("HB_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
 /// A collector plus `n` connected producers, reused across iterations.
 struct Rig {
     _collector: Collector,
@@ -28,11 +37,14 @@ struct Rig {
 }
 
 impl Rig {
-    fn new(connections: usize, frame_per_beat: bool) -> Rig {
+    fn new(connections: usize, io_threads: usize, frame_per_beat: bool) -> Rig {
         let collector = Collector::with_config(
             "127.0.0.1:0",
             "127.0.0.1:0",
-            CollectorConfig::default(),
+            CollectorConfig {
+                io_threads,
+                ..CollectorConfig::default()
+            },
         )
         .expect("bind collector");
         let ingest = collector.ingest_addr().to_string();
@@ -59,16 +71,8 @@ impl Rig {
         }
     }
 
-    fn ingested(&self) -> u64 {
-        self.state
-            .snapshots()
-            .iter()
-            .map(|s| s.total_beats + s.producer_dropped)
-            .sum()
-    }
-
     /// Enqueues `BURST` beats on every connection and blocks until the
-    /// registry accounted for all of them (delivered or shed).
+    /// collector accounted for all of them (delivered or shed).
     fn pump(&mut self) {
         for backend in &self.backends {
             for k in 0..BURST {
@@ -81,11 +85,11 @@ impl Rig {
         self.seq += BURST;
         let goal = self.seq * self.backends.len() as u64;
         let deadline = std::time::Instant::now() + Duration::from_secs(60);
-        while self.ingested() < goal {
+        while self.state.beats_accounted() < goal {
             assert!(
                 std::time::Instant::now() < deadline,
                 "ingest stalled: {}/{goal} beats accounted for after 60s",
-                self.ingested()
+                self.state.beats_accounted()
             );
             std::thread::yield_now();
         }
@@ -95,14 +99,24 @@ impl Rig {
 fn bench_ingest(c: &mut Criterion) {
     let mut group = c.benchmark_group("collector_ingest");
     group.sample_size(10);
-    for connections in [1usize, 8, 64, 256] {
-        let mut rig = Rig::new(connections, false);
-        group.throughput(Throughput::Elements(connections as u64 * BURST));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(connections),
-            &connections,
-            |b, _| b.iter(|| rig.pump()),
-        );
+    // Full matrix for BENCH_collector.json; smoke keeps the corner points
+    // (fewest/most connections, single vs. most shards).
+    let connections: &[usize] = if smoke() {
+        &[1, 256]
+    } else {
+        &[1, 8, 64, 256, 1024]
+    };
+    let io_threads: &[usize] = if smoke() { &[1, 4] } else { &[1, 2, 4] };
+    for &conns in connections {
+        for &threads in io_threads {
+            let mut rig = Rig::new(conns, threads, false);
+            group.throughput(Throughput::Elements(conns as u64 * BURST));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{conns}conn_{threads}shard")),
+                &conns,
+                |b, _| b.iter(|| rig.pump()),
+            );
+        }
     }
     group.finish();
 }
@@ -111,7 +125,7 @@ fn bench_flush_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("collector_flush_path");
     group.sample_size(10);
     for (label, frame_per_beat) in [("batched_64conn", false), ("per_beat_64conn", true)] {
-        let mut rig = Rig::new(64, frame_per_beat);
+        let mut rig = Rig::new(64, 2, frame_per_beat);
         group.throughput(Throughput::Elements(64 * BURST));
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| rig.pump())

@@ -105,9 +105,30 @@ pub struct epoll_event {
     pub u64: u64,
 }
 
+/// One scatter/gather segment for [`readv`]/[`writev`], in the kernel's
+/// layout (`struct iovec`): a base pointer plus a length. The layout is
+/// identical on every Linux ABI this workspace targets, so a plain
+/// `#[repr(C)]` matches.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct iovec {
+    /// Start of the buffer segment.
+    pub iov_base: *mut c_void,
+    /// Length of the buffer segment in bytes.
+    pub iov_len: usize,
+}
+
 extern "C" {
     /// Creates an epoll instance; returns its file descriptor or -1.
     pub fn epoll_create1(flags: c_int) -> c_int;
+
+    /// Scatter-read into `iovcnt` buffers with one syscall; returns bytes
+    /// read, 0 at EOF, or -1.
+    pub fn readv(fd: c_int, iov: *const iovec, iovcnt: c_int) -> isize;
+
+    /// Gather-write from `iovcnt` buffers with one syscall; returns bytes
+    /// written or -1.
+    pub fn writev(fd: c_int, iov: *const iovec, iovcnt: c_int) -> isize;
 
     /// Adds, modifies or removes `fd` in the interest list of `epfd`.
     pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
@@ -326,6 +347,58 @@ mod tests {
             assert_eq!(epoll_ctl(epfd, EPOLL_CTL_DEL, rx.as_raw_fd(), std::ptr::null_mut()), 0);
             assert_eq!(close(epfd), 0);
         }
+    }
+
+    #[test]
+    fn vectored_io_roundtrips_across_a_socket_pair() {
+        use std::io::Read;
+        use std::os::fd::AsRawFd;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = std::net::TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+
+        // writev: two segments leave in one syscall.
+        let head = b"vector".to_vec();
+        let tail = b"ed-io".to_vec();
+        let iov = [
+            iovec {
+                iov_base: head.as_ptr() as *mut c_void,
+                iov_len: head.len(),
+            },
+            iovec {
+                iov_base: tail.as_ptr() as *mut c_void,
+                iov_len: tail.len(),
+            },
+        ];
+        let written = unsafe { writev(tx.as_raw_fd(), iov.as_ptr(), 2) };
+        assert_eq!(written, (head.len() + tail.len()) as isize);
+
+        let mut all = vec![0u8; head.len() + tail.len()];
+        rx.read_exact(&mut all).unwrap();
+        assert_eq!(all, b"vectored-io");
+
+        // readv: one syscall scatters into two halves.
+        use std::io::Write;
+        let mut tx2 = tx;
+        tx2.write_all(b"heartbeat!").unwrap();
+        let mut a = [0u8; 5];
+        let mut b = [0u8; 5];
+        let riov = [
+            iovec {
+                iov_base: a.as_mut_ptr() as *mut c_void,
+                iov_len: a.len(),
+            },
+            iovec {
+                iov_base: b.as_mut_ptr() as *mut c_void,
+                iov_len: b.len(),
+            },
+        ];
+        let read = unsafe { readv(rx.as_raw_fd(), riov.as_ptr(), 2) };
+        assert_eq!(read, 10);
+        assert_eq!(&a, b"heart");
+        assert_eq!(&b, b"beat!");
     }
 
     #[test]

@@ -36,8 +36,11 @@ pub struct TcpBackendConfig {
     pub queue_capacity: usize,
     /// Maximum records shipped per [`Frame::Beats`].
     pub batch_max: usize,
-    /// How long the flusher sleeps when the queue is empty before checking
-    /// again (also bounds shutdown latency).
+    /// Historical idle re-check interval. The flusher is now purely
+    /// notification-driven — every enqueue, target change, and shutdown
+    /// signals it, so an idle flusher parks without timed wakeups and this
+    /// value is no longer read. Retained so existing configurations keep
+    /// compiling.
     pub flush_interval: Duration,
     /// Delay between reconnection attempts while the collector is down.
     pub reconnect_backoff: Duration,
@@ -310,11 +313,13 @@ fn collect_work(shared: &Shared, config: &TcpBackendConfig) -> Work {
         if inner.stop {
             return Work::Shutdown;
         }
-        let (guard, _timeout) = shared
-            .wake
-            .wait_timeout(inner, config.flush_interval)
-            .unwrap_or_else(|e| e.into_inner());
-        inner = guard;
+        // Every transition out of "empty queue, no dirty target, not
+        // stopping" signals `wake` (`on_beat`, `on_target_change`,
+        // `flush`, drop), so an idle flusher parks indefinitely instead of
+        // spinning on a timed re-check — with hundreds of mostly-idle
+        // producers on one host, periodic wakeups alone were measurable
+        // scheduler load.
+        inner = shared.wake.wait(inner).unwrap_or_else(|e| e.into_inner());
     }
 }
 

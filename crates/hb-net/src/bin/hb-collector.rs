@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hb-collector [--ingest HOST:PORT] [--query HOST:PORT] [--print-every SECS]
-//!              [--io-threads N] [--idle-timeout SECS]
+//!              [--io-threads N|auto] [--idle-timeout SECS]
 //!              [--history-capacity N] [--health-window SECS]
 //!              [--sub-queue-capacity N] [--log-level LEVEL]
 //! ```
@@ -15,10 +15,13 @@
 //! `--print-every N` the daemon also prints a registry summary to stdout
 //! every N seconds.
 //!
-//! All connections are served by an epoll reactor with `--io-threads` I/O
-//! threads (default 2) — connection count is bounded by file descriptors,
-//! not threads. `--idle-timeout` (default 60, `0` disables) evicts
-//! connections with no traffic.
+//! All connections are served by a sharded epoll reactor with `--io-threads`
+//! independent I/O shards (default `auto` = one per available core) —
+//! connection count is bounded by file descriptors, not threads. Each shard
+//! owns its own epoll instance, timer wheel, and registry partition; a
+//! producer connection migrates to its application's home shard at hello
+//! time so steady-state ingest never crosses shards. `--idle-timeout`
+//! (default 60, `0` disables) evicts connections with no traffic.
 //!
 //! `--history-capacity` (default 1024, `0` disables) bounds the per-app
 //! ring of recent beat samples behind `HISTORY`; `--health-window` (default
@@ -83,11 +86,17 @@ fn parse_args() -> Result<Args, String> {
                 args.print_every = (secs > 0).then_some(secs);
             }
             "--io-threads" => {
-                args.io_threads = value("--io-threads")?
-                    .parse()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| "--io-threads expects a count >= 1".to_string())?;
+                let raw = value("--io-threads")?;
+                args.io_threads = if raw.eq_ignore_ascii_case("auto") {
+                    // Sentinel: the collector resolves 0 to the number of
+                    // available cores at startup.
+                    0
+                } else {
+                    raw.parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--io-threads expects a count >= 1 or 'auto'".to_string())?
+                };
             }
             "--idle-timeout" => {
                 args.idle_timeout = value("--idle-timeout")?
@@ -126,7 +135,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
-                     [--print-every SECS] [--io-threads N] [--idle-timeout SECS] \
+                     [--print-every SECS] [--io-threads N|auto] [--idle-timeout SECS] \
                      [--history-capacity N] [--health-window SECS] \
                      [--sub-queue-capacity N] [--log-level LEVEL]"
                 );
@@ -156,7 +165,11 @@ fn main() {
          health_window_s={} sub_queue_capacity={} print_every_s={} log_level={}",
         args.ingest,
         args.query,
-        args.io_threads,
+        if args.io_threads == 0 {
+            "auto".to_string()
+        } else {
+            args.io_threads.to_string()
+        },
         args.idle_timeout,
         args.history_capacity,
         args.health_window,

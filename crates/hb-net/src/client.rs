@@ -988,6 +988,12 @@ pub struct CollectorStats {
     pub events_dropped: u64,
     /// Collector uptime in seconds.
     pub uptime_s: f64,
+    /// Reactor shards the collector resolved at startup (0 when talking to
+    /// a pre-sharding collector that does not report the field).
+    pub shards: u64,
+    /// Beats ingested on a shard other than the application's home shard —
+    /// a debug counter that should stay at zero.
+    pub cross_shard: u64,
 }
 
 /// Parses the single-line `STATS` response.
@@ -997,10 +1003,15 @@ pub fn parse_stats(line: &str) -> Result<CollectorStats> {
     if parts.next() != Some("COLLECTOR") {
         return Err(bad("missing COLLECTOR prefix"));
     }
+    // Collect `key=value` tokens; anything else (a bare word, some future
+    // marker) is skipped so newer collectors can extend the line without
+    // breaking older readers. Unknown keys land in the map and are simply
+    // never looked up.
     let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
     for part in parts {
-        let (key, value) = part.split_once('=').ok_or_else(|| bad("field without ="))?;
-        fields.insert(key, value);
+        if let Some((key, value)) = part.split_once('=') {
+            fields.insert(key, value);
+        }
     }
     let num = |key: &str| -> Result<u64> {
         fields
@@ -1030,6 +1041,8 @@ pub fn parse_stats(line: &str) -> Result<CollectorStats> {
         subscriptions: opt("subs"),
         events: opt("events"),
         events_dropped: opt("events_dropped"),
+        shards: opt("shards"),
+        cross_shard: opt("cross_shard"),
         uptime_s: fields
             .get("uptime_s")
             .copied()
@@ -1287,6 +1300,28 @@ mod tests {
         assert_eq!(stats.io_threads, 2);
         assert_eq!(stats.evicted, 5);
         assert!((stats.uptime_s - 12.5).abs() < 1e-9);
+        // Fields this collector vintage does not emit default to zero.
+        assert_eq!(stats.shards, 0);
+        assert_eq!(stats.cross_shard, 0);
+    }
+
+    #[test]
+    fn stats_parser_tolerates_future_format_extensions() {
+        // A collector two releases from now appends fields this reader has
+        // never heard of — and even a bare flag token. Required fields must
+        // still parse; everything unknown is ignored.
+        let line = "COLLECTOR apps=1 connections=2 frames=3 errors=0 io_threads=4 \
+                    evicted=0 queries=1 subs=0 events=0 events_dropped=0 \
+                    uptime_s=1.5 shards=4 cross_shard=0 numa_nodes=2 \
+                    io_uring=1 experimental_flag";
+        let stats = parse_stats(line).unwrap();
+        assert_eq!(stats.apps, 1);
+        assert_eq!(stats.connections, 2);
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.io_threads, 4);
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.cross_shard, 0);
+        assert!((stats.uptime_s - 1.5).abs() < 1e-9);
     }
 
     #[test]

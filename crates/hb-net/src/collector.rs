@@ -11,10 +11,16 @@
 //! producing process.
 //!
 //! Serving is fully event-driven: a [`Reactor`] multiplexes every producer
-//! and observer socket over a fixed pool of I/O
-//! threads ([`CollectorConfig::io_threads`], default 2), so thousands of
-//! concurrent connections cost file descriptors and per-connection state —
-//! not OS threads. Producer bytes run through an incremental
+//! and observer socket over N independent I/O shards
+//! ([`CollectorConfig::io_threads`], default = available cores), each
+//! owning its own epoll instance, timer wheel and connection table, so
+//! thousands of concurrent connections cost file descriptors and
+//! per-connection state — not OS threads. A producer connection migrates to
+//! its application's home shard at hello time (the shard its registry
+//! partition maps to), so steady-state ingest runs entirely on one thread
+//! with no cross-shard locks — a debug counter
+//! ([`CollectorState::cross_shard_ingest`]) pins that invariant in the
+//! soak tests. Producer bytes run through an incremental
 //! [`FrameDecoder`] whose beat batches are yielded as borrowing
 //! [`BeatsView`](crate::wire::BeatsView)s — validated in place in the
 //! receive buffer, streamed into the registry through an iterator, zero
@@ -61,7 +67,7 @@ use heartbeats::observe::Interest;
 
 use crate::frame::{FrameDecoder, FrameEvent};
 use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample};
-use crate::reactor::{Handler, ListenerSpec, Reactor, ReactorConfig};
+use crate::reactor::{Handler, ListenerSpec, OutBuf, Reactor, ReactorConfig};
 use crate::subscribe::{LocalSubscription, SubEntry, SubscriberQueue, SubscriptionRegistry};
 use crate::telemetry::{self, Level, PipelineTelemetry, ReactorThreads};
 use crate::wire::{
@@ -80,8 +86,12 @@ pub struct CollectorConfig {
     pub stale_after: Duration,
     /// Cap on the server-side rate window (guards against absurd hellos).
     pub max_window: usize,
-    /// Fixed number of reactor I/O threads serving all producer and
-    /// observer sockets.
+    /// Number of reactor I/O shards serving all producer and observer
+    /// sockets — each shard is one thread owning its own epoll instance,
+    /// timer wheel and connection table. `0` means **auto**: resolve to
+    /// `std::thread::available_parallelism()` at startup (the `--io-threads
+    /// auto` flag). The resolved count is reported in `STATS`
+    /// (`io_threads=`/`shards=`) and the `hb_collector_io_threads` gauge.
     pub io_threads: usize,
     /// Connections (producer or observer) idle longer than this are
     /// evicted; `Duration::ZERO` disables eviction.
@@ -112,7 +122,7 @@ impl Default for CollectorConfig {
             shards: 16,
             stale_after: Duration::from_secs(5),
             max_window: 1024,
-            io_threads: 2,
+            io_threads: 0,
             idle_timeout: Duration::from_secs(60),
             history_capacity: 1024,
             health: HealthConfig::default(),
@@ -243,6 +253,16 @@ impl AppHandle {
     }
 }
 
+/// Per-reactor-shard ingest attribution, feeding the
+/// `hb_collector_shard_*` Prometheus gauges. Their sums always equal the
+/// aggregate counters (pinned by tests): every producer connection and
+/// every decoded frame is attributed to exactly one shard.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+}
+
 /// Shared collector state: the sharded application registry plus
 /// collector-wide counters.
 #[derive(Debug)]
@@ -250,9 +270,23 @@ pub struct CollectorState {
     shards: Vec<Mutex<HashMap<String, AppEntry>>>,
     config: CollectorConfig,
     started: Instant,
+    /// Resolved reactor shard count ([`CollectorConfig::io_threads`], with
+    /// `0` resolved to the available parallelism). An app whose registry
+    /// partition is `p` is served by reactor shard `p % reactor_shards`.
+    reactor_shards: usize,
     connections_total: AtomicU64,
     frames_total: AtomicU64,
+    /// Beats accounted for by ingest — delivered beats plus newly reported
+    /// producer-side drops. One relaxed add per batch; benches and tests
+    /// spin on this instead of materializing full snapshots.
+    beats_accounted: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Ingest calls that executed on a reactor shard other than the app's
+    /// home shard. Hello-time connection migration keeps steady state at
+    /// zero; the soak test asserts it (debug counter, relaxed).
+    cross_shard_ingest: AtomicU64,
+    /// Per-reactor-shard connection/frame attribution.
+    shard_counters: Vec<ShardCounters>,
     /// Observer requests answered (query lines + binary query frames).
     /// Subscription control frames and pushed events are *not* requests —
     /// the push plane exists precisely so this counter can stay flat.
@@ -262,8 +296,16 @@ pub struct CollectorState {
     /// Push-subscription registry and fan-out queues.
     subs: Arc<SubscriptionRegistry>,
     /// Per-stage latency histograms (decode, ingest, fan-out, pump, query,
-    /// delivery lag).
+    /// delivery lag). This is shard 0's instance — kept as a named field so
+    /// [`telemetry()`](Self::telemetry) stays the stable handle embedders
+    /// and benches use; non-reactor threads record here too.
     telemetry: Arc<PipelineTelemetry>,
+    /// One [`PipelineTelemetry`] per reactor shard (index 0 **is** the
+    /// `telemetry` field above). Stages record into their own shard's
+    /// instance contention-free; renders merge the snapshots
+    /// ([`crate::telemetry::HistoSnapshot::merge`] is associative). All
+    /// instances share one delivery-lag histogram.
+    shard_telemetry: Vec<Arc<PipelineTelemetry>>,
     /// Per-reactor-thread utilization counters, registered by the reactor
     /// at spawn when telemetry is on (empty for embedded registries).
     reactor_threads: Arc<ReactorThreads>,
@@ -277,25 +319,121 @@ impl CollectorState {
         let shards = (0..config.shards.max(1))
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
+        let reactor_shards = Self::resolve_io_threads(config.io_threads);
         let telemetry = Arc::new(PipelineTelemetry::new(config.telemetry));
+        let shard_telemetry: Vec<Arc<PipelineTelemetry>> = std::iter::once(Arc::clone(&telemetry))
+            .chain((1..reactor_shards).map(|_| {
+                Arc::new(PipelineTelemetry::with_delivery(
+                    config.telemetry,
+                    Arc::clone(&telemetry.delivery),
+                ))
+            }))
+            .collect();
+        let shard_counters = (0..reactor_shards).map(|_| ShardCounters::default()).collect();
         CollectorState {
             shards,
             config,
             started: Instant::now(),
+            reactor_shards,
             connections_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
+            beats_accounted: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            cross_shard_ingest: AtomicU64::new(0),
+            shard_counters,
             queries_total: AtomicU64::new(0),
             evicted_total: Arc::new(AtomicU64::new(0)),
             subs: Arc::new(SubscriptionRegistry::new()),
             telemetry,
+            shard_telemetry,
             reactor_threads: Arc::new(ReactorThreads::new()),
         }
     }
 
+    /// Resolves a configured `io_threads` value: `0` means auto — the
+    /// machine's available parallelism, i.e. one reactor shard per core.
+    fn resolve_io_threads(requested: usize) -> usize {
+        if requested == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            requested
+        }
+    }
+
     /// The pipeline latency histograms (and their runtime enable switch).
+    /// This is reactor shard 0's instance — the one non-reactor threads
+    /// (embedders, tests, benches) record into; renders merge every shard.
     pub fn telemetry(&self) -> &Arc<PipelineTelemetry> {
         &self.telemetry
+    }
+
+    /// The telemetry instance for the reactor shard the calling thread
+    /// serves (instance 0 off reactor threads) — stages record into it
+    /// without cross-shard histogram contention.
+    fn stage_telemetry(&self) -> &PipelineTelemetry {
+        let shard = crate::reactor::current_shard().unwrap_or(0);
+        &self.shard_telemetry[shard % self.shard_telemetry.len()]
+    }
+
+    /// The reactor shard the calling thread serves, clamped into this
+    /// state's shard range (0 off reactor threads).
+    fn calling_shard(&self) -> usize {
+        crate::reactor::current_shard().unwrap_or(0) % self.shard_counters.len()
+    }
+
+    /// The reactor shard that serves `handle`'s application: its registry
+    /// partition folded onto the reactor shard count. Producer connections
+    /// migrate here after their hello.
+    pub fn home_reactor_shard(&self, handle: &AppHandle) -> usize {
+        handle.shard % self.reactor_shards
+    }
+
+    /// Ingest calls that ran on a reactor shard other than the app's home
+    /// shard. Hello-time migration keeps steady state at zero — the soak
+    /// test pins it.
+    pub fn cross_shard_ingest(&self) -> u64 {
+        self.cross_shard_ingest.load(Ordering::Relaxed)
+    }
+
+    /// Per-reactor-shard `(connections, frames)` attribution, indexed by
+    /// shard. Sums equal `connections_total()` / `frames_total()` once all
+    /// accepted connections have been served (pinned by tests).
+    pub fn shard_counters(&self) -> Vec<(u64, u64)> {
+        self.shard_counters
+            .iter()
+            .map(|c| {
+                (
+                    c.connections.load(Ordering::Relaxed),
+                    c.frames.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Attributes one decoded producer frame to the calling reactor shard
+    /// alongside the aggregate count, keeping the per-shard gauge sums
+    /// exactly equal to `frames_total`.
+    fn count_frame(&self) {
+        self.frames_total.fetch_add(1, Ordering::Relaxed);
+        self.shard_counters[self.calling_shard()]
+            .frames
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attributes one producer connection to the calling reactor shard,
+    /// exactly once per connection (`counted` lives in the handler): on its
+    /// first `on_data` when the connection is served, or at `on_close` for
+    /// connections that never produced bytes. Keeps the per-shard sums
+    /// exactly equal to `connections_total`.
+    fn count_connection_once(&self, counted: &mut bool) {
+        if !*counted {
+            *counted = true;
+            self.shard_counters[self.calling_shard()]
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Per-reactor-thread utilization counters. Empty unless this state
@@ -399,6 +537,15 @@ impl CollectorState {
     where
         I: IntoIterator<Item = WireBeat>,
     {
+        // Debug invariant: on a reactor thread, ingest should only ever run
+        // on the app's home shard (hello-time migration put the connection
+        // there). One TLS read when off the home path; soak tests pin zero.
+        if let Some(current) = crate::reactor::current_shard() {
+            if current != shard_index % self.reactor_shards {
+                self.cross_shard_ingest.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let telemetry = self.stage_telemetry();
         let watchers = self.subs.matching(key);
         if watchers.is_empty() {
             // The common, zero-subscriber path: absorb straight off the
@@ -406,23 +553,25 @@ impl CollectorState {
             // case (entry already exists) costs one lookup and zero
             // allocation; only an app's first-ever batch pays the entry()
             // insert with its owned key.
-            let started = self.telemetry.start();
+            let started = telemetry.start();
             let mut shard = self.shards[shard_index]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = shard.get_mut(key) {
-                Self::absorb(entry, dropped_total, beats);
+                let accounted = Self::absorb(entry, dropped_total, beats);
                 drop(shard);
-                self.telemetry.observe(&self.telemetry.ingest, started);
+                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+                telemetry.observe(&telemetry.ingest, started);
                 return;
             }
             let config = &self.config;
             let entry = shard
                 .entry(key.to_string())
                 .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
-            Self::absorb(entry, dropped_total, beats);
+            let accounted = Self::absorb(entry, dropped_total, beats);
             drop(shard);
-            self.telemetry.observe(&self.telemetry.ingest, started);
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+            telemetry.observe(&telemetry.ingest, started);
             return;
         }
         // Subscribed path. The batch is materialized only when some
@@ -434,7 +583,7 @@ impl CollectorState {
             .any(|watcher| watcher.wants(Interest::BEATS.bits()));
         let mut pending = Vec::new();
         if !wants_beats {
-            let mut mark = self.telemetry.start();
+            let mut mark = telemetry.start();
             {
                 let mut shard = self.shards[shard_index]
                     .lock()
@@ -447,16 +596,17 @@ impl CollectorState {
                     }),
                 };
                 let mut count = 0usize;
-                Self::absorb(
+                let accounted = Self::absorb(
                     entry,
                     dropped_total,
                     beats.into_iter().inspect(|_| count += 1),
                 );
+                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
                 self.collect_ingest_events(key, entry, count, &watchers, &mut pending);
             }
             // Lap the clock at the lock boundary: one read closes the
             // ingest span and opens the fan-out span.
-            self.telemetry.lap(&self.telemetry.ingest, &mut mark);
+            telemetry.lap(&telemetry.ingest, &mut mark);
             if pending.is_empty() {
                 return;
             }
@@ -467,11 +617,11 @@ impl CollectorState {
                 }
                 // PendingEvent::Beats is unreachable: no watcher asked.
             }
-            self.telemetry.observe(&self.telemetry.fanout, mark);
+            telemetry.observe(&telemetry.fanout, mark);
             return;
         }
         let beats: Vec<WireBeat> = beats.into_iter().collect();
-        let mut mark = self.telemetry.start();
+        let mut mark = telemetry.start();
         {
             let mut shard = self.shards[shard_index]
                 .lock()
@@ -483,28 +633,40 @@ impl CollectorState {
                     .entry(key.to_string())
                     .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config)),
             };
-            Self::absorb(entry, dropped_total, beats.iter().copied());
+            let accounted = Self::absorb(entry, dropped_total, beats.iter().copied());
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
             self.collect_ingest_events(key, entry, beats.len(), &watchers, &mut pending);
         }
-        self.telemetry.lap(&self.telemetry.ingest, &mut mark);
-        // Per-watcher batch copies, encoding and enqueueing all happen
-        // outside the shard lock: fan-out work must not stall other
-        // producers of the same shard.
+        telemetry.lap(&telemetry.ingest, &mut mark);
+        // Encoding and enqueueing all happen outside the shard lock:
+        // fan-out work must not stall other producers of the same shard.
         if pending.is_empty() {
             return;
         }
+        // Beat watchers fan out together through the encode-once path: the
+        // Event frame is serialized once per distinct sub_id into a shared
+        // Arc<[u8]> that every matching queue references — no
+        // per-subscriber batch clone or re-serialization. All Beats events
+        // of one batch share the drop counter read under the shard lock.
+        let mut beat_watchers: Vec<Arc<SubEntry>> = Vec::new();
+        let mut beats_dropped_total = 0;
         for (watcher, event) in pending {
-            let payload = match event {
-                PendingEvent::Ready(payload) => payload,
-                PendingEvent::Beats { dropped_total } => EventPayload::Beats {
-                    dropped_total,
-                    beats: beats.clone(),
-                },
-            };
-            self.journal_health(key, &payload);
-            self.subs.deliver(&watcher, key, payload);
+            match event {
+                PendingEvent::Ready(payload) => {
+                    self.journal_health(key, &payload);
+                    self.subs.deliver(&watcher, key, payload);
+                }
+                PendingEvent::Beats { dropped_total } => {
+                    beats_dropped_total = dropped_total;
+                    beat_watchers.push(watcher);
+                }
+            }
         }
-        self.telemetry.observe(&self.telemetry.fanout, mark);
+        if !beat_watchers.is_empty() {
+            self.subs
+                .deliver_beats(&beat_watchers, key, beats_dropped_total, &beats);
+        }
+        telemetry.observe(&telemetry.fanout, mark);
     }
 
     /// Journals a health transition about to be delivered. Transitions are
@@ -663,14 +825,19 @@ impl CollectorState {
 
     /// The shared per-record ingest loop: allocation-free (the history ring
     /// is preallocated; statistics are fixed-size).
-    fn absorb<I>(entry: &mut AppEntry, dropped_total: u64, beats: I)
+    /// Returns the beats this batch accounted for: records absorbed plus
+    /// producer-side drops newly reported by `dropped_total` — the delta the
+    /// caller adds to [`beats_accounted`](Self::beats_accounted).
+    fn absorb<I>(entry: &mut AppEntry, dropped_total: u64, beats: I) -> u64
     where
         I: IntoIterator<Item = WireBeat>,
     {
+        let mut accounted = dropped_total.saturating_sub(entry.producer_dropped);
         entry.producer_dropped = entry.producer_dropped.max(dropped_total);
         let now = Instant::now();
         entry.last_seen = now;
         for beat in beats {
+            accounted += 1;
             match beat.scope {
                 BeatScope::Global => {
                     let ts = beat.record.timestamp_ns;
@@ -698,6 +865,7 @@ impl CollectorState {
                 BeatScope::Local => entry.local_beats += 1,
             }
         }
+        accounted
     }
 
     fn target(&self, app: &str, min_bps: f64, max_bps: f64) {
@@ -814,6 +982,14 @@ impl CollectorState {
         self.frames_total.load(Ordering::Relaxed)
     }
 
+    /// Beats accounted for by ingest since start: records absorbed into the
+    /// registry plus producer-side drops as they were first reported. One
+    /// relaxed load — cheap enough to spin on (benches do), unlike
+    /// [`snapshots`](Self::snapshots) which walks every registry partition.
+    pub fn beats_accounted(&self) -> u64 {
+        self.beats_accounted.load(Ordering::Relaxed)
+    }
+
     /// Producer connections dropped for protocol violations.
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
@@ -840,9 +1016,10 @@ impl CollectorState {
         self.evicted_total.load(Ordering::Relaxed)
     }
 
-    /// The configured number of reactor I/O threads.
+    /// The resolved number of reactor I/O shards (`--io-threads auto`
+    /// resolves to the available parallelism at construction).
     pub fn io_threads(&self) -> usize {
-        self.config.io_threads.max(1)
+        self.reactor_shards
     }
 
     /// One consistent reading of every collector-wide counter, taken for a
@@ -958,9 +1135,43 @@ impl CollectorState {
             "hb_collector_protocol_errors_total {}\n",
             counters.protocol_errors
         ));
-        out.push_str("# HELP hb_collector_io_threads Reactor I/O threads serving all sockets.\n");
+        out.push_str("# HELP hb_collector_io_threads Reactor I/O shards serving all sockets (resolved count).\n");
         out.push_str("# TYPE hb_collector_io_threads gauge\n");
         out.push_str(&format!("hb_collector_io_threads {}\n", self.io_threads()));
+        out.push_str("# HELP hb_collector_cross_shard_ingest_total Ingest calls that ran off the app's home reactor shard (steady state: 0).\n");
+        out.push_str("# TYPE hb_collector_cross_shard_ingest_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_cross_shard_ingest_total {}\n",
+            self.cross_shard_ingest()
+        ));
+        // Per-reactor-shard attribution: sums equal the aggregate counters.
+        let shard_counters = self.shard_counters();
+        let mut shard_apps = vec![0u64; self.reactor_shards];
+        for (partition, shard) in self.shards.iter().enumerate() {
+            let apps = shard.lock().unwrap_or_else(|e| e.into_inner()).len() as u64;
+            shard_apps[partition % self.reactor_shards] += apps;
+        }
+        out.push_str("# HELP hb_collector_shard_connections Producer connections attributed per reactor shard.\n");
+        out.push_str("# TYPE hb_collector_shard_connections gauge\n");
+        for (shard, (connections, _)) in shard_counters.iter().enumerate() {
+            out.push_str(&format!(
+                "hb_collector_shard_connections{{shard=\"{shard}\"}} {connections}\n"
+            ));
+        }
+        out.push_str("# HELP hb_collector_shard_frames Frames decoded per reactor shard.\n");
+        out.push_str("# TYPE hb_collector_shard_frames gauge\n");
+        for (shard, (_, frames)) in shard_counters.iter().enumerate() {
+            out.push_str(&format!(
+                "hb_collector_shard_frames{{shard=\"{shard}\"}} {frames}\n"
+            ));
+        }
+        out.push_str("# HELP hb_collector_shard_apps Applications homed per reactor shard.\n");
+        out.push_str("# TYPE hb_collector_shard_apps gauge\n");
+        for (shard, apps) in shard_apps.iter().enumerate() {
+            out.push_str(&format!(
+                "hb_collector_shard_apps{{shard=\"{shard}\"}} {apps}\n"
+            ));
+        }
         out.push_str("# HELP hb_collector_idle_evicted_total Connections evicted by the idle timer.\n");
         out.push_str("# TYPE hb_collector_idle_evicted_total counter\n");
         out.push_str(&format!(
@@ -998,41 +1209,51 @@ impl CollectorState {
             counters.uptime.as_secs_f64()
         ));
         // Pipeline latency histograms (empty until the matching stage has
-        // run with telemetry on).
-        for (histo, name, help) in [
+        // run with telemetry on). Each stage merges its per-reactor-shard
+        // snapshots (the merge is saturating and associative, so the
+        // collapsed view is exactly what one shared histogram would hold);
+        // the delivery-lag histogram is a single instance shared by every
+        // shard, rendered once.
+        type StagePick = fn(&PipelineTelemetry) -> &crate::telemetry::LatencyHisto;
+        let stages: [(StagePick, &str, &str); 5] = [
             (
-                &self.telemetry.decode,
+                |t| &t.decode,
                 "hb_collector_decode_latency_seconds",
                 "Incremental frame decode latency per yielded frame.",
             ),
             (
-                &self.telemetry.ingest,
+                |t| &t.ingest,
                 "hb_collector_ingest_latency_seconds",
                 "Registry ingest latency per absorbed batch (shard lock held).",
             ),
             (
-                &self.telemetry.fanout,
+                |t| &t.fanout,
                 "hb_collector_fanout_latency_seconds",
                 "Subscription fan-out latency per batch with watchers (encode + enqueue).",
             ),
             (
-                &self.telemetry.pump,
+                |t| &t.pump,
                 "hb_collector_pump_latency_seconds",
                 "Observer pump pass latency (silence sweep + queue drain).",
             ),
             (
-                &self.telemetry.query,
+                |t| &t.query,
                 "hb_collector_query_latency_seconds",
                 "Query handling latency per request (line commands and binary queries).",
             ),
-            (
-                &*self.telemetry.delivery,
-                "hb_collector_delivery_lag_seconds",
-                "Event delivery lag: enqueue to drain into the subscriber's outbound buffer.",
-            ),
-        ] {
-            histo.snapshot().render_prometheus(&mut out, name, help);
+        ];
+        for (pick, name, help) in stages {
+            let mut merged = pick(&self.shard_telemetry[0]).snapshot();
+            for shard in &self.shard_telemetry[1..] {
+                merged.merge(&pick(shard).snapshot());
+            }
+            merged.render_prometheus(&mut out, name, help);
         }
+        self.telemetry.delivery.snapshot().render_prometheus(
+            &mut out,
+            "hb_collector_delivery_lag_seconds",
+            "Event delivery lag: enqueue to drain into the subscriber's outbound buffer.",
+        );
         // Per-reactor-thread utilization: aggregates hide one hot thread;
         // per-thread series do not.
         let threads = self.reactor_threads.snapshot();
@@ -1190,7 +1411,7 @@ impl Collector {
 
         let state = Arc::new(CollectorState::new(config));
         let reactor_config = ReactorConfig {
-            io_threads: state.config.io_threads,
+            io_threads: state.io_threads(),
             idle_timeout: state.config.idle_timeout,
             thread_stats: state
                 .config
@@ -1270,6 +1491,13 @@ struct ProducerHandler {
     state: Arc<CollectorState>,
     decoder: FrameDecoder,
     app: Option<AppHandle>,
+    /// The app's home reactor shard, set at hello — the reactor migrates
+    /// the connection there so every subsequent batch ingests shard-local.
+    home: Option<usize>,
+    /// Whether this connection has been attributed to a shard's
+    /// `hb_collector_shard_connections` gauge yet (exactly once, see
+    /// [`CollectorState::count_connection_once`]).
+    counted: bool,
 }
 
 impl ProducerHandler {
@@ -1278,24 +1506,26 @@ impl ProducerHandler {
             state,
             decoder: FrameDecoder::new(),
             app: None,
+            home: None,
+            counted: false,
         }
     }
 }
 
 impl Handler for ProducerHandler {
-    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+    fn on_data(&mut self, input: &[u8], out: &mut OutBuf) -> bool {
+        self.state.count_connection_once(&mut self.counted);
         self.decoder.push(input);
         loop {
             // next_event keeps beat batches as borrowing views over the
             // decoder's receive buffer: the decode→ingest path below
             // performs no per-frame Vec<WireBeat> allocation.
-            let started = self.state.telemetry.start();
+            let telemetry = self.state.stage_telemetry();
+            let started = telemetry.start();
             match self.decoder.next_event() {
                 Ok(Some(event)) => {
-                    self.state
-                        .telemetry
-                        .observe(&self.state.telemetry.decode, started);
-                    self.state.frames_total.fetch_add(1, Ordering::Relaxed);
+                    telemetry.observe(&telemetry.decode, started);
+                    self.state.count_frame();
                     match event {
                         FrameEvent::Beats(view) => match &self.app {
                             Some(handle) => self.state.ingest_batch_with(
@@ -1320,18 +1550,34 @@ impl Handler for ProducerHandler {
                                 hello.pid,
                                 hello.default_window
                             );
-                            self.app = Some(self.state.hello(
+                            let handle = self.state.hello(
                                 &hello.app,
                                 hello.pid,
                                 hello.default_window,
-                            ));
+                            );
+                            self.home = Some(self.state.home_reactor_shard(&handle));
+                            self.app = Some(handle);
                             // Advertise our maximum version so capable
                             // producers switch to compact framing; old ones
                             // never read the ingest socket and lose nothing.
                             Frame::HelloAck {
                                 max_version: VERSION,
                             }
-                            .encode_into(out);
+                            .encode_into(out.vec_mut());
+                            // If this thread is not the app's home shard,
+                            // yield now: the reactor reads `home_shard()`,
+                            // migrates the connection, and the install pass
+                            // on the home shard resumes this decode loop
+                            // (any frames already buffered included) via an
+                            // empty on_data — so no beat is ever absorbed
+                            // off-shard.
+                            if let Some(home) = self.home {
+                                let migrating = crate::reactor::current_shard()
+                                    .is_some_and(|current| current != home);
+                                if migrating {
+                                    return true;
+                                }
+                            }
                         }
                         FrameEvent::Control(Frame::Target { min_bps, max_bps }) => {
                             match &self.app {
@@ -1384,7 +1630,7 @@ impl Handler for ProducerHandler {
         }
     }
 
-    fn on_eof(&mut self, _out: &mut Vec<u8>) {
+    fn on_eof(&mut self, _out: &mut OutBuf) {
         if self.decoder.has_partial() {
             // The stream died mid-frame: truncation, not a clean goodbye.
             self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -1397,9 +1643,16 @@ impl Handler for ProducerHandler {
     }
 
     fn on_close(&mut self) {
+        // A connection torn down before its first on_data (e.g. a failed
+        // install) still counts toward exactly one shard gauge.
+        self.state.count_connection_once(&mut self.counted);
         if let Some(handle) = self.app.take() {
             self.state.goodbye(handle.app());
         }
+    }
+
+    fn home_shard(&self) -> Option<usize> {
+        self.home
     }
 }
 
@@ -1447,7 +1700,7 @@ impl ObserverHandler {
     }
 
     /// Answers one binary query frame. Returns `false` to close.
-    fn handle_frame(&mut self, frame: Frame, out: &mut Vec<u8>) -> bool {
+    fn handle_frame(&mut self, frame: Frame, out: &mut OutBuf) -> bool {
         let reply = match frame {
             Frame::Subscribe(req) => {
                 let state = &self.state;
@@ -1487,7 +1740,8 @@ impl ObserverHandler {
                 }
             }
             Frame::HistoryReq { app, limit } => {
-                let started = self.state.telemetry.start();
+                let telemetry = self.state.stage_telemetry();
+                let started = telemetry.start();
                 self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let found = self.state.history(&app, limit as usize);
                 let known = found.is_some();
@@ -1503,13 +1757,12 @@ impl ObserverHandler {
                     total,
                     samples,
                 });
-                self.state
-                    .telemetry
-                    .observe(&self.state.telemetry.query, started);
+                telemetry.observe(&telemetry.query, started);
                 reply
             }
             Frame::HealthReq { app } => {
-                let started = self.state.telemetry.start();
+                let telemetry = self.state.stage_telemetry();
+                let started = telemetry.start();
                 self.state.queries_total.fetch_add(1, Ordering::Relaxed);
                 let report = self.state.health(&app);
                 let known = report.is_some();
@@ -1518,26 +1771,24 @@ impl ObserverHandler {
                     known,
                     report: report.unwrap_or_else(HealthReport::no_signal),
                 });
-                self.state
-                    .telemetry
-                    .observe(&self.state.telemetry.query, started);
+                telemetry.observe(&telemetry.query, started);
                 reply
             }
             // Producer frames (and unsolicited responses) do not belong on
             // the query port.
             _ => return false,
         };
-        reply.encode_into(out);
+        reply.encode_into(out.vec_mut());
         true
     }
 }
 
 impl Handler for ObserverHandler {
-    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+    fn on_data(&mut self, input: &[u8], out: &mut OutBuf) -> bool {
         self.buf.extend_from_slice(input);
         let mut consumed = 0;
         loop {
-            if out.len() > MAX_PENDING_REPLIES {
+            if out.pending() > MAX_PENDING_REPLIES {
                 return false; // pipelining flood: answers outpace the reads
             }
             let avail = &self.buf[consumed..];
@@ -1573,8 +1824,8 @@ impl Handler for ObserverHandler {
                     break;
                 };
                 let text = String::from_utf8_lossy(&avail[..nl]);
-                // Writing to a Vec cannot fail; treat the impossible as
-                // QUIT.
+                // Writing to an OutBuf cannot fail; treat the impossible
+                // as QUIT.
                 let keep_open = handle_query(text.trim(), &self.state, out).unwrap_or(false);
                 consumed += nl + 1;
                 if !keep_open {
@@ -1601,11 +1852,12 @@ impl Handler for ObserverHandler {
         self.queue.is_some()
     }
 
-    fn on_pump(&mut self, out: &mut Vec<u8>, pending_out: usize) -> bool {
+    fn on_pump(&mut self, out: &mut OutBuf, pending_out: usize) -> bool {
         let Some(queue) = &self.queue else {
             return true;
         };
-        let started = self.state.telemetry.start();
+        let telemetry = self.state.stage_telemetry();
+        let started = telemetry.start();
         // Silence cannot announce itself through the ingest path; the pump
         // pass drives stall re-assessment for this connection's health
         // subscriptions (rate-limited per subscription).
@@ -1613,13 +1865,12 @@ impl Handler for ObserverHandler {
         // Drain queued events into the outbound buffer only while the peer
         // keeps up; otherwise they stay queued and drop-oldest accounting
         // applies at the bounded queue, never at the reactor's slow-consumer
-        // cap.
+        // cap. The drain moves shared `Arc<[u8]>` segments — the encoded
+        // frame bytes every other subscriber references — without copying.
         if pending_out < MAX_PENDING_REPLIES {
             queue.drain_into(out, MAX_PENDING_REPLIES - pending_out);
         }
-        self.state
-            .telemetry
-            .observe(&self.state.telemetry.pump, started);
+        telemetry.observe(&telemetry.pump, started);
         true
     }
 
@@ -1728,9 +1979,10 @@ binary               wire-protocol query frames (magic HBWT) are answered in kin
 /// Executes one query command; returns `false` when the connection should
 /// close.
 fn handle_query(line: &str, state: &CollectorState, out: &mut impl Write) -> io::Result<bool> {
-    let started = state.telemetry.start();
+    let telemetry = state.stage_telemetry();
+    let started = telemetry.start();
     let keep_open = handle_query_inner(line, state, out);
-    state.telemetry.observe(&state.telemetry.query, started);
+    telemetry.observe(&telemetry.query, started);
     keep_open
 }
 
@@ -1833,7 +2085,8 @@ fn handle_query_inner(
             writeln!(
                 out,
                 "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} \
-                 queries={} subs={} events={} events_dropped={} uptime_s={:.3}",
+                 queries={} subs={} events={} events_dropped={} uptime_s={:.3} shards={} \
+                 cross_shard={}",
                 state.app_names().len(),
                 counters.connections_total,
                 counters.frames_total,
@@ -1845,6 +2098,8 @@ fn handle_query_inner(
                 counters.events_total,
                 counters.events_dropped_total,
                 counters.uptime.as_secs_f64(),
+                state.io_threads(),
+                state.cross_shard_ingest(),
             )?;
             Ok(true)
         }
@@ -2176,7 +2431,7 @@ mod tests {
         let state = Arc::new(CollectorState::new(CollectorConfig::default()));
         state.ingest_batch("bin-app", 0, beats(&[0, 1_000_000, 2_000_000]));
         let mut handler = ObserverHandler::new(Arc::clone(&state));
-        let mut out = Vec::new();
+        let mut buf = OutBuf::new();
 
         // A line query, then two binary queries, then another line — all
         // interleaved on one connection, split at awkward byte boundaries.
@@ -2193,8 +2448,9 @@ mod tests {
         input.extend_from_slice(b"STATS\n");
 
         for chunk in input.chunks(3) {
-            assert!(handler.on_data(chunk, &mut out), "connection stays open");
+            assert!(handler.on_data(chunk, &mut buf), "connection stays open");
         }
+        let out: Vec<u8> = buf.iter_slices().flatten().copied().collect();
 
         // Replies: PONG line, History frame, Health frame, STATS line.
         let text_start = String::from_utf8_lossy(&out[..5]);
@@ -2229,7 +2485,7 @@ mod tests {
     fn observer_handler_rejects_producer_frames() {
         let state = Arc::new(CollectorState::new(CollectorConfig::default()));
         let mut handler = ObserverHandler::new(state);
-        let mut out = Vec::new();
+        let mut out = OutBuf::new();
         let input = Frame::Bye.encode();
         assert!(
             !handler.on_data(&input, &mut out),
@@ -2426,5 +2682,129 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("COLLECTOR apps=0 "), "got: {text}");
         assert!(text.contains("events=0 events_dropped=0"));
+    }
+
+    #[test]
+    fn stats_reports_resolved_shards_and_cross_shard_counter() {
+        let state = CollectorState::new(CollectorConfig {
+            io_threads: 3,
+            ..CollectorConfig::default()
+        });
+        assert_eq!(state.io_threads(), 3);
+        let mut out = Vec::new();
+        assert!(handle_query("STATS", &state, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("io_threads=3"), "got: {text}");
+        assert!(text.contains("shards=3"), "got: {text}");
+        assert!(text.contains("cross_shard=0"), "got: {text}");
+    }
+
+    #[test]
+    fn io_threads_zero_resolves_to_available_parallelism() {
+        let state = CollectorState::new(CollectorConfig {
+            io_threads: 0,
+            ..CollectorConfig::default()
+        });
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(state.io_threads(), expected);
+        assert_eq!(state.shard_counters().len(), expected);
+    }
+
+    #[test]
+    fn shard_gauge_sums_equal_aggregate_counters() {
+        // Four shards, traffic driven off-reactor (attributed to shard 0):
+        // the per-shard gauges must partition the aggregates exactly.
+        let state = Arc::new(CollectorState::new(CollectorConfig {
+            io_threads: 4,
+            ..CollectorConfig::default()
+        }));
+        let mut input = Vec::new();
+        Frame::Hello(crate::wire::Hello {
+            app: "gauge-app".into(),
+            pid: 1,
+            default_window: 20,
+        })
+        .encode_into(&mut input);
+        let mut encoder = crate::wire::BatchEncoder::new();
+        encoder.begin(0);
+        encoder.push(&WireBeat {
+            record: heartbeats::HeartbeatRecord::new(
+                0,
+                1_000_000,
+                heartbeats::Tag::NONE,
+                heartbeats::BeatThreadId(0),
+            ),
+            scope: heartbeats::BeatScope::Global,
+        });
+        input.extend_from_slice(encoder.finish());
+        let mut handler = ProducerHandler::new(Arc::clone(&state));
+        let mut out = OutBuf::new();
+        assert!(handler.on_data(&input, &mut out));
+        state.connections_total.fetch_add(1, Ordering::Relaxed);
+        handler.on_close();
+
+        let counters = state.shard_counters();
+        assert_eq!(counters.len(), 4);
+        let connection_sum: u64 = counters.iter().map(|(c, _)| c).sum();
+        let frame_sum: u64 = counters.iter().map(|(_, f)| f).sum();
+        assert_eq!(connection_sum, state.connections_total());
+        assert_eq!(frame_sum, state.frames_total());
+        assert_eq!(frame_sum, 2, "hello + one beats frame");
+
+        let text = state.prometheus();
+        for shard in 0..4 {
+            assert!(
+                text.contains(&format!("hb_collector_shard_connections{{shard=\"{shard}\"}}")),
+                "missing connections gauge for shard {shard}"
+            );
+            assert!(
+                text.contains(&format!("hb_collector_shard_frames{{shard=\"{shard}\"}}")),
+                "missing frames gauge for shard {shard}"
+            );
+            assert!(
+                text.contains(&format!("hb_collector_shard_apps{{shard=\"{shard}\"}}")),
+                "missing apps gauge for shard {shard}"
+            );
+        }
+        let series_sum = |name: &str| -> u64 {
+            text.lines()
+                .filter(|l| l.starts_with(&format!("{name}{{")))
+                .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum()
+        };
+        assert_eq!(
+            series_sum("hb_collector_shard_connections"),
+            state.connections_total()
+        );
+        assert_eq!(series_sum("hb_collector_shard_frames"), state.frames_total());
+        assert_eq!(
+            series_sum("hb_collector_shard_apps"),
+            state.app_names().len() as u64
+        );
+        assert!(text.contains("hb_collector_cross_shard_ingest_total 0"));
+    }
+
+    #[test]
+    fn producer_handler_reports_home_shard_after_hello() {
+        let state = Arc::new(CollectorState::new(CollectorConfig {
+            io_threads: 4,
+            ..CollectorConfig::default()
+        }));
+        let mut handler = ProducerHandler::new(Arc::clone(&state));
+        assert_eq!(handler.home_shard(), None, "no home before hello");
+        let mut input = Vec::new();
+        Frame::Hello(crate::wire::Hello {
+            app: "homed".into(),
+            pid: 1,
+            default_window: 20,
+        })
+        .encode_into(&mut input);
+        let mut out = OutBuf::new();
+        assert!(handler.on_data(&input, &mut out));
+        let home = handler.home_shard().expect("home set at hello");
+        assert_eq!(home, state.home_reactor_shard(&state.handle("homed")));
+        assert!(home < state.io_threads());
     }
 }

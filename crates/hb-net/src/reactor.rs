@@ -1,41 +1,252 @@
-//! A small event-driven reactor: the engine behind the collector daemon.
+//! A sharded event-driven reactor: the engine behind the collector daemon.
 //!
 //! PR 1's collector spawned one OS thread per producer and per observer
 //! connection, which caps a single daemon at a few hundred sockets and makes
-//! shutdown a join-everything affair. The reactor inverts that: a **fixed,
-//! configurable number of I/O threads** (default 2) each run an `epoll`
-//! readiness loop and multiplex *all* connections assigned to them:
+//! shutdown a join-everything affair. PR 2 inverted that with a fixed epoll
+//! pool; this revision shards the pool so ingest scales with cores:
 //!
-//! * **Readiness loop** — every I/O thread owns one `epoll` instance.
-//!   Listeners are registered in every instance (level-triggered), so
-//!   whichever thread wakes first accepts the pending connection and keeps
-//!   it; connections never migrate between threads, so per-connection state
-//!   needs no locks.
+//! * **Independent shards** — each I/O thread owns its *own* epoll instance,
+//!   timer wheel, and connection table; nothing readiness-related is shared
+//!   between threads. Shard 0 additionally owns every listener (the
+//!   **acceptor**) and distributes accepted connections round-robin via
+//!   per-shard handoff queues that each shard drains on its next loop
+//!   iteration (bounded by the poll timeout, far below any protocol
+//!   negotiation deadline).
+//! * **Connection re-homing** — a [`Handler`] may report a preferred
+//!   [`home_shard`](Handler::home_shard) once it learns who the peer is
+//!   (the collector does this at `Hello`, hashing the application name).
+//!   The reactor then migrates the whole connection — socket, handler,
+//!   pending output — to that shard, so steady-state traffic for one
+//!   application is always served by one thread and per-shard state needs
+//!   no cross-thread locks.
+//! * **Vectored I/O** — reads use `readv` to fill a large scratch buffer in
+//!   one syscall, and writes drain the segmented [`OutBuf`] with one
+//!   `writev` covering many queued frames (including shared
+//!   encode-once event segments) instead of one syscall per frame.
 //! * **Per-connection state machines** — the reactor performs all socket
-//!   reads and writes; a [`Handler`] consumes the bytes (frame decoding for
-//!   producers, line parsing for observers) and appends responses to an
-//!   outbound buffer that the reactor drains as the socket allows, toggling
+//!   I/O; a [`Handler`] consumes the bytes and appends responses to an
+//!   [`OutBuf`] that the reactor drains as the socket allows, toggling
 //!   `EPOLLOUT` interest only while bytes are pending.
-//! * **Timer wheel** — a hashed wheel evicts connections that have been idle
-//!   longer than the configured timeout, so abandoned sockets cannot pin
-//!   memory forever. Activity re-arms a connection lazily: the wheel stores
-//!   only tokens, and a fired slot re-inserts connections that turn out to
-//!   have been active.
+//! * **Timer wheel** — a per-shard hashed wheel evicts connections that have
+//!   been idle longer than the configured timeout.
 //!
 //! On non-Linux targets (`cfg(not(target_os = "linux"))`) the same loop runs
 //! against a degraded poller that treats every registered socket as possibly
-//! ready after a short sleep — correct (sockets are non-blocking, spurious
-//! reads cost one `WouldBlock`) but not fast. Linux gets real `epoll` via
-//! the workspace's `libc` shim.
+//! ready after a short sleep, and vectored calls fall back to the portable
+//! `std` equivalents. Linux gets real `epoll`/`readv`/`writev` via the
+//! workspace's `libc` shim.
 
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::telemetry::{Level, ReactorThreads, ThreadStats};
+
+thread_local! {
+    /// Index of the reactor shard this thread runs, when it is an I/O
+    /// thread. Lets shard-partitioned owners (the collector registry,
+    /// per-shard telemetry) pick their partition without passing a shard
+    /// index through every callback.
+    static CURRENT_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The reactor shard index of the calling thread, or `None` when the caller
+/// is not a reactor I/O thread (e.g. an embedded producer or a test).
+pub fn current_shard() -> Option<usize> {
+    CURRENT_SHARD.with(|cell| cell.get())
+}
+
+/// One segment of queued outbound bytes: either privately owned or a shared
+/// reference to an encode-once buffer fanned out to many connections.
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl Seg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Seg::Owned(vec) => vec,
+            Seg::Shared(arc) => arc,
+        }
+    }
+}
+
+/// Segmented outbound buffer drained by the reactor with vectored writes.
+///
+/// Plain response bytes accumulate in an owned tail (amortized, reusing its
+/// capacity across flushes exactly like the old `Vec<u8>` buffer), while
+/// [`push_shared`](OutBuf::push_shared) queues an `Arc<[u8]>` segment
+/// *without copying it* — the mechanism behind encode-once subscription
+/// fan-out: one encoded `Event` frame is referenced by every subscriber's
+/// buffer and written to each socket straight from the shared allocation.
+/// [`writev`] drains many segments per syscall.
+///
+/// [`writev`]: https://man7.org/linux/man-pages/man2/writev.2.html
+pub struct OutBuf {
+    /// Closed segments awaiting flush, oldest first.
+    segs: VecDeque<Seg>,
+    /// Flushed prefix of `segs.front()`.
+    head_at: usize,
+    /// Total bytes held by `segs` (including the flushed prefix).
+    closed_bytes: usize,
+    /// Open owned segment that plain writes append to in place.
+    tail: Vec<u8>,
+    /// Flushed prefix of `tail`; non-zero only while `segs` is empty.
+    tail_at: usize,
+}
+
+impl OutBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> OutBuf {
+        OutBuf {
+            segs: VecDeque::new(),
+            head_at: 0,
+            closed_bytes: 0,
+            tail: Vec::new(),
+            tail_at: 0,
+        }
+    }
+
+    /// Bytes queued but not yet written to the socket.
+    pub fn pending(&self) -> usize {
+        self.closed_bytes - self.head_at + self.tail.len() - self.tail_at
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Appends plain bytes (copied into the owned tail).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.tail.extend_from_slice(bytes);
+    }
+
+    /// Queues a shared segment by reference — no copy. Interleaving with
+    /// plain writes preserves order: the open tail is closed first.
+    pub fn push_shared(&mut self, bytes: Arc<[u8]>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.rotate_tail();
+        self.closed_bytes += bytes.len();
+        self.segs.push_back(Seg::Shared(bytes));
+    }
+
+    /// Append-only access to the owned tail, for encoders that write into a
+    /// `Vec<u8>` in place. Callers must only append; bytes already present
+    /// may have been flushed.
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.tail
+    }
+
+    /// Closes the open tail into the segment queue so a shared segment can
+    /// be queued behind it.
+    fn rotate_tail(&mut self) {
+        if self.tail.len() > self.tail_at {
+            if self.tail_at > 0 {
+                self.tail.drain(..self.tail_at);
+                self.tail_at = 0;
+            }
+            let seg = std::mem::take(&mut self.tail);
+            self.closed_bytes += seg.len();
+            self.segs.push_back(Seg::Owned(seg));
+        } else {
+            self.tail.clear();
+            self.tail_at = 0;
+        }
+    }
+
+    /// Marks `n` pending bytes as written, oldest first.
+    fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            if let Some(front) = self.segs.front() {
+                let avail = front.bytes().len() - self.head_at;
+                if n >= avail {
+                    n -= avail;
+                    self.closed_bytes -= front.bytes().len();
+                    self.head_at = 0;
+                    self.segs.pop_front();
+                } else {
+                    self.head_at += n;
+                    n = 0;
+                }
+            } else {
+                self.tail_at += n.min(self.tail.len() - self.tail_at);
+                n = 0;
+            }
+        }
+    }
+
+    /// Drops everything, keeping the tail's capacity for reuse.
+    fn reset(&mut self) {
+        self.segs.clear();
+        self.head_at = 0;
+        self.closed_bytes = 0;
+        self.tail.clear();
+        self.tail_at = 0;
+    }
+
+    /// Reclaims the flushed prefix of the tail once it crosses the
+    /// compaction threshold (a connection that never fully drains must not
+    /// grow its buffer by lifetime traffic).
+    fn compact(&mut self) {
+        if self.segs.is_empty() && self.tail_at >= OUT_COMPACT_THRESHOLD {
+            self.tail.drain(..self.tail_at);
+            self.tail_at = 0;
+        }
+    }
+
+    /// Pending byte ranges in write order, for vectored writes (and for
+    /// tests elsewhere in the crate that inspect a handler's output).
+    pub(crate) fn iter_slices(&self) -> impl Iterator<Item = &[u8]> {
+        let head_at = self.head_at;
+        let tail = &self.tail[self.tail_at..];
+        self.segs
+            .iter()
+            .enumerate()
+            .map(move |(i, seg)| {
+                let bytes = seg.bytes();
+                if i == 0 {
+                    &bytes[head_at..]
+                } else {
+                    bytes
+                }
+            })
+            .chain(std::iter::once(tail).filter(|slice| !slice.is_empty()))
+    }
+}
+
+impl Default for OutBuf {
+    fn default() -> Self {
+        OutBuf::new()
+    }
+}
+
+impl std::fmt::Debug for OutBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutBuf")
+            .field("pending", &self.pending())
+            .field("segments", &self.segs.len())
+            .finish()
+    }
+}
+
+impl Write for OutBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
 
 /// A per-connection protocol state machine driven by the reactor.
 ///
@@ -45,15 +256,28 @@ use crate::telemetry::{Level, ReactorThreads, ThreadStats};
 pub trait Handler: Send {
     /// Called with freshly read bytes. Return `false` to close the
     /// connection once `out` has been flushed.
-    fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool;
+    ///
+    /// `input` may be **empty**: the reactor issues one empty call when a
+    /// connection is installed on a shard (fresh accept or migration), so a
+    /// handler holding buffered-but-undecoded bytes can finish processing
+    /// them on its new home thread.
+    fn on_data(&mut self, input: &[u8], out: &mut OutBuf) -> bool;
 
     /// Called when the peer cleanly closed its end of the stream.
-    fn on_eof(&mut self, _out: &mut Vec<u8>) {}
+    fn on_eof(&mut self, _out: &mut OutBuf) {}
 
     /// Called exactly once when the connection is discarded for any reason
     /// (handler-requested close, peer EOF, I/O error, idle eviction,
     /// reactor shutdown).
     fn on_close(&mut self) {}
+
+    /// The shard this connection would like to live on, once known.
+    /// Checked after every [`on_data`](Self::on_data); when it names a
+    /// different shard (modulo the shard count) the reactor migrates the
+    /// connection there. Return `None` (the default) to stay put.
+    fn home_shard(&self) -> Option<usize> {
+        None
+    }
 
     /// True if this connection wants periodic [`on_pump`](Self::on_pump)
     /// callbacks — the hook push-subscription handlers use to move events
@@ -69,7 +293,7 @@ pub trait Handler: Send {
     /// while [`wants_pump`](Self::wants_pump) is true. `pending_out` is the
     /// connection's current outbound backlog, so a handler can hold off
     /// enqueueing more for a slow consumer. Return `false` to close.
-    fn on_pump(&mut self, _out: &mut Vec<u8>, _pending_out: usize) -> bool {
+    fn on_pump(&mut self, _out: &mut OutBuf, _pending_out: usize) -> bool {
         true
     }
 
@@ -105,7 +329,7 @@ impl std::fmt::Debug for ListenerSpec {
 /// Tuning knobs for a [`Reactor`].
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
-    /// Number of I/O threads serving all connections (clamped to >= 1).
+    /// Number of I/O shards serving all connections (clamped to >= 1).
     pub io_threads: usize,
     /// Connections idle longer than this are evicted; `Duration::ZERO`
     /// disables idle eviction.
@@ -133,8 +357,8 @@ impl Default for ReactorConfig {
 /// Number of slots in the idle-eviction timer wheel.
 const WHEEL_SLOTS: usize = 64;
 
-/// Poll timeout: bounds both shutdown latency and timer-wheel granularity
-/// drift.
+/// Poll timeout: bounds shutdown latency, timer-wheel granularity drift, and
+/// the latency of the acceptor→shard connection handoff.
 const POLL_TIMEOUT: Duration = Duration::from_millis(20);
 
 /// Minimum spacing between pump passes over the connection table. Bounds
@@ -147,18 +371,35 @@ const PUMP_INTERVAL: Duration = Duration::from_millis(5);
 /// others (fairness bound; level-triggered polling re-notifies).
 const READ_BUDGET: usize = 256 * 1024;
 
-/// Size of the per-thread scratch read buffer.
-const READ_CHUNK: usize = 64 * 1024;
+/// Size of the per-shard scratch read buffer, filled by one scatter-read
+/// (`readv`) per loop turn.
+const READ_CHUNK: usize = 128 * 1024;
 
 /// Compact a connection's outbound buffer once its flushed prefix crosses
 /// this threshold.
 const OUT_COMPACT_THRESHOLD: usize = 64 * 1024;
 
-/// A fixed pool of I/O threads multiplexing listeners and connections.
+/// Upper bound on segments handed to one `writev` call (well under the
+/// kernel's `IOV_MAX` of 1024; level-triggered polling retries the rest).
+const MAX_WRITE_IOVECS: usize = 64;
+
+/// A connection in flight between shards: freshly accepted (acceptor →
+/// round-robin target) or migrating to its handler's home shard.
+struct Injected {
+    stream: TcpStream,
+    handler: Box<dyn Handler>,
+    out: OutBuf,
+}
+
+/// Per-shard handoff queues, indexed by shard.
+type HandoffQueues = Arc<Vec<Mutex<Vec<Injected>>>>;
+
+/// A fixed pool of I/O shards multiplexing listeners and connections.
 pub struct Reactor {
     stop: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
     evicted: Arc<AtomicU64>,
+    queues: HandoffQueues,
 }
 
 impl std::fmt::Debug for Reactor {
@@ -171,7 +412,8 @@ impl std::fmt::Debug for Reactor {
 }
 
 impl Reactor {
-    /// Starts `config.io_threads` event loops serving `listeners`.
+    /// Starts `config.io_threads` independent shard loops. Shard 0 owns
+    /// `listeners` and hands accepted connections round-robin to the rest.
     ///
     /// `evicted` is shared so the owner (e.g. the collector registry) can
     /// export the idle-eviction counter without reaching into the reactor.
@@ -182,28 +424,33 @@ impl Reactor {
     ) -> io::Result<Reactor> {
         let stop = Arc::new(AtomicBool::new(false));
         let io_threads = config.io_threads.max(1);
-        let mut shared_listeners = Vec::with_capacity(listeners.len());
         for spec in &listeners {
             spec.listener.set_nonblocking(true)?;
         }
-        for spec in listeners {
-            shared_listeners.push((Arc::new(spec.listener), spec.factory));
-        }
+        let mut acceptor_listeners: Vec<(TcpListener, HandlerFactory)> = listeners
+            .into_iter()
+            .map(|spec| (spec.listener, spec.factory))
+            .collect();
+        let queues: HandoffQueues =
+            Arc::new((0..io_threads).map(|_| Mutex::new(Vec::new())).collect());
 
         let mut threads = Vec::with_capacity(io_threads);
         for index in 0..io_threads {
             let spawned = (|| {
-                // Every thread gets its own OS-level handle to each listener
-                // so per-thread epoll registrations are independent.
-                let mut own: Vec<(TcpListener, HandlerFactory)> =
-                    Vec::with_capacity(shared_listeners.len());
-                for (listener, factory) in &shared_listeners {
-                    own.push((listener.try_clone()?, Arc::clone(factory)));
-                }
+                // Only the acceptor shard registers listeners; everyone else
+                // receives connections through its handoff queue.
+                let own = if index == 0 {
+                    std::mem::take(&mut acceptor_listeners)
+                } else {
+                    Vec::new()
+                };
                 // Registration order matches spawn order, so stats index N
                 // is always thread `hb-reactor-N`.
                 let stats = config.thread_stats.as_ref().map(|threads| threads.register());
                 let io_thread = IoThread::build(
+                    index,
+                    io_threads,
+                    Arc::clone(&queues),
                     own,
                     config.clone(),
                     Arc::clone(&stop),
@@ -212,7 +459,10 @@ impl Reactor {
                 )?;
                 std::thread::Builder::new()
                     .name(format!("hb-reactor-{index}"))
-                    .spawn(move || io_thread.run())
+                    .spawn(move || {
+                        CURRENT_SHARD.with(|cell| cell.set(Some(index)));
+                        io_thread.run()
+                    })
                     .map_err(io::Error::other)
             })();
             match spawned {
@@ -232,10 +482,11 @@ impl Reactor {
             stop,
             threads,
             evicted,
+            queues,
         })
     }
 
-    /// Number of I/O threads actually serving connections.
+    /// Number of I/O shards actually serving connections.
     pub fn io_threads(&self) -> usize {
         self.threads.len()
     }
@@ -245,13 +496,21 @@ impl Reactor {
         self.evicted.load(Ordering::Relaxed)
     }
 
-    /// Signals all I/O threads to stop and joins them. The thread count is
+    /// Signals all I/O shards to stop and joins them. The thread count is
     /// fixed, so this never races connection churn (unlike joining
     /// per-connection threads).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+        // A migration can land in a handoff queue after its target shard
+        // drained for the last time; fire the close callbacks now that all
+        // threads are joined.
+        for queue in self.queues.iter() {
+            for mut injected in queue.lock().unwrap().drain(..) {
+                injected.handler.on_close();
+            }
         }
     }
 }
@@ -266,9 +525,8 @@ impl Drop for Reactor {
 struct Conn {
     stream: TcpStream,
     handler: Box<dyn Handler>,
-    /// Bytes queued toward the peer; `out_at` marks the flushed prefix.
-    out: Vec<u8>,
-    out_at: usize,
+    /// Bytes queued toward the peer.
+    out: OutBuf,
     /// Registered interest: (readable, writable). Read interest is dropped
     /// once the connection is closing — level-triggered `EPOLLIN` on a
     /// half-closed peer would otherwise spin the loop until the output
@@ -279,14 +537,14 @@ struct Conn {
     last_active: Instant,
 }
 
-impl Conn {
-    fn pending_out(&self) -> usize {
-        self.out.len() - self.out_at
-    }
-}
-
-/// One I/O thread: an epoll instance plus the connections it owns.
+/// One I/O shard: an epoll instance plus the connections it owns.
 struct IoThread {
+    shard: usize,
+    nshards: usize,
+    queues: HandoffQueues,
+    /// Round-robin cursor for distributing accepted connections (acceptor
+    /// shard only).
+    next_rr: usize,
     poller: sys::Poller,
     listeners: Vec<(TcpListener, HandlerFactory)>,
     conns: HashMap<u64, Conn>,
@@ -307,7 +565,11 @@ impl IoThread {
     /// Creates the poller and registers the listeners up front, so fd
     /// exhaustion (or any epoll failure) surfaces as a `Reactor::spawn`
     /// error instead of a panic inside an already-running I/O thread.
+    #[allow(clippy::too_many_arguments)]
     fn build(
+        shard: usize,
+        nshards: usize,
+        queues: HandoffQueues,
         listeners: Vec<(TcpListener, HandlerFactory)>,
         config: ReactorConfig,
         stop: Arc<AtomicBool>,
@@ -325,6 +587,10 @@ impl IoThread {
         }
         let next_token = listeners.len() as u64;
         Ok(IoThread {
+            shard,
+            nshards,
+            queues,
+            next_rr: 0,
             poller,
             listeners,
             conns: HashMap::new(),
@@ -364,6 +630,7 @@ impl IoThread {
                 }
                 break; // poller broken; bail out rather than spin
             }
+            self.drain_handoff();
             for event in &events {
                 if event.token < listener_count {
                     self.accept_all(event.token as usize);
@@ -379,15 +646,72 @@ impl IoThread {
             }
         }
 
-        // Orderly teardown: every live connection gets its close callback.
+        // Orderly teardown: every live connection gets its close callback,
+        // including connections still parked in this shard's handoff queue.
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             self.close(token);
         }
+        for mut injected in self.queues[self.shard].lock().unwrap().drain(..) {
+            injected.handler.on_close();
+        }
+    }
+
+    /// Installs connections other shards handed to this one (fresh accepts
+    /// from the acceptor, migrations toward their home shard).
+    fn drain_handoff(&mut self) {
+        let injected = {
+            let mut queue = self.queues[self.shard].lock().unwrap();
+            if queue.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *queue)
+        };
+        for conn in injected {
+            self.install(conn);
+        }
+    }
+
+    /// Registers a handed-off connection with this shard's poller and gives
+    /// the handler one empty `on_data` call to finish processing any bytes
+    /// it buffered before the move.
+    fn install(&mut self, injected: Injected) {
+        let Injected {
+            stream,
+            mut handler,
+            out,
+        } = injected;
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(sys::raw_fd(&stream), token, true, false)
+            .is_err()
+        {
+            handler.on_close();
+            return; // fd table full or similar; drop the socket
+        }
+        let mut conn = Conn {
+            stream,
+            handler,
+            out,
+            interest: (true, false),
+            closing: false,
+            last_active: Instant::now(),
+        };
+        if !conn.handler.on_data(&[], &mut conn.out) {
+            conn.closing = true;
+        }
+        self.conns.insert(token, conn);
+        if !self.config.idle_timeout.is_zero() {
+            self.wheel.insert(token);
+        }
+        self.flush_conn(token);
     }
 
     /// Drains the accept queue of listener `index` (level-triggered polling
-    /// re-notifies if more arrive while we work).
+    /// re-notifies if more arrive while we work), distributing connections
+    /// round-robin across all shards.
     fn accept_all(&mut self, index: usize) {
         loop {
             let accepted = self.listeners[index].0.accept();
@@ -398,29 +722,17 @@ impl IoThread {
                     }
                     stream.set_nodelay(true).ok();
                     let handler = (self.listeners[index].1)(peer);
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    if self
-                        .poller
-                        .register(sys::raw_fd(&stream), token, true, false)
-                        .is_err()
-                    {
-                        continue; // fd table full or similar; drop the socket
-                    }
-                    self.conns.insert(
-                        token,
-                        Conn {
-                            stream,
-                            handler,
-                            out: Vec::new(),
-                            out_at: 0,
-                            interest: (true, false),
-                            closing: false,
-                            last_active: Instant::now(),
-                        },
-                    );
-                    if !self.config.idle_timeout.is_zero() {
-                        self.wheel.insert(token);
+                    let target = self.next_rr % self.nshards;
+                    self.next_rr = self.next_rr.wrapping_add(1);
+                    let injected = Injected {
+                        stream,
+                        handler,
+                        out: OutBuf::new(),
+                    };
+                    if target == self.shard {
+                        self.install(injected);
+                    } else {
+                        self.queues[target].lock().unwrap().push(injected);
                     }
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -433,6 +745,7 @@ impl IoThread {
     /// Advances one connection's state machine for a readiness event.
     fn drive(&mut self, token: u64, readable: bool, _writable: bool) {
         let mut dead = false;
+        let mut migrate: Option<usize> = None;
         {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return; // already closed this iteration
@@ -441,7 +754,7 @@ impl IoThread {
                 conn.last_active = Instant::now();
                 let mut budget = READ_BUDGET;
                 loop {
-                    match conn.stream.read(&mut self.scratch) {
+                    match sys::read_scattered(&conn.stream, &mut self.scratch) {
                         Ok(0) => {
                             conn.handler.on_eof(&mut conn.out);
                             conn.closing = true;
@@ -452,9 +765,19 @@ impl IoThread {
                                 conn.closing = true;
                                 break;
                             }
+                            if let Some(home) = conn.handler.home_shard() {
+                                let target = home % self.nshards;
+                                if target != self.shard {
+                                    migrate = Some(target);
+                                    break;
+                                }
+                            }
                             budget = budget.saturating_sub(n);
                             if budget == 0 {
                                 break; // fairness: let other connections run
+                            }
+                            if n < self.scratch.len() {
+                                break; // socket drained; skip the WouldBlock read
                             }
                         }
                         Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -469,28 +792,45 @@ impl IoThread {
         }
         if dead {
             self.close(token);
+        } else if let Some(target) = migrate {
+            self.migrate(token, target);
         } else {
             // Flush opportunistically whether or not EPOLLOUT fired.
             self.flush_conn(token);
         }
     }
 
-    /// Writes as much pending output as the socket accepts; closes the
-    /// connection on error, completion-of-close, or slow-consumer overflow.
+    /// Moves a connection — socket, handler, pending output — to its home
+    /// shard's handoff queue. The timer-wheel token lapses on its own; no
+    /// close callback fires, because the connection lives on.
+    fn migrate(&mut self, token: u64, target: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(sys::raw_fd(&conn.stream));
+            self.queues[target].lock().unwrap().push(Injected {
+                stream: conn.stream,
+                handler: conn.handler,
+                out: conn.out,
+            });
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts — one vectored
+    /// write covering many segments per attempt — and closes the connection
+    /// on error, completion-of-close, or slow-consumer overflow.
     fn flush_conn(&mut self, token: u64) {
         let mut dead = false;
         {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
-            while conn.pending_out() > 0 {
-                match conn.stream.write(&conn.out[conn.out_at..]) {
+            while conn.out.pending() > 0 {
+                match sys::write_gathered(&conn.stream, conn.out.iter_slices()) {
                     Ok(0) => {
                         dead = true;
                         break;
                     }
                     Ok(n) => {
-                        conn.out_at += n;
+                        conn.out.consume(n);
                         conn.last_active = Instant::now();
                     }
                     Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -502,23 +842,18 @@ impl IoThread {
                 }
             }
             if !dead {
-                if conn.pending_out() == 0 {
-                    conn.out.clear();
-                    conn.out_at = 0;
+                if conn.out.pending() == 0 {
+                    conn.out.reset();
                     if conn.closing {
                         dead = true;
                     }
-                } else if conn.pending_out() > self.config.max_outbound {
+                } else if conn.out.pending() > self.config.max_outbound {
                     dead = true; // slow consumer
-                } else if conn.out_at >= OUT_COMPACT_THRESHOLD {
-                    // Reclaim the flushed prefix: a connection that never
-                    // fully drains must not grow `out` by its lifetime
-                    // traffic (the cap above bounds only the pending tail).
-                    conn.out.drain(..conn.out_at);
-                    conn.out_at = 0;
+                } else {
+                    conn.out.compact();
                 }
                 if !dead {
-                    let desired = (!conn.closing, conn.pending_out() > 0);
+                    let desired = (!conn.closing, conn.out.pending() > 0);
                     if desired != conn.interest {
                         conn.interest = desired;
                         let fd = sys::raw_fd(&conn.stream);
@@ -554,15 +889,14 @@ impl IoThread {
         let tokens = std::mem::take(&mut self.pump_scratch);
         for &token in &tokens {
             if let Some(conn) = self.conns.get_mut(&token) {
-                let pending = conn.pending_out();
-                let before = conn.out.len();
+                let pending = conn.out.pending();
                 if !conn.handler.on_pump(&mut conn.out, pending) {
                     conn.closing = true;
                 }
                 // Touch the timer wheel only on actual delivery: a static
                 // backlog toward a stuck peer must still idle out once the
                 // keep-alive exemption lapses.
-                if conn.out.len() > before {
+                if conn.out.pending() > pending {
                     conn.last_active = Instant::now();
                 }
                 self.flush_conn(token);
@@ -698,13 +1032,16 @@ impl TimerWheel {
     }
 }
 
-/// Linux poller: real `epoll` through the workspace `libc` shim.
+/// Linux poller: real `epoll` plus vectored `readv`/`writev` through the
+/// workspace `libc` shim.
 #[cfg(target_os = "linux")]
 mod sys {
     use std::io;
     use std::net::TcpStream;
     use std::os::fd::AsRawFd;
     use std::time::Duration;
+
+    use super::MAX_WRITE_IOVECS;
 
     /// One readiness notification.
     #[derive(Debug, Clone, Copy)]
@@ -825,18 +1162,76 @@ mod sys {
         }
         Ok(())
     }
+
+    /// One scatter-read (`readv`) filling `scratch` through two iovecs —
+    /// a single syscall can deliver the whole buffer.
+    pub fn read_scattered(stream: &TcpStream, scratch: &mut [u8]) -> io::Result<usize> {
+        let fd = stream.as_raw_fd();
+        let split = scratch.len() / 2;
+        let (lo, hi) = scratch.split_at_mut(split);
+        let iov = [
+            libc::iovec {
+                iov_base: lo.as_mut_ptr() as *mut libc::c_void,
+                iov_len: lo.len(),
+            },
+            libc::iovec {
+                iov_base: hi.as_mut_ptr() as *mut libc::c_void,
+                iov_len: hi.len(),
+            },
+        ];
+        let n = unsafe { libc::readv(fd, iov.as_ptr(), 2) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// One gather-write (`writev`) draining up to [`MAX_WRITE_IOVECS`]
+    /// buffer segments with a single syscall.
+    pub fn write_gathered<'a>(
+        stream: &TcpStream,
+        slices: impl Iterator<Item = &'a [u8]>,
+    ) -> io::Result<usize> {
+        let fd = stream.as_raw_fd();
+        let mut iov = [libc::iovec {
+            iov_base: std::ptr::null_mut(),
+            iov_len: 0,
+        }; MAX_WRITE_IOVECS];
+        let mut count = 0;
+        for slice in slices {
+            if count == iov.len() {
+                break;
+            }
+            iov[count] = libc::iovec {
+                iov_base: slice.as_ptr() as *mut libc::c_void,
+                iov_len: slice.len(),
+            };
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        let n = unsafe { libc::writev(fd, iov.as_ptr(), count as i32) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
 }
 
 /// Degraded fallback poller for targets without `epoll`: after a short
 /// sleep, every registered descriptor is reported as possibly readable (and
 /// writable if write interest is set). Sockets are non-blocking, so spurious
-/// readiness costs one `WouldBlock` per socket per tick.
+/// readiness costs one `WouldBlock` per socket per tick. Vectored I/O falls
+/// back to the portable `std` equivalents.
 #[cfg(not(target_os = "linux"))]
 mod sys {
     use std::collections::HashMap;
-    use std::io;
+    use std::io::{self, Read, Write};
     use std::net::TcpStream;
     use std::time::Duration;
+
+    use super::MAX_WRITE_IOVECS;
 
     /// One readiness notification.
     #[derive(Debug, Clone, Copy)]
@@ -893,11 +1288,32 @@ mod sys {
     pub fn set_nonblocking(stream: &TcpStream) -> io::Result<()> {
         stream.set_nonblocking(true)
     }
+
+    /// Portable stand-in for `readv`: one plain read into `scratch`.
+    pub fn read_scattered(stream: &TcpStream, scratch: &mut [u8]) -> io::Result<usize> {
+        (&mut &*stream).read(scratch)
+    }
+
+    /// Portable stand-in for `writev`: `std`'s vectored write.
+    pub fn write_gathered<'a>(
+        stream: &TcpStream,
+        slices: impl Iterator<Item = &'a [u8]>,
+    ) -> io::Result<usize> {
+        let bufs: Vec<io::IoSlice<'_>> = slices
+            .take(MAX_WRITE_IOVECS)
+            .map(io::IoSlice::new)
+            .collect();
+        if bufs.is_empty() {
+            return Ok(0);
+        }
+        (&mut &*stream).write_vectored(&bufs)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::sync::Mutex;
 
     /// Echo handler recording lifecycle callbacks.
@@ -906,13 +1322,13 @@ mod tests {
     }
 
     impl Handler for Echo {
-        fn on_data(&mut self, input: &[u8], out: &mut Vec<u8>) -> bool {
+        fn on_data(&mut self, input: &[u8], out: &mut OutBuf) -> bool {
             out.extend_from_slice(input);
             // A line containing "quit" asks for a handler-initiated close.
             !input.windows(4).any(|w| w == b"quit")
         }
 
-        fn on_eof(&mut self, _out: &mut Vec<u8>) {
+        fn on_eof(&mut self, _out: &mut OutBuf) {
             self.log.lock().unwrap().push("eof".into());
         }
 
@@ -937,6 +1353,51 @@ mod tests {
         let reactor =
             Reactor::spawn(vec![spec], config, Arc::new(AtomicU64::new(0))).unwrap();
         (reactor, addr, log)
+    }
+
+    #[test]
+    fn out_buf_orders_owned_and_shared_segments() {
+        let mut out = OutBuf::new();
+        out.extend_from_slice(b"aa");
+        out.push_shared(Arc::from(&b"SHARED"[..]));
+        out.extend_from_slice(b"zz");
+        assert_eq!(out.pending(), 10);
+        let flat: Vec<u8> = out.iter_slices().flatten().copied().collect();
+        assert_eq!(flat, b"aaSHAREDzz");
+
+        // Partial consumption crosses segment boundaries correctly.
+        out.consume(4);
+        let flat: Vec<u8> = out.iter_slices().flatten().copied().collect();
+        assert_eq!(flat, b"AREDzz");
+        assert_eq!(out.pending(), 6);
+        out.consume(6);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_buf_shares_segments_without_copying() {
+        let payload: Arc<[u8]> = Arc::from(&b"encode-once"[..]);
+        let mut queues: Vec<OutBuf> = (0..8).map(|_| OutBuf::new()).collect();
+        for out in &mut queues {
+            out.push_shared(Arc::clone(&payload));
+        }
+        // 8 queues + the original: references, not copies.
+        assert_eq!(Arc::strong_count(&payload), 9);
+        for out in &mut queues {
+            assert_eq!(out.pending(), payload.len());
+            out.consume(payload.len());
+            out.reset();
+        }
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn out_buf_write_impl_appends_to_tail() {
+        let mut out = OutBuf::new();
+        write!(out, "STATS apps={}", 3).unwrap();
+        assert_eq!(out.pending(), 12);
+        let flat: Vec<u8> = out.iter_slices().flatten().copied().collect();
+        assert_eq!(flat, b"STATS apps=3");
     }
 
     #[test]
@@ -1098,6 +1559,109 @@ mod tests {
         assert_eq!(reactor.io_threads(), 3);
     }
 
+    /// Echo handler that records which shard served each non-empty chunk
+    /// and, once primed, asks to live on a fixed home shard.
+    struct ShardProbe {
+        served_by: Arc<Mutex<Vec<usize>>>,
+        home: Option<usize>,
+        want_home: Option<usize>,
+    }
+
+    impl Handler for ShardProbe {
+        fn on_data(&mut self, input: &[u8], out: &mut OutBuf) -> bool {
+            if !input.is_empty() {
+                self.served_by
+                    .lock()
+                    .unwrap()
+                    .push(current_shard().expect("reactor thread"));
+                self.home = self.want_home;
+                out.extend_from_slice(input);
+            }
+            true
+        }
+
+        fn home_shard(&self) -> Option<usize> {
+            self.home
+        }
+    }
+
+    fn probe_reactor(
+        io_threads: usize,
+        want_home: Option<usize>,
+    ) -> (Reactor, SocketAddr, Arc<Mutex<Vec<usize>>>) {
+        let served_by = Arc::new(Mutex::new(Vec::new()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = ListenerSpec {
+            listener,
+            factory: {
+                let served_by = Arc::clone(&served_by);
+                Arc::new(move |_| {
+                    Box::new(ShardProbe {
+                        served_by: Arc::clone(&served_by),
+                        home: None,
+                        want_home,
+                    }) as Box<dyn Handler>
+                })
+            },
+        };
+        let reactor = Reactor::spawn(
+            vec![spec],
+            ReactorConfig {
+                io_threads,
+                ..ReactorConfig::default()
+            },
+            Arc::new(AtomicU64::new(0)),
+        )
+        .unwrap();
+        (reactor, addr, served_by)
+    }
+
+    #[test]
+    fn accepted_connections_are_distributed_across_shards() {
+        let (_reactor, addr, served_by) = probe_reactor(2, None);
+        let mut streams: Vec<TcpStream> = (0..4)
+            .map(|_| {
+                let s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                s
+            })
+            .collect();
+        let mut buf = [0u8; 1];
+        for stream in &mut streams {
+            stream.write_all(b"x").unwrap();
+            stream.read_exact(&mut buf).unwrap();
+        }
+        let shards = served_by.lock().unwrap().clone();
+        assert_eq!(shards.len(), 4);
+        assert!(
+            shards.contains(&0) && shards.contains(&1),
+            "round-robin must use both shards: {shards:?}"
+        );
+    }
+
+    #[test]
+    fn connections_migrate_to_their_home_shard() {
+        let (_reactor, addr, served_by) = probe_reactor(2, Some(1));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 1];
+        // First chunk is served wherever round-robin placed us and primes
+        // the home-shard request; subsequent chunks must run on shard 1.
+        for _ in 0..3 {
+            stream.write_all(b"m").unwrap();
+            stream.read_exact(&mut buf).unwrap();
+            assert_eq!(buf[0], b'm', "echo must survive migration");
+        }
+        let shards = served_by.lock().unwrap().clone();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            &shards[1..],
+            &[1, 1],
+            "post-migration chunks must be served by the home shard: {shards:?}"
+        );
+    }
+
     /// A handler fed by an external queue through the pump path, with an
     /// eviction exemption while `keep` is set — the shape of a collector
     /// observer holding an active subscription.
@@ -1107,7 +1671,7 @@ mod tests {
     }
 
     impl Handler for Pumped {
-        fn on_data(&mut self, _input: &[u8], _out: &mut Vec<u8>) -> bool {
+        fn on_data(&mut self, _input: &[u8], _out: &mut OutBuf) -> bool {
             true
         }
 
@@ -1115,8 +1679,10 @@ mod tests {
             true
         }
 
-        fn on_pump(&mut self, out: &mut Vec<u8>, _pending_out: usize) -> bool {
-            out.append(&mut self.source.lock().unwrap());
+        fn on_pump(&mut self, out: &mut OutBuf, _pending_out: usize) -> bool {
+            let mut source = self.source.lock().unwrap();
+            out.extend_from_slice(&source);
+            source.clear();
             true
         }
 

@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::health::HealthStatus;
+use crate::reactor::OutBuf;
 use crate::telemetry::{self, LatencyHisto, Level};
 use crate::wire::{self, EventFrame, EventPayload, Frame, SubscribeReq, SubStatus};
 
@@ -30,13 +31,17 @@ use crate::wire::{self, EventFrame, EventPayload, Frame, SubscribeReq, SubStatus
 /// answered [`SubStatus::TooManySubscriptions`].
 pub const MAX_SUBS_PER_CONNECTION: usize = 64;
 
+/// One queued event: `(sub_id, encoded frame, enqueue instant)` — the
+/// instant feeds the collector-side delivery-lag histogram at drain.
+/// Frames are shared `Arc<[u8]>`s: a fan-out encodes each event once and
+/// every matching queue references the same bytes.
+type QueuedEvent = (u32, Arc<[u8]>, Instant);
+
 /// A bounded queue of encoded events owned by one subscriber (an observer
 /// connection or a [`LocalSubscription`]).
 #[derive(Debug)]
 pub struct SubscriberQueue {
-    /// Queued events: `(sub_id, encoded frame, enqueue instant)` — the
-    /// instant feeds the collector-side delivery-lag histogram at drain.
-    inner: Mutex<VecDeque<(u32, Vec<u8>, Instant)>>,
+    inner: Mutex<VecDeque<QueuedEvent>>,
     capacity: usize,
     dropped: AtomicU64,
     /// Subscriptions currently registered against this queue (drives the
@@ -85,13 +90,25 @@ impl SubscriberQueue {
         self.len() == 0
     }
 
-    /// Appends queued event frames to `out`, at most `max_bytes` worth
-    /// (always at least one event if any is queued, so huge events still
-    /// drain). Returns the number of events moved.
-    pub fn drain_into(&self, out: &mut Vec<u8>, max_bytes: usize) -> usize {
+    /// Moves queued event frames into `out` as shared segments — the
+    /// outbound buffer references the same encoded bytes every other
+    /// subscriber received, no copy — at most `max_bytes` worth (always at
+    /// least one event if any is queued, so huge events still drain).
+    /// Returns the number of events moved.
+    pub fn drain_into(&self, out: &mut OutBuf, max_bytes: usize) -> usize {
+        self.drain_with(max_bytes, |bytes| out.push_shared(bytes))
+    }
+
+    /// Like [`drain_into`](Self::drain_into) but copies into a plain byte
+    /// vector — the in-process [`LocalSubscription`] path.
+    pub fn drain_to_vec(&self, out: &mut Vec<u8>, max_bytes: usize) -> usize {
+        self.drain_with(max_bytes, |bytes| out.extend_from_slice(&bytes))
+    }
+
+    fn drain_with(&self, max_bytes: usize, mut push: impl FnMut(Arc<[u8]>)) -> usize {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut moved = 0;
-        let budget_end = out.len().saturating_add(max_bytes);
+        let mut budget = max_bytes;
         // One clock read covers every event drained this pass.
         let now = self
             .lag
@@ -99,14 +116,15 @@ impl SubscriberQueue {
             .filter(|_| !inner.is_empty())
             .map(|_| Instant::now());
         while let Some((_, bytes, _)) = inner.front() {
-            if moved > 0 && out.len() + bytes.len() > budget_end {
+            if moved > 0 && bytes.len() > budget {
                 break;
             }
+            budget = budget.saturating_sub(bytes.len());
             let (_, bytes, queued_at) = inner.pop_front().expect("front checked");
             if let (Some(lag), Some(now)) = (&self.lag, now) {
                 lag.record_duration(now.saturating_duration_since(queued_at));
             }
-            out.extend_from_slice(&bytes);
+            push(bytes);
             moved += 1;
         }
         moved
@@ -455,6 +473,59 @@ impl SubscriptionRegistry {
         }
     }
 
+    /// Fans one batch of beats out to every entry in `watchers`, encoding
+    /// the `Event` frame **once per distinct `sub_id`** into a shared
+    /// `Arc<[u8]>` that every matching subscriber queue then references —
+    /// no per-subscriber re-serialization, no per-subscriber beat clone.
+    /// Batches beyond [`wire::MAX_EVENT_BEATS`] are chunked like
+    /// [`deliver`](Self::deliver). Returns how many frames were actually
+    /// encoded (tests pin this to the distinct-id count).
+    pub fn deliver_beats(
+        &self,
+        watchers: &[Arc<SubEntry>],
+        app: &str,
+        dropped_total: u64,
+        beats: &[wire::WireBeat],
+    ) -> usize {
+        let mut encodes = 0;
+        let sent_at_ns = telemetry::wall_clock_ns();
+        let chunks = beats.chunks(wire::MAX_EVENT_BEATS).chain(
+            // An empty batch still emits one (empty) event per watcher, as
+            // the per-entry `deliver` path always did.
+            std::iter::once(beats).filter(|_| beats.is_empty()),
+        );
+        for chunk in chunks {
+            // Tiny linear cache: a fan-out sees a handful of distinct ids,
+            // and commonly just one (every reader using the same sub_id).
+            let mut encoded: Vec<(u32, Arc<[u8]>)> = Vec::new();
+            for entry in watchers {
+                if !entry.is_active() {
+                    continue;
+                }
+                let bytes = match encoded.iter().find(|(id, _)| *id == entry.sub_id) {
+                    Some((_, bytes)) => Arc::clone(bytes),
+                    None => {
+                        let frame = Frame::Event(EventFrame {
+                            sub_id: entry.sub_id,
+                            sent_at_ns,
+                            app: app.to_string(),
+                            payload: EventPayload::Beats {
+                                dropped_total,
+                                beats: chunk.to_vec(),
+                            },
+                        });
+                        let bytes: Arc<[u8]> = Arc::from(frame.encode());
+                        encodes += 1;
+                        encoded.push((entry.sub_id, Arc::clone(&bytes)));
+                        bytes
+                    }
+                };
+                self.enqueue_encoded(entry, app, bytes);
+            }
+        }
+        encodes
+    }
+
     fn deliver_one(&self, entry: &SubEntry, app: &str, payload: EventPayload) {
         let frame = Frame::Event(EventFrame {
             sub_id: entry.sub_id,
@@ -462,7 +533,10 @@ impl SubscriptionRegistry {
             app: app.to_string(),
             payload,
         });
-        let bytes = frame.encode();
+        self.enqueue_encoded(entry, app, Arc::from(frame.encode()));
+    }
+
+    fn enqueue_encoded(&self, entry: &SubEntry, app: &str, bytes: Arc<[u8]>) {
         // Re-check activity under the queue lock (see remove_locked): an
         // unsubscribed stream must stay silent after its purge.
         let mut inner = entry.queue.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -523,7 +597,7 @@ impl LocalSubscription {
     /// Drains every queued event, decoded.
     pub fn drain(&self) -> Vec<EventFrame> {
         let mut bytes = Vec::new();
-        while self.queue.drain_into(&mut bytes, usize::MAX) > 0 {}
+        while self.queue.drain_to_vec(&mut bytes, usize::MAX) > 0 {}
         let mut events = Vec::new();
         let mut at = 0;
         while at < bytes.len() {
@@ -602,7 +676,7 @@ mod tests {
         registry.deliver(&entry, "cam7", snapshot_payload(5));
         assert_eq!(registry.events_enqueued(), 1);
         let mut out = Vec::new();
-        assert_eq!(queue.drain_into(&mut out, usize::MAX), 1);
+        assert_eq!(queue.drain_to_vec(&mut out, usize::MAX), 1);
         let (frame, _) = Frame::decode(&out).unwrap();
         match frame {
             Frame::Event(event) => {
@@ -667,7 +741,7 @@ mod tests {
         registry.deliver(&gone, "a", snapshot_payload(4));
         let events = {
             let mut out = Vec::new();
-            queue.drain_into(&mut out, usize::MAX);
+            queue.drain_to_vec(&mut out, usize::MAX);
             let mut events = Vec::new();
             let mut at = 0;
             while at < out.len() {
@@ -697,7 +771,7 @@ mod tests {
         assert_eq!(registry.events_enqueued(), 10);
         // The retained events are the newest four.
         let mut out = Vec::new();
-        queue.drain_into(&mut out, usize::MAX);
+        queue.drain_to_vec(&mut out, usize::MAX);
         let (first, _) = Frame::decode(&out).unwrap();
         match first {
             Frame::Event(EventFrame {
@@ -747,7 +821,7 @@ mod tests {
         }
         assert_eq!(lag.count(), 0, "lag is measured at drain, not enqueue");
         let mut out = Vec::new();
-        queue.drain_into(&mut out, usize::MAX);
+        queue.drain_to_vec(&mut out, usize::MAX);
         assert_eq!(lag.count(), 3);
         // Events also carry the collector's wall-clock send timestamp.
         let (frame, _) = Frame::decode(&out).unwrap();
@@ -783,7 +857,7 @@ mod tests {
         );
         assert_eq!(queue.len(), 2, "split into two events");
         let mut out = Vec::new();
-        queue.drain_into(&mut out, usize::MAX);
+        queue.drain_to_vec(&mut out, usize::MAX);
         let (first, used) = Frame::decode(&out).unwrap();
         let (second, _) = Frame::decode(&out[used..]).unwrap();
         let count = |frame: &Frame| match frame {
@@ -818,6 +892,86 @@ mod tests {
     }
 
     #[test]
+    fn deliver_beats_encodes_once_per_distinct_sub_id() {
+        let registry = SubscriptionRegistry::new();
+        // Three subscribers on separate connections; two share sub_id 1.
+        let queues: Vec<Arc<SubscriberQueue>> =
+            (0..3).map(|_| Arc::new(SubscriberQueue::new(8))).collect();
+        let entries: Vec<Arc<SubEntry>> = [(0, 1u32), (1, 1u32), (2, 7u32)]
+            .iter()
+            .map(|&(q, id)| registry.register(&queues[q], &req(id, "*", 0b100)).unwrap())
+            .collect();
+        let beats: Vec<wire::WireBeat> = (0..4)
+            .map(|i| wire::WireBeat {
+                record: heartbeats::HeartbeatRecord::new(
+                    i,
+                    i * 1_000_000,
+                    heartbeats::Tag::NONE,
+                    heartbeats::BeatThreadId(0),
+                ),
+                scope: heartbeats::BeatScope::Global,
+            })
+            .collect();
+        let encodes = registry.deliver_beats(&entries, "shared", 3, &beats);
+        assert_eq!(encodes, 2, "one encode per distinct sub_id, not per subscriber");
+        assert_eq!(registry.events_enqueued(), 3, "every subscriber still enqueued");
+        for (queue, want_id) in queues.iter().zip([1u32, 1, 7]) {
+            let mut out = Vec::new();
+            assert_eq!(queue.drain_to_vec(&mut out, usize::MAX), 1);
+            match Frame::decode(&out).unwrap().0 {
+                Frame::Event(event) => {
+                    assert_eq!(event.sub_id, want_id);
+                    assert_eq!(event.app, "shared");
+                    match event.payload {
+                        EventPayload::Beats {
+                            dropped_total,
+                            beats,
+                        } => {
+                            assert_eq!(dropped_total, 3);
+                            assert_eq!(beats.len(), 4);
+                        }
+                        other => panic!("unexpected payload {other:?}"),
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_beats_shares_bytes_into_outbound_buffers() {
+        let registry = SubscriptionRegistry::new();
+        let queues: Vec<Arc<SubscriberQueue>> =
+            (0..4).map(|_| Arc::new(SubscriberQueue::new(8))).collect();
+        let entries: Vec<Arc<SubEntry>> = queues
+            .iter()
+            .map(|q| registry.register(q, &req(1, "*", 0b100)).unwrap())
+            .collect();
+        let beats = vec![wire::WireBeat {
+            record: heartbeats::HeartbeatRecord::new(
+                0,
+                1_000,
+                heartbeats::Tag::NONE,
+                heartbeats::BeatThreadId(0),
+            ),
+            scope: heartbeats::BeatScope::Global,
+        }];
+        assert_eq!(registry.deliver_beats(&entries, "fan", 0, &beats), 1);
+        // Drain every queue into an OutBuf: all four hold the same bytes,
+        // and the buffers reference them without copying.
+        let mut bufs: Vec<OutBuf> = (0..4).map(|_| OutBuf::new()).collect();
+        let mut flattened = Vec::new();
+        for (queue, buf) in queues.iter().zip(bufs.iter_mut()) {
+            assert_eq!(queue.drain_into(buf, usize::MAX), 1);
+            let bytes: Vec<u8> = buf.iter_slices().flatten().copied().collect();
+            flattened.push(bytes);
+        }
+        assert!(flattened.windows(2).all(|w| w[0] == w[1]));
+        let (frame, _) = Frame::decode(&flattened[0]).unwrap();
+        assert!(matches!(frame, Frame::Event(_)));
+    }
+
+    #[test]
     fn drain_respects_byte_budget_but_always_moves_one() {
         let registry = SubscriptionRegistry::new();
         let queue = Arc::new(SubscriberQueue::new(16));
@@ -826,9 +980,9 @@ mod tests {
             registry.deliver(&entry, "a", snapshot_payload(i));
         }
         let mut out = Vec::new();
-        assert_eq!(queue.drain_into(&mut out, 1), 1, "budget floor is one event");
+        assert_eq!(queue.drain_to_vec(&mut out, 1), 1, "budget floor is one event");
         let before = out.len();
-        assert_eq!(queue.drain_into(&mut out, usize::MAX), 4);
+        assert_eq!(queue.drain_to_vec(&mut out, usize::MAX), 4);
         assert!(out.len() > before);
     }
 }

@@ -207,6 +207,15 @@ pub struct PipelineTelemetry {
 impl PipelineTelemetry {
     /// Creates the per-stage histograms, enabled or not.
     pub fn new(enabled: bool) -> Self {
+        Self::with_delivery(enabled, std::sync::Arc::new(LatencyHisto::new()))
+    }
+
+    /// Creates per-stage histograms that record delivery lag into a shared
+    /// `delivery` sink. Per-reactor-shard telemetry instances use this so
+    /// every shard's subscriber queues feed one delivery-lag histogram
+    /// while the per-stage histograms stay contention-free per shard and
+    /// merge at render time ([`HistoSnapshot::merge`]).
+    pub fn with_delivery(enabled: bool, delivery: std::sync::Arc<LatencyHisto>) -> Self {
         PipelineTelemetry {
             enabled: AtomicBool::new(enabled),
             decode: LatencyHisto::new(),
@@ -214,7 +223,7 @@ impl PipelineTelemetry {
             fanout: LatencyHisto::new(),
             pump: LatencyHisto::new(),
             query: LatencyHisto::new(),
-            delivery: std::sync::Arc::new(LatencyHisto::new()),
+            delivery,
         }
     }
 
