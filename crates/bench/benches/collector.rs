@@ -18,7 +18,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hb_net::{Collector, CollectorConfig, CollectorState, TcpBackend, TcpBackendConfig};
+use hb_net::{
+    Collector, CollectorConfig, CollectorState, TcpBackend, TcpBackendConfig, UpstreamConfig,
+    WireBeat,
+};
 use heartbeats::{Backend, BeatScope, BeatThreadId, HeartbeatRecord, Tag};
 
 /// Beats pumped per connection per iteration.
@@ -134,5 +137,108 @@ fn bench_flush_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_flush_path);
+/// A two-tier federation pair: a leaf collector re-exporting everything it
+/// ingests to a parent over the uplink relay. Ingest goes straight into the
+/// leaf registry (`ingest_batch`), so the measured path is the federation
+/// overhead itself: capture tap → relay encode → TCP → parent decode →
+/// namespaced absorb → cumulative ack.
+struct FederationRig {
+    _parent: Collector,
+    _leaf: Collector,
+    parent_state: Arc<CollectorState>,
+    leaf_state: Arc<CollectorState>,
+    apps: usize,
+    seq: u64,
+}
+
+impl FederationRig {
+    fn new(apps: usize) -> FederationRig {
+        let parent = Collector::with_config(
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            CollectorConfig {
+                io_threads: 2,
+                ..CollectorConfig::default()
+            },
+        )
+        .expect("bind parent");
+        let leaf = Collector::with_config(
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            CollectorConfig {
+                io_threads: 1,
+                upstream: Some(UpstreamConfig {
+                    tick: Duration::from_micros(200),
+                    ..UpstreamConfig::new(parent.ingest_addr().to_string(), "bench-leaf")
+                }),
+                ..CollectorConfig::default()
+            },
+        )
+        .expect("bind leaf");
+        let parent_state = parent.state();
+        let leaf_state = leaf.state();
+        FederationRig {
+            _parent: parent,
+            _leaf: leaf,
+            parent_state,
+            leaf_state,
+            apps,
+            seq: 0,
+        }
+    }
+
+    /// Ingests `BURST` beats per app at the leaf and blocks until the
+    /// parent has accounted for every re-exported beat.
+    fn pump(&mut self) {
+        for a in 0..self.apps {
+            let app = format!("up{a:03}");
+            let beats: Vec<WireBeat> = (0..BURST)
+                .map(|k| {
+                    let seq = self.seq + k;
+                    WireBeat {
+                        record: HeartbeatRecord::new(
+                            seq,
+                            seq * 1_000_000,
+                            Tag::NONE,
+                            BeatThreadId(0),
+                        ),
+                        scope: BeatScope::Global,
+                    }
+                })
+                .collect();
+            self.leaf_state.ingest_batch(&app, 0, beats);
+        }
+        self.seq += BURST;
+        let goal = self.seq * self.apps as u64;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.parent_state.beats_accounted() < goal {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "uplink stalled: {}/{goal} beats at the parent after 60s",
+                self.parent_state.beats_accounted()
+            );
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn bench_upstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_upstream");
+    group.sample_size(10);
+    // Smoke keeps the single mid-size point; the full run also measures a
+    // wide registry where every pump touches many namespaced apps.
+    let apps: &[usize] = if smoke() { &[64] } else { &[8, 64, 256] };
+    for &apps in apps {
+        let mut rig = FederationRig::new(apps);
+        group.throughput(Throughput::Elements(apps as u64 * BURST));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("leaf_reexport_{apps}apps")),
+            &apps,
+            |b, _| b.iter(|| rig.pump()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_flush_path, bench_upstream);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //!              [--io-threads N|auto] [--idle-timeout SECS]
 //!              [--history-capacity N] [--health-window SECS]
 //!              [--sub-queue-capacity N] [--log-level LEVEL]
+//!              [--upstream HOST:PORT --node-name NAME]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
@@ -34,6 +35,14 @@
 //! before the oldest is shed (counted in `events_dropped`). Connections
 //! holding an active subscription are exempt from `--idle-timeout`.
 //!
+//! With `--upstream HOST:PORT` (requires `--node-name NAME`) this collector
+//! joins a **federation tree** as a leaf or mid tier: a background relay
+//! re-exports everything it ingests to the parent collector's ingest port,
+//! namespaced as `NAME/app`, reconnecting with bounded backoff and exact
+//! drop-oldest accounting when the parent is unreachable — local ingest
+//! never blocks. Subscriptions placed at the parent propagate down
+//! automatically. See `docs/FEDERATION.md`.
+//!
 //! Lifecycle events (accepts, hellos, protocol errors, evictions, health
 //! transitions) go to the in-process journal — replay them with `TRACE [n]`
 //! on the query port. `--log-level LEVEL` (trace|debug|info|warn|error|off,
@@ -42,7 +51,7 @@
 //! `docs/TELEMETRY.md`.
 
 use hb_net::telemetry::{self, Level};
-use hb_net::{Collector, CollectorConfig};
+use hb_net::{Collector, CollectorConfig, UpstreamConfig};
 
 struct Args {
     ingest: String,
@@ -56,6 +65,10 @@ struct Args {
     /// `None` silences the stderr mirror (`--log-level off`); the journal
     /// records at every level regardless.
     log_level: Option<Level>,
+    /// Parent collector ingest address (federation uplink).
+    upstream: Option<String>,
+    /// This node's federation name (required with `--upstream`).
+    node_name: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
         health_window: CollectorConfig::default().health.window.as_secs_f64(),
         sub_queue_capacity: CollectorConfig::default().sub_queue_capacity,
         log_level: Some(Level::Info),
+        upstream: None,
+        node_name: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -132,17 +147,33 @@ fn parse_args() -> Result<Args, String> {
                     })?)
                 };
             }
+            "--upstream" => args.upstream = Some(value("--upstream")?),
+            "--node-name" => {
+                let raw = value("--node-name")?;
+                if !hb_net::wire::valid_node_name(&raw) {
+                    return Err(format!(
+                        "--node-name {raw:?} is invalid: printable, no '/', no '*', \
+                         at most {} bytes",
+                        hb_net::wire::MAX_NODE_LEN
+                    ));
+                }
+                args.node_name = Some(raw);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
                      [--print-every SECS] [--io-threads N|auto] [--idle-timeout SECS] \
                      [--history-capacity N] [--health-window SECS] \
-                     [--sub-queue-capacity N] [--log-level LEVEL]"
+                     [--sub-queue-capacity N] [--log-level LEVEL] \
+                     [--upstream HOST:PORT --node-name NAME]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.upstream.is_some() != args.node_name.is_some() {
+        return Err("--upstream and --node-name must be given together".into());
     }
     Ok(args)
 }
@@ -162,7 +193,8 @@ fn main() {
     hb_net::log!(
         Level::Info,
         "config ingest={} query={} io_threads={} idle_timeout_s={} history_capacity={} \
-         health_window_s={} sub_queue_capacity={} print_every_s={} log_level={}",
+         health_window_s={} sub_queue_capacity={} print_every_s={} log_level={} \
+         upstream={} node_name={}",
         args.ingest,
         args.query,
         if args.io_threads == 0 {
@@ -176,6 +208,8 @@ fn main() {
         args.sub_queue_capacity,
         args.print_every.unwrap_or(0),
         args.log_level.map_or("off", |l| l.as_str()),
+        args.upstream.as_deref().unwrap_or("none"),
+        args.node_name.as_deref().unwrap_or("none"),
     );
     let config = CollectorConfig {
         io_threads: args.io_threads,
@@ -186,6 +220,11 @@ fn main() {
             window: std::time::Duration::from_secs_f64(args.health_window),
             ..hb_net::HealthConfig::default()
         },
+        upstream: args
+            .upstream
+            .as_ref()
+            .zip(args.node_name.as_ref())
+            .map(|(parent, node)| UpstreamConfig::new(parent.clone(), node.clone())),
         ..CollectorConfig::default()
     };
     let collector = match Collector::with_config(&args.ingest, &args.query, config) {

@@ -994,6 +994,20 @@ pub struct CollectorStats {
     /// Beats ingested on a shard other than the application's home shard —
     /// a debug counter that should stay at zero.
     pub cross_shard: u64,
+    /// Federation child links this collector has ever seen (parent tiers;
+    /// 0 when talking to a pre-federation or leaf collector).
+    pub origins: u64,
+    /// Federation child links currently connected.
+    pub origins_up: u64,
+    /// 1 while this collector's own uplink to its parent is established
+    /// (leaf/mid tiers; 0 when the collector has no upstream).
+    pub upstream_connected: u64,
+    /// Beats this collector forwarded to its parent.
+    pub upstream_forwarded: u64,
+    /// Beats shed from the upstream tap (exactly accounted upward).
+    pub upstream_dropped: u64,
+    /// Uplink re-establishments after the first connect.
+    pub upstream_reconnects: u64,
 }
 
 /// Parses the single-line `STATS` response.
@@ -1043,6 +1057,12 @@ pub fn parse_stats(line: &str) -> Result<CollectorStats> {
         events_dropped: opt("events_dropped"),
         shards: opt("shards"),
         cross_shard: opt("cross_shard"),
+        origins: opt("origins"),
+        origins_up: opt("origins_up"),
+        upstream_connected: opt("upstream_connected"),
+        upstream_forwarded: opt("upstream_forwarded"),
+        upstream_dropped: opt("upstream_dropped"),
+        upstream_reconnects: opt("upstream_reconnects"),
         uptime_s: fields
             .get("uptime_s")
             .copied()

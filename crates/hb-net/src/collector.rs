@@ -70,9 +70,10 @@ use crate::health::{self, HealthConfig, HealthReport, HistoryRing, HistorySample
 use crate::reactor::{Handler, ListenerSpec, OutBuf, Reactor, ReactorConfig};
 use crate::subscribe::{LocalSubscription, SubEntry, SubscriberQueue, SubscriptionRegistry};
 use crate::telemetry::{self, Level, PipelineTelemetry, ReactorThreads};
+use crate::upstream::{UpstreamConfig, UpstreamLink, UpstreamRelay, UpstreamStats, UpstreamTap};
 use crate::wire::{
-    EventPayload, Frame, HealthFrame, HistoryChunk, SubStatus, SubscribeReq, WireBeat,
-    MAX_HISTORY_SAMPLES, VERSION,
+    EventFrame, EventPayload, Frame, HealthFrame, HistoryChunk, SubStatus, SubscribeReq, WireBeat,
+    MAX_HISTORY_SAMPLES, MAX_NAME_LEN, VERSION,
 };
 
 /// Tuning knobs for a [`Collector`].
@@ -114,6 +115,11 @@ pub struct CollectorConfig {
     /// relaxed atomic load and nothing else (pinned by the `telemetry`
     /// bench); the histogram/thread series then export empty.
     pub telemetry: bool,
+    /// When set, this collector also acts as a **federation leaf**: a
+    /// background relay re-exports everything it ingests to the configured
+    /// parent collector, namespaced as `node/app` (see `docs/FEDERATION.md`
+    /// and the `hb-collector --upstream/--node-name` flags).
+    pub upstream: Option<UpstreamConfig>,
 }
 
 impl Default for CollectorConfig {
@@ -128,6 +134,7 @@ impl Default for CollectorConfig {
             health: HealthConfig::default(),
             sub_queue_capacity: 1024,
             telemetry: true,
+            upstream: None,
         }
     }
 }
@@ -309,6 +316,15 @@ pub struct CollectorState {
     /// Per-reactor-thread utilization counters, registered by the reactor
     /// at spawn when telemetry is on (empty for embedded registries).
     reactor_threads: Arc<ReactorThreads>,
+    /// Present when this collector federates upward: the bounded capture
+    /// queue every ingested batch is mirrored into (see [`UpstreamTap`]).
+    upstream_tap: Option<Arc<UpstreamTap>>,
+    /// Uplink counters shared with the relay thread (leaf side).
+    upstream_stats: Option<Arc<UpstreamStats>>,
+    /// Parent side: one persistent [`UpstreamLink`] per child node name,
+    /// surviving that child's reconnects so `last_applied` sequences keep
+    /// retransmissions exactly-once.
+    links: Mutex<HashMap<String, Arc<UpstreamLink>>>,
 }
 
 impl CollectorState {
@@ -330,6 +346,14 @@ impl CollectorState {
             }))
             .collect();
         let shard_counters = (0..reactor_shards).map(|_| ShardCounters::default()).collect();
+        let upstream_tap = config
+            .upstream
+            .as_ref()
+            .map(|up| Arc::new(UpstreamTap::new(up.tap_capacity)));
+        let upstream_stats = config
+            .upstream
+            .as_ref()
+            .map(|_| Arc::new(UpstreamStats::default()));
         CollectorState {
             shards,
             config,
@@ -347,6 +371,9 @@ impl CollectorState {
             telemetry,
             shard_telemetry,
             reactor_threads: Arc::new(ReactorThreads::new()),
+            upstream_tap,
+            upstream_stats,
+            links: Mutex::new(HashMap::new()),
         }
     }
 
@@ -532,8 +559,27 @@ impl CollectorState {
         self.ingest_resolved(handle.shard, &handle.key, dropped_total, beats);
     }
 
-    /// The shared ingest body behind both public entry points.
+    /// The shared ingest body behind both public entry points. When this
+    /// collector federates upward, the batch is also mirrored into the
+    /// [`UpstreamTap`] *after* the registry absorbed it — capture is one
+    /// bounded-queue push and never blocks ingest. Without an upstream the
+    /// wrapper is a single `Option` check and the iterator streams through
+    /// unmaterialized.
     fn ingest_resolved<I>(&self, shard_index: usize, key: &str, dropped_total: u64, beats: I)
+    where
+        I: IntoIterator<Item = WireBeat>,
+    {
+        if let Some(tap) = &self.upstream_tap {
+            let beats: Vec<WireBeat> = beats.into_iter().collect();
+            self.ingest_resolved_inner(shard_index, key, dropped_total, beats.iter().copied());
+            tap.capture(key, dropped_total, beats);
+        } else {
+            self.ingest_resolved_inner(shard_index, key, dropped_total, beats);
+        }
+    }
+
+    /// [`ingest_resolved`](Self::ingest_resolved) minus the upstream tap.
+    fn ingest_resolved_inner<I>(&self, shard_index: usize, key: &str, dropped_total: u64, beats: I)
     where
         I: IntoIterator<Item = WireBeat>,
     {
@@ -750,6 +796,16 @@ impl CollectorState {
                 continue;
             }
             for app in self.app_names() {
+                // Apps relayed from a live child are that child's to assess:
+                // its own detector sees the actual beat arrivals, and its
+                // transitions arrive through subscription propagation —
+                // re-assessing here would emit duplicates from rollup
+                // artifacts. A *dead* link is the exception: the child can
+                // no longer speak for its apps, so the sweep takes over and
+                // stalls surface at this tier.
+                if self.under_live_origin(&app) {
+                    continue;
+                }
                 if !entry.matches(&app) || !entry.assess_due(&app, now) {
                     continue;
                 }
@@ -805,7 +861,7 @@ impl CollectorState {
             interests: interests.bits(),
             min_interval_ns: min_interval.as_nanos().min(u64::MAX as u128) as u64,
         };
-        self.subs.register(&queue, &req)?;
+        self.register_subscription(&queue, &req)?;
         Ok(LocalSubscription::new(queue, Arc::clone(&self.subs), 0))
     }
 
@@ -821,6 +877,329 @@ impl CollectorState {
     /// The push-subscription registry (active counts, event counters).
     pub fn subscriptions(&self) -> &Arc<SubscriptionRegistry> {
         &self.subs
+    }
+
+    /// The upstream capture tap, when this collector federates upward.
+    pub fn upstream_tap(&self) -> Option<Arc<UpstreamTap>> {
+        self.upstream_tap.clone()
+    }
+
+    /// The uplink counters, when this collector federates upward.
+    pub fn upstream_stats(&self) -> Option<Arc<UpstreamStats>> {
+        self.upstream_stats.clone()
+    }
+
+    /// Parent side of the federation tree: one row per child node that has
+    /// ever linked — `(node, connected, last_applied, relayed_beats,
+    /// relayed_events, duplicate_events, oversize_names)`, sorted by node.
+    pub fn origins(&self) -> Vec<OriginSnapshot> {
+        let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<OriginSnapshot> = links
+            .values()
+            .map(|link| {
+                let (last_applied, relayed_beats, relayed_events, duplicates, oversize) =
+                    link.counters();
+                OriginSnapshot {
+                    node: link.node.clone(),
+                    connected: link.is_connected(),
+                    last_applied,
+                    relayed_beats,
+                    relayed_events,
+                    duplicate_events: duplicates,
+                    oversize_names: oversize,
+                }
+            })
+            .collect();
+        drop(links);
+        rows.sort_by(|a, b| a.node.cmp(&b.node));
+        rows
+    }
+
+    /// Per-origin cluster rollups computed from the registry: for every
+    /// linked child node, its app count, summed beats, and how many of its
+    /// apps sit in each health class (indexed by
+    /// [`HealthStatus::as_u8`](crate::HealthStatus::as_u8)). The federation
+    /// soak reconciles these against per-leaf ground truth; `/metrics`
+    /// exports them as the `hb_origin_*` series.
+    pub fn origin_rollups(&self) -> Vec<OriginRollup> {
+        let origins: Vec<String> = {
+            let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+            links.keys().cloned().collect()
+        };
+        if origins.is_empty() {
+            return Vec::new();
+        }
+        let mut rollups: HashMap<&str, OriginRollup> = origins
+            .iter()
+            .map(|node| {
+                (
+                    node.as_str(),
+                    OriginRollup {
+                        node: node.clone(),
+                        apps: 0,
+                        beats_total: 0,
+                        dropped_total: 0,
+                        health_counts: [0; 4],
+                    },
+                )
+            })
+            .collect();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (app, entry) in shard.iter() {
+                let Some((origin, _)) = app.split_once('/') else {
+                    continue;
+                };
+                let Some(rollup) = rollups.get_mut(origin) else {
+                    continue;
+                };
+                rollup.apps += 1;
+                rollup.beats_total += entry.total_beats;
+                rollup.dropped_total += entry.producer_dropped;
+                let status = entry.health(&self.config.health).status.as_u8() as usize;
+                rollup.health_counts[status.min(3)] += 1;
+            }
+        }
+        let mut rows: Vec<OriginRollup> = rollups.into_values().collect();
+        rows.sort_by(|a, b| a.node.cmp(&b.node));
+        rows
+    }
+
+    /// True if `app` is namespaced under a child whose link is currently
+    /// up. Such apps are excluded from this tier's silence sweep (their
+    /// origin's own detector is authoritative while it can still report).
+    fn under_live_origin(&self, app: &str) -> bool {
+        let Some((origin, _)) = app.split_once('/') else {
+            return false;
+        };
+        let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        links.get(origin).is_some_and(|link| link.is_connected())
+    }
+
+    /// Starts (or restarts) the link session for child `node` (the
+    /// [`Frame::NodeHello`] path) and replays every active subscription
+    /// down the fresh link. Returns the link and the session token the
+    /// serving connection must present at close.
+    pub(crate) fn link_hello(&self, node: &str) -> (Arc<UpstreamLink>, u64) {
+        let link = {
+            let mut links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(
+                links
+                    .entry(node.to_string())
+                    .or_insert_with(|| Arc::new(UpstreamLink::new(node))),
+            )
+        };
+        let session = link.begin_session();
+        for entry in self.subs.all_active() {
+            self.propagate_entry_to_link(&entry, &link);
+        }
+        (link, session)
+    }
+
+    /// Registers a subscription *and* propagates it down every connected
+    /// child link whose namespace its pattern could reach. All subscription
+    /// registration funnels through here (observer connections,
+    /// [`subscribe_local`](Self::subscribe_local), relayed subscriptions at
+    /// mid tiers — which is what makes propagation recurse).
+    pub(crate) fn register_subscription(
+        &self,
+        queue: &Arc<SubscriberQueue>,
+        req: &SubscribeReq,
+    ) -> std::result::Result<Arc<SubEntry>, SubStatus> {
+        let entry = self.subs.register(queue, req)?;
+        let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        for link in links.values() {
+            if link.is_connected() {
+                self.propagate_entry_to_link(&entry, link);
+            }
+        }
+        Ok(entry)
+    }
+
+    /// Unregisters a subscription and retracts its downlink propagations.
+    pub(crate) fn unregister_subscription(
+        &self,
+        queue: &Arc<SubscriberQueue>,
+        sub_id: u32,
+    ) -> bool {
+        let entry = self
+            .subs
+            .entries_for(queue)
+            .into_iter()
+            .find(|entry| entry.sub_id() == sub_id);
+        let removed = self.subs.unregister(queue, sub_id);
+        if let Some(entry) = entry {
+            self.retract_entry(&entry);
+        }
+        removed
+    }
+
+    /// Drops a closing connection's whole queue, retracting every
+    /// propagated subscription it held.
+    pub(crate) fn drop_queue_subscriptions(&self, queue: &Arc<SubscriberQueue>) {
+        for entry in self.subs.entries_for(queue) {
+            self.retract_entry(&entry);
+        }
+        self.subs.drop_queue(queue);
+    }
+
+    /// Pushes a translated Subscribe for `entry` onto `link`'s outbox if
+    /// the pattern could match anything under that child's namespace.
+    fn propagate_entry_to_link(&self, entry: &Arc<SubEntry>, link: &UpstreamLink) {
+        let Some(pattern) = Self::child_pattern(entry.pattern(), &link.node) else {
+            return;
+        };
+        let sub_id = link.add_route(Arc::clone(entry));
+        link.push_frame(&Frame::Subscribe(SubscribeReq {
+            sub_id,
+            pattern,
+            interests: entry.interests(),
+            min_interval_ns: entry
+                .min_interval()
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+        }));
+    }
+
+    /// Removes every downlink route feeding `entry` and queues the matching
+    /// Unsubscribes, so child subscription gauges return to their prior
+    /// values when an observer unsubscribes at this tier.
+    fn retract_entry(&self, entry: &Arc<SubEntry>) {
+        let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        for link in links.values() {
+            for sub_id in link.remove_routes_for(entry) {
+                link.push_frame(&Frame::Unsubscribe { sub_id });
+            }
+        }
+    }
+
+    /// Translates a parent-tier pattern into the child's namespace.
+    /// `node/rest` strips to `rest` exactly; a glob that merely *overlaps*
+    /// the `node/` prefix (e.g. `*`, `leaf*/cam1`) conservatively becomes
+    /// `*` — the child then over-delivers and
+    /// [`deliver_routed_event`](Self::deliver_routed_event) re-filters with
+    /// the original pattern, so delivery stays exact. `None` means the
+    /// pattern can never match under this child: nothing is propagated.
+    fn child_pattern(pattern: &str, node: &str) -> Option<String> {
+        if let Some(rest) = pattern
+            .strip_prefix(node)
+            .and_then(|rest| rest.strip_prefix('/'))
+        {
+            return (!rest.is_empty()).then(|| rest.to_string());
+        }
+        crate::wire::glob_overlaps_prefix(pattern, &format!("{node}/"))
+            .then(|| "*".to_string())
+    }
+
+    /// Applies one child rollup event ([`Frame::RelayEvent`]): absorbs the
+    /// namespaced batch if `seq` has not been applied yet. Duplicates
+    /// (retransmissions already covered by `last_applied`) are counted and
+    /// skipped — together with the child's cumulative sequences this makes
+    /// the rollup plane exactly-once across reconnects.
+    pub(crate) fn apply_relay_event(&self, link: &UpstreamLink, seq: u64, event: EventFrame) {
+        if seq <= link.last_applied() {
+            link.count_duplicate();
+            return;
+        }
+        if let EventPayload::Beats {
+            dropped_total,
+            beats,
+        } = event.payload
+        {
+            self.ingest_relayed(link, &event.app, dropped_total, beats);
+        }
+        link.store_last_applied(seq);
+    }
+
+    /// Absorbs one relayed batch as `node/app`. No subscriber fan-out: the
+    /// event plane (subscription propagation) is the one delivery path for
+    /// relayed activity, so fanning rollups out too would double-deliver.
+    /// Re-captured into this tier's own tap when it federates further up.
+    fn ingest_relayed(
+        &self,
+        link: &UpstreamLink,
+        app: &str,
+        dropped_total: u64,
+        beats: Vec<WireBeat>,
+    ) {
+        let key = format!("{}/{app}", link.node);
+        if key.len() > MAX_NAME_LEN || !crate::wire::valid_app_name(&key) {
+            link.count_oversize();
+            return;
+        }
+        let shard_index = self.shard_index(&key);
+        let relayed = beats.len() as u64;
+        {
+            let mut shard = self.shards[shard_index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let config = &self.config;
+            let entry = shard
+                .entry(key.clone())
+                .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
+            let accounted = Self::absorb(entry, dropped_total, beats.iter().copied());
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+        }
+        link.count_relayed_beats(relayed);
+        if let Some(tap) = &self.upstream_tap {
+            tap.capture(&key, dropped_total, beats);
+        }
+    }
+
+    /// Delivers a child-forwarded subscription event ([`Frame::Event`] on a
+    /// link connection): looks up the downlink route, re-prefixes the app
+    /// name with the child's node, re-filters against the *original*
+    /// pattern (the child may hold a conservative `*` translation) and
+    /// enqueues toward the subscriber. A route whose entry went inactive is
+    /// retracted lazily here.
+    pub(crate) fn deliver_routed_event(&self, link: &UpstreamLink, event: EventFrame) {
+        let Some(entry) = link.route(event.sub_id) else {
+            return;
+        };
+        if !entry.is_active() {
+            self.retract_entry(&entry);
+            return;
+        }
+        let app = format!("{}/{}", link.node, event.app);
+        if app.len() > MAX_NAME_LEN || !crate::wire::valid_app_name(&app) {
+            link.count_oversize();
+            return;
+        }
+        if !entry.matches(&app) {
+            return;
+        }
+        self.journal_health(&app, &event.payload);
+        self.subs.deliver(&entry, &app, event.payload);
+        link.count_relayed_event();
+    }
+
+    /// The relay side of [`register_subscription`]: opens a propagated
+    /// subscription under the parent-chosen downlink id with a dedicated
+    /// queue (so the relay forwards its frames verbatim — sub ids already
+    /// match what the parent routes on).
+    pub(crate) fn subscribe_propagated(
+        &self,
+        req: &SubscribeReq,
+    ) -> std::result::Result<LocalSubscription, SubStatus> {
+        let queue = Arc::new(SubscriberQueue::with_telemetry(
+            self.config.sub_queue_capacity,
+            self.config
+                .telemetry
+                .then(|| Arc::clone(&self.telemetry.delivery)),
+        ));
+        self.register_subscription(&queue, req)?;
+        Ok(LocalSubscription::new(
+            queue,
+            Arc::clone(&self.subs),
+            req.sub_id,
+        ))
+    }
+
+    /// Tears down a propagated subscription, retracting its own deeper
+    /// propagations first (the explicit path; [`LocalSubscription`]'s drop
+    /// alone would skip retraction, which the lazy route GC then catches).
+    pub(crate) fn unsubscribe_propagated(&self, sub: &LocalSubscription) {
+        self.unregister_subscription(sub.queue(), sub.sub_id());
     }
 
     /// The shared per-record ingest loop: allocation-free (the history ring
@@ -1208,6 +1587,120 @@ impl CollectorState {
             "hb_collector_uptime_seconds {:.3}\n",
             counters.uptime.as_secs_f64()
         ));
+        // Leaf side of a federation tree: the uplink relay's counters.
+        if let Some(stats) = &self.upstream_stats {
+            out.push_str("# HELP hb_collector_upstream_connected 1 while the uplink to the parent collector is established.\n");
+            out.push_str("# TYPE hb_collector_upstream_connected gauge\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_connected {}\n",
+                u8::from(stats.connected())
+            ));
+            out.push_str("# HELP hb_collector_upstream_forwarded_beats_total Beats forwarded to the parent (first transmissions).\n");
+            out.push_str("# TYPE hb_collector_upstream_forwarded_beats_total counter\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_forwarded_beats_total {}\n",
+                stats.forwarded_beats()
+            ));
+            out.push_str("# HELP hb_collector_upstream_dropped_beats_total Beats shed from the upstream tap while the parent was unreachable or slow.\n");
+            out.push_str("# TYPE hb_collector_upstream_dropped_beats_total counter\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_dropped_beats_total {}\n",
+                self.upstream_tap
+                    .as_ref()
+                    .map_or(0, |tap| tap.dropped_beats())
+            ));
+            out.push_str("# HELP hb_collector_upstream_forwarded_events_total Propagated-subscription events forwarded to the parent.\n");
+            out.push_str("# TYPE hb_collector_upstream_forwarded_events_total counter\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_forwarded_events_total {}\n",
+                stats.forwarded_events()
+            ));
+            out.push_str("# HELP hb_collector_upstream_reconnects_total Uplink re-establishments after the first connect.\n");
+            out.push_str("# TYPE hb_collector_upstream_reconnects_total counter\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_reconnects_total {}\n",
+                stats.reconnects()
+            ));
+            out.push_str("# HELP hb_collector_upstream_retransmits_total Rollup events re-sent after a reconnect.\n");
+            out.push_str("# TYPE hb_collector_upstream_retransmits_total counter\n");
+            out.push_str(&format!(
+                "hb_collector_upstream_retransmits_total {}\n",
+                stats.retransmits()
+            ));
+        }
+        // Parent side: per-child-link counters and per-origin cluster
+        // rollups (apps, beats, health class counts).
+        let origins = self.origins();
+        if !origins.is_empty() {
+            out.push_str("# HELP hb_origin_connected 1 while the child node's relay link is established.\n");
+            out.push_str("# TYPE hb_origin_connected gauge\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_connected{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    u8::from(o.connected)
+                ));
+            }
+            out.push_str("# HELP hb_origin_last_applied_seq Highest rollup sequence applied from the child (exactly-once watermark).\n");
+            out.push_str("# TYPE hb_origin_last_applied_seq gauge\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_last_applied_seq{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.last_applied
+                ));
+            }
+            out.push_str("# HELP hb_origin_relayed_beats_total Beats absorbed from the child's rollup events.\n");
+            out.push_str("# TYPE hb_origin_relayed_beats_total counter\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_relayed_beats_total{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.relayed_beats
+                ));
+            }
+            out.push_str("# HELP hb_origin_relayed_events_total Subscription events forwarded by the child and delivered here.\n");
+            out.push_str("# TYPE hb_origin_relayed_events_total counter\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_relayed_events_total{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.relayed_events
+                ));
+            }
+            out.push_str("# HELP hb_origin_duplicate_events_total Retransmitted rollup events skipped as already applied.\n");
+            out.push_str("# TYPE hb_origin_duplicate_events_total counter\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_duplicate_events_total{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.duplicate_events
+                ));
+            }
+            out.push_str("# HELP hb_origin_apps Applications registered under the origin's namespace.\n");
+            out.push_str("# TYPE hb_origin_apps gauge\n");
+            out.push_str("# HELP hb_origin_beats_total Beats absorbed across the origin's applications.\n");
+            out.push_str("# TYPE hb_origin_beats_total counter\n");
+            out.push_str("# HELP hb_origin_health_apps Origin apps per health class (cluster health rollup).\n");
+            out.push_str("# TYPE hb_origin_health_apps gauge\n");
+            const CLASSES: [&str; 4] = ["nosignal", "stalled", "degraded", "healthy"];
+            for rollup in self.origin_rollups() {
+                let origin = Self::escape_label(&rollup.node).into_owned();
+                out.push_str(&format!(
+                    "hb_origin_apps{{origin=\"{origin}\"}} {}\n",
+                    rollup.apps
+                ));
+                out.push_str(&format!(
+                    "hb_origin_beats_total{{origin=\"{origin}\"}} {}\n",
+                    rollup.beats_total
+                ));
+                for (class, count) in CLASSES.iter().zip(rollup.health_counts) {
+                    out.push_str(&format!(
+                        "hb_origin_health_apps{{origin=\"{origin}\",status=\"{class}\"}} {count}\n"
+                    ));
+                }
+            }
+        }
         // Pipeline latency histograms (empty until the matching stage has
         // run with telemetry on). Each stage merges its per-reactor-shard
         // snapshots (the merge is saturating and associative, so the
@@ -1362,6 +1855,47 @@ pub struct CollectorCounters {
     pub uptime: Duration,
 }
 
+/// Parent-side view of one federation child link (see
+/// [`CollectorState::origins`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginSnapshot {
+    /// The child's node name (the `node/` prefix of its relayed apps).
+    pub node: String,
+    /// True while the child's relay link is established.
+    pub connected: bool,
+    /// Highest relay sequence applied from this child (exactly-once
+    /// watermark; survives the child's reconnects).
+    pub last_applied: u64,
+    /// Beats absorbed from this child's rollup events.
+    pub relayed_beats: u64,
+    /// Subscription events forwarded from this child and delivered.
+    pub relayed_events: u64,
+    /// Retransmitted rollup events skipped as already applied.
+    pub duplicate_events: u64,
+    /// Relayed names dropped because the `node/` prefix overflowed the
+    /// wire name limit.
+    pub oversize_names: u64,
+}
+
+/// Per-origin cluster rollup computed from the registry (see
+/// [`CollectorState::origin_rollups`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginRollup {
+    /// The child's node name.
+    pub node: String,
+    /// Applications registered under `node/`.
+    pub apps: u64,
+    /// Total beats absorbed across those applications.
+    pub beats_total: u64,
+    /// Total reported drops across those applications (producer-side plus
+    /// everything shed on the way up, folded in by the relay tiers).
+    pub dropped_total: u64,
+    /// Apps per health class, indexed by
+    /// [`HealthStatus::as_u8`](crate::HealthStatus::as_u8):
+    /// `[nosignal, stalled, degraded, healthy]`.
+    pub health_counts: [u64; 4],
+}
+
 /// The collector daemon: an ingest listener for producers and a query
 /// listener for observers, both multiplexed over one reactor's fixed pool
 /// of I/O threads.
@@ -1389,6 +1923,8 @@ pub struct Collector {
     ingest_addr: SocketAddr,
     query_addr: SocketAddr,
     reactor: Reactor,
+    /// The federation uplink relay, when configured ([`CollectorConfig::upstream`]).
+    relay: Option<UpstreamRelay>,
 }
 
 impl Collector {
@@ -1448,11 +1984,18 @@ impl Collector {
             Arc::clone(&state.evicted_total),
         )?;
 
+        let relay = state
+            .config
+            .upstream
+            .clone()
+            .map(|up| UpstreamRelay::spawn(Arc::clone(&state), up));
+
         Ok(Collector {
             state,
             ingest_addr,
             query_addr,
             reactor,
+            relay,
         })
     }
 
@@ -1481,6 +2024,9 @@ impl Collector {
     /// call while producers are concurrently connecting — there are no
     /// per-connection threads left to race with.
     pub fn shutdown(&mut self) {
+        if let Some(relay) = &mut self.relay {
+            relay.stop();
+        }
         self.reactor.shutdown();
     }
 }
@@ -1498,6 +2044,13 @@ struct ProducerHandler {
     /// `hb_collector_shard_connections` gauge yet (exactly once, see
     /// [`CollectorState::count_connection_once`]).
     counted: bool,
+    /// Set by a [`Frame::NodeHello`]: this "producer" is a child
+    /// collector's relay. The session token guards against a stale,
+    /// not-yet-reaped connection racing the child's fresh reconnect.
+    link: Option<(Arc<UpstreamLink>, u64)>,
+    /// A relay event was applied this read burst; one coalesced
+    /// [`Frame::RelayAck`] goes out when the decode loop drains.
+    ack_due: bool,
 }
 
 impl ProducerHandler {
@@ -1508,7 +2061,17 @@ impl ProducerHandler {
             app: None,
             home: None,
             counted: false,
+            link: None,
+            ack_due: false,
         }
+    }
+
+    /// True while this connection's link session is the child's current
+    /// one (a replaced session must not act for the link any more).
+    fn link_current(&self) -> bool {
+        self.link
+            .as_ref()
+            .is_some_and(|(link, session)| link.current_session() == *session)
     }
 }
 
@@ -1543,6 +2106,14 @@ impl Handler for ProducerHandler {
                             }
                         },
                         FrameEvent::Control(Frame::Hello(hello)) => {
+                            if self.link.is_some() {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: producer hello on a link connection"
+                                );
+                                return false;
+                            }
                             crate::log!(
                                 Level::Info,
                                 "hello app={} pid={} window={}",
@@ -1602,6 +2173,51 @@ impl Handler for ProducerHandler {
                             );
                             return false;
                         }
+                        FrameEvent::Control(Frame::NodeHello { node, pid }) => {
+                            if self.app.is_some() || self.link.is_some() {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: node hello on an established connection"
+                                );
+                                return false;
+                            }
+                            crate::log!(Level::Info, "link up node={node} pid={pid}");
+                            let (link, session) = self.state.link_hello(&node);
+                            // The resume ack: tells the child which rollup
+                            // sequences this parent already applied, so the
+                            // child retransmits exactly the gap.
+                            Frame::RelayAck {
+                                last_applied: link.last_applied(),
+                            }
+                            .encode_into(out.vec_mut());
+                            self.link = Some((link, session));
+                        }
+                        FrameEvent::Control(Frame::RelayEvent { seq, event }) => {
+                            let Some((link, _)) = &self.link else {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: relay event before node hello"
+                                );
+                                return false;
+                            };
+                            let link = Arc::clone(link);
+                            self.state.apply_relay_event(&link, seq, event);
+                            self.ack_due = true;
+                        }
+                        FrameEvent::Control(Frame::Event(event)) => {
+                            let Some((link, _)) = &self.link else {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: forwarded event before node hello"
+                                );
+                                return false;
+                            };
+                            let link = Arc::clone(link);
+                            self.state.deliver_routed_event(&link, event);
+                        }
                         // Query frames belong on the query port, and
                         // HelloAck is collector → producer; receiving any
                         // of them here is a protocol violation.
@@ -1616,7 +2232,20 @@ impl Handler for ProducerHandler {
                         }
                     }
                 }
-                Ok(None) => return true, // need more bytes
+                Ok(None) => {
+                    // One cumulative ack per read burst, however many relay
+                    // events it carried.
+                    if self.ack_due {
+                        self.ack_due = false;
+                        if let Some((link, _)) = &self.link {
+                            Frame::RelayAck {
+                                last_applied: link.last_applied(),
+                            }
+                            .encode_into(out.vec_mut());
+                        }
+                    }
+                    return true; // need more bytes
+                }
                 Err(err) => {
                     self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     crate::log!(
@@ -1642,12 +2271,40 @@ impl Handler for ProducerHandler {
         }
     }
 
+    fn wants_pump(&self) -> bool {
+        self.link.is_some()
+    }
+
+    fn on_pump(&mut self, out: &mut OutBuf, _pending_out: usize) -> bool {
+        if let Some((link, _)) = &self.link {
+            if self.link_current() {
+                // Retract routes whose entries went inactive without an
+                // explicit unsubscribe (dropped LocalSubscriptions).
+                for sub_id in link.collect_dead_routes() {
+                    link.push_frame(&Frame::Unsubscribe { sub_id });
+                }
+                link.drain_outbox(out.vec_mut());
+            }
+        }
+        true
+    }
+
+    fn keep_alive(&self) -> bool {
+        // A live link is legitimately silent when its child has nothing to
+        // roll up; a *stale* link session gets no exemption.
+        self.link_current()
+    }
+
     fn on_close(&mut self) {
         // A connection torn down before its first on_data (e.g. a failed
         // install) still counts toward exactly one shard gauge.
         self.state.count_connection_once(&mut self.counted);
         if let Some(handle) = self.app.take() {
             self.state.goodbye(handle.app());
+        }
+        if let Some((link, session)) = self.link.take() {
+            crate::log!(Level::Info, "link down node={}", link.node);
+            link.end_session(session);
         }
     }
 
@@ -1713,7 +2370,7 @@ impl ObserverHandler {
                             .then(|| Arc::clone(&state.telemetry.delivery)),
                     ))
                 });
-                let status = match state.subs.register(queue, &req) {
+                let status = match state.register_subscription(queue, &req) {
                     Ok(_) => SubStatus::Ok,
                     Err(status) => status,
                 };
@@ -1732,7 +2389,7 @@ impl ObserverHandler {
                 // nothing for it can follow this ack. Unknown ids ack too:
                 // unsubscribing is idempotent.
                 if let Some(queue) = &self.queue {
-                    self.state.subs.unregister(queue, sub_id);
+                    self.state.unregister_subscription(queue, sub_id);
                 }
                 Frame::SubAck {
                     sub_id,
@@ -1886,7 +2543,7 @@ impl Handler for ObserverHandler {
 
     fn on_close(&mut self) {
         if let Some(queue) = self.queue.take() {
-            self.state.subs.drop_queue(&queue);
+            self.state.drop_queue_subscriptions(&queue);
         }
     }
 }
@@ -2082,11 +2739,12 @@ fn handle_query_inner(
         }
         Some("STATS") => {
             let counters = state.counters();
-            writeln!(
+            let origins = state.origins();
+            write!(
                 out,
                 "COLLECTOR apps={} connections={} frames={} errors={} io_threads={} evicted={} \
                  queries={} subs={} events={} events_dropped={} uptime_s={:.3} shards={} \
-                 cross_shard={}",
+                 cross_shard={} origins={} origins_up={}",
                 state.app_names().len(),
                 counters.connections_total,
                 counters.frames_total,
@@ -2100,7 +2758,23 @@ fn handle_query_inner(
                 counters.uptime.as_secs_f64(),
                 state.io_threads(),
                 state.cross_shard_ingest(),
+                origins.len(),
+                origins.iter().filter(|o| o.connected).count(),
             )?;
+            if let Some(stats) = state.upstream_stats() {
+                write!(
+                    out,
+                    " upstream_connected={} upstream_forwarded={} upstream_dropped={} \
+                     upstream_events={} upstream_reconnects={} upstream_retransmits={}",
+                    u8::from(stats.connected()),
+                    stats.forwarded_beats(),
+                    state.upstream_tap().map_or(0, |tap| tap.dropped_beats()),
+                    stats.forwarded_events(),
+                    stats.reconnects(),
+                    stats.retransmits(),
+                )?;
+            }
+            writeln!(out)?;
             Ok(true)
         }
         Some("HEATMAP") => {

@@ -76,11 +76,14 @@ pub mod health;
 pub mod reactor;
 pub mod subscribe;
 pub mod telemetry;
+pub mod upstream;
 pub mod wire;
 
 pub use backend::{TcpBackend, TcpBackendConfig};
 pub use client::{CollectorStats, RemoteApp, RemoteReader, Subscription};
-pub use collector::{AppSnapshot, Collector, CollectorConfig, CollectorState};
+pub use collector::{
+    AppSnapshot, Collector, CollectorConfig, CollectorState, OriginRollup, OriginSnapshot,
+};
 pub use error::{NetError, Result};
 pub use frame::{FrameDecoder, FrameReader, FrameWriter};
 pub use health::{
@@ -88,6 +91,7 @@ pub use health::{
 };
 pub use reactor::{Reactor, ReactorConfig};
 pub use subscribe::{LocalSubscription, SubscriptionRegistry};
+pub use upstream::{UpstreamConfig, UpstreamRelay, UpstreamStats, UpstreamTap};
 pub use telemetry::{
     HistoSnapshot, Journal, JournalEntry, LatencyHisto, Level, PipelineTelemetry, ReactorThreads,
     ThreadStats, ThreadStatsSnapshot,

@@ -200,6 +200,12 @@ impl SubEntry {
         wire::glob_match(&self.pattern, app)
     }
 
+    /// The raw interest bitmask this subscription was registered with
+    /// (federation re-issues it verbatim when propagating down the tree).
+    pub fn interests(&self) -> u8 {
+        self.interests
+    }
+
     /// The subscription's minimum update interval.
     pub fn min_interval(&self) -> Duration {
         self.min_interval
@@ -426,6 +432,20 @@ impl SubscriptionRegistry {
         self.count.load(Ordering::Acquire)
     }
 
+    /// Every currently active subscription, regardless of queue. Federation
+    /// replays these down a freshly (re)connected child link.
+    pub fn all_active(&self) -> Vec<Arc<SubEntry>> {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .filter(|entry| entry.is_active())
+            .cloned()
+            .collect()
+    }
+
     /// Events enqueued toward subscribers since start.
     pub fn events_enqueued(&self) -> u64 {
         self.events_enqueued.load(Ordering::Relaxed)
@@ -627,6 +647,11 @@ impl LocalSubscription {
     /// Events currently queued.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The subscription id this handle was registered under.
+    pub(crate) fn sub_id(&self) -> u32 {
+        self.sub_id
     }
 }
 

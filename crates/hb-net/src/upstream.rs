@@ -1,0 +1,862 @@
+//! Federation uplink: a collector re-exporting its registry to a parent.
+//!
+//! A leaf (or mid-tier) collector configured with an
+//! [`UpstreamConfig`] runs one background **relay** thread that connects
+//! to the parent's *ingest* port and speaks the existing wire v3, opening
+//! with a [`Frame::NodeHello`] instead of a producer hello. Two planes
+//! flow over the same link:
+//!
+//! * **Rollup plane (exactly-once).** Every batch the child ingests is
+//!   also captured by an [`UpstreamTap`] — a bounded drop-oldest queue
+//!   that never blocks ingest. The relay drains it into
+//!   [`Frame::RelayEvent`]s (compact Beats bodies, link-sequence-numbered)
+//!   and retransmits anything unacknowledged after a reconnect; the parent
+//!   applies each sequence at most once and answers with cumulative
+//!   [`Frame::RelayAck`]s. Beats shed by a full tap are counted per app
+//!   and folded into the forwarded `dropped_total`, so at quiesce the
+//!   parent's `total + dropped` for `node/app` equals the child's exactly
+//!   — no loss unaccounted, no double-counting (see `docs/FEDERATION.md`
+//!   for the rollup math).
+//! * **Event plane (subscription propagation).** When an observer
+//!   subscribes at the parent with a pattern that could match `node/…`,
+//!   the parent pushes a translated [`Frame::Subscribe`] down this link.
+//!   The relay registers it as a real local subscription (so propagation
+//!   recurses through mid tiers) and forwards the resulting Event frames
+//!   verbatim; the parent re-prefixes the names, re-filters against the
+//!   original pattern and delivers — each leaf event travels the tree
+//!   exactly once.
+//!
+//! When the parent is unreachable the relay backs off exponentially
+//! between [`UpstreamConfig::backoff_min`] and
+//! [`UpstreamConfig::backoff_max`]; local ingest, queries and local
+//! subscribers are never affected.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::collector::CollectorState;
+use crate::frame::{FrameDecoder, FrameEvent};
+use crate::subscribe::{LocalSubscription, SubEntry};
+use crate::telemetry::{self, Level};
+use crate::wire::{EventFrame, EventPayload, Frame, SubscribeReq, WireBeat, MAX_EVENT_BEATS};
+
+/// Configuration for a collector's upstream relay (the `--upstream` /
+/// `--node-name` flags of `hb-collector`).
+#[derive(Debug, Clone)]
+pub struct UpstreamConfig {
+    /// The parent collector's **ingest** address (`HOST:PORT`).
+    pub parent: String,
+    /// This collector's federation node name; every re-exported
+    /// application appears at the parent as `node/app`. Must satisfy
+    /// [`crate::wire::valid_node_name`].
+    pub node: String,
+    /// Relay loop tick: the cadence of tap drains, queue forwards and
+    /// socket reads.
+    pub tick: Duration,
+    /// Batches buffered in the [`UpstreamTap`] before the oldest is shed
+    /// (shed beats are counted per app and reported upward exactly).
+    pub tap_capacity: usize,
+    /// Rollup events in flight (sent but unacknowledged) before the relay
+    /// pauses tap draining — backpressure then lands on the tap, where
+    /// shedding is exactly accounted.
+    pub unacked_capacity: usize,
+    /// First reconnect delay after a link failure.
+    pub backoff_min: Duration,
+    /// Reconnect delay ceiling (the backoff doubles up to this).
+    pub backoff_max: Duration,
+}
+
+impl UpstreamConfig {
+    /// A relay configuration with default tuning for `parent`/`node`.
+    pub fn new(parent: impl Into<String>, node: impl Into<String>) -> Self {
+        UpstreamConfig {
+            parent: parent.into(),
+            node: node.into(),
+            tick: Duration::from_millis(2),
+            tap_capacity: 4096,
+            unacked_capacity: 1024,
+            backoff_min: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One captured ingest batch awaiting re-export.
+#[derive(Debug)]
+struct TapItem {
+    app: String,
+    /// The producer's cumulative drop counter at capture time.
+    producer_dropped: u64,
+    beats: Vec<WireBeat>,
+}
+
+/// Per-app tap-shed accounting: cumulative beats dropped from the tap and
+/// the last producer drop counter seen, so a drop can be announced upward
+/// as an exact `dropped_total` even when the shed item itself is gone.
+#[derive(Debug, Default, Clone, Copy)]
+struct TapDrops {
+    tap_dropped: u64,
+    producer_dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct TapInner {
+    items: VecDeque<TapItem>,
+    drops: HashMap<String, TapDrops>,
+    /// Apps whose shed counter rose since last announced upward.
+    announce: VecDeque<String>,
+}
+
+/// The bounded capture queue between a collector's ingest path and its
+/// upstream relay. Ingest never blocks on it: when full, the oldest batch
+/// is shed and its beats are added to the per-app drop counter that the
+/// relay folds into the next forwarded `dropped_total` — loss is exact,
+/// never silent.
+#[derive(Debug)]
+pub struct UpstreamTap {
+    capacity: usize,
+    inner: Mutex<TapInner>,
+    dropped_beats: AtomicU64,
+    captured_beats: AtomicU64,
+}
+
+impl UpstreamTap {
+    pub(crate) fn new(capacity: usize) -> Self {
+        UpstreamTap {
+            capacity: capacity.max(1),
+            inner: Mutex::new(TapInner::default()),
+            dropped_beats: AtomicU64::new(0),
+            captured_beats: AtomicU64::new(0),
+        }
+    }
+
+    /// Captures one ingested batch for re-export. Called on the ingest
+    /// path *after* the registry absorbed the batch; `producer_dropped` is
+    /// the producer's cumulative drop counter carried by the batch.
+    pub(crate) fn capture(&self, app: &str, producer_dropped: u64, beats: Vec<WireBeat>) {
+        self.captured_beats
+            .fetch_add(beats.len() as u64, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while inner.items.len() >= self.capacity {
+            let Some(shed) = inner.items.pop_front() else {
+                break;
+            };
+            self.dropped_beats
+                .fetch_add(shed.beats.len() as u64, Ordering::Relaxed);
+            let drops = inner.drops.entry(shed.app.clone()).or_default();
+            drops.tap_dropped += shed.beats.len() as u64;
+            drops.producer_dropped = drops.producer_dropped.max(shed.producer_dropped);
+            if !inner.announce.iter().any(|a| a == &shed.app) {
+                inner.announce.push_back(shed.app);
+            }
+        }
+        inner.items.push_back(TapItem {
+            app: app.to_string(),
+            producer_dropped,
+            beats,
+        });
+    }
+
+    /// Pops the oldest captured batch together with the app's cumulative
+    /// tap-shed count (to fold into the forwarded `dropped_total`).
+    fn pop_item(&self) -> Option<(TapItem, u64)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let item = inner.items.pop_front()?;
+        let tap_dropped = inner
+            .drops
+            .get(&item.app)
+            .map(|d| d.tap_dropped)
+            .unwrap_or(0);
+        Some((item, tap_dropped))
+    }
+
+    /// Pops one pending shed announcement: `(app, producer_dropped,
+    /// tap_dropped)`. Announcements cover the case where the *latest*
+    /// batch of an app was shed, so no surviving item would ever carry the
+    /// raised drop counter upward.
+    fn pop_announcement(&self) -> Option<(String, u64, u64)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let app = inner.announce.pop_front()?;
+        let drops = inner.drops.get(&app).copied().unwrap_or_default();
+        Some((app, drops.producer_dropped, drops.tap_dropped))
+    }
+
+    /// Beats shed from the tap since start (the leaf-side loss counter the
+    /// federation soak reconciles against the root).
+    pub fn dropped_beats(&self) -> u64 {
+        self.dropped_beats.load(Ordering::Relaxed)
+    }
+
+    /// Beats captured into the tap since start.
+    pub fn captured_beats(&self) -> u64 {
+        self.captured_beats.load(Ordering::Relaxed)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+}
+
+/// Shared counters describing a collector's uplink, exported as
+/// `hb_collector_upstream_*` and in `STATS`.
+#[derive(Debug, Default)]
+pub struct UpstreamStats {
+    connected: AtomicBool,
+    forwarded_beats: AtomicU64,
+    forwarded_events: AtomicU64,
+    reconnects: AtomicU64,
+    retransmits: AtomicU64,
+}
+
+impl UpstreamStats {
+    /// True while the relay holds an established, acknowledged link.
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::Relaxed)
+    }
+
+    /// Beats forwarded to the parent (first transmissions only).
+    pub fn forwarded_beats(&self) -> u64 {
+        self.forwarded_beats.load(Ordering::Relaxed)
+    }
+
+    /// Propagated-subscription event frames forwarded to the parent.
+    pub fn forwarded_events(&self) -> u64 {
+        self.forwarded_events.load(Ordering::Relaxed)
+    }
+
+    /// Successful link establishments after the first (each preceded by a
+    /// backoff walk).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Rollup events re-sent after a reconnect because no ack covered them.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+}
+
+/// Parent-side state of one child link, keyed by node name and persistent
+/// across that child's reconnects (so `last_applied` survives and
+/// retransmitted sequences stay exactly-once).
+#[derive(Debug)]
+pub(crate) struct UpstreamLink {
+    pub(crate) node: String,
+    connected: AtomicBool,
+    /// Monotone session counter: each NodeHello bumps it, and only the
+    /// handler holding the current session may flip `connected` off — a
+    /// stale connection's close must not mark a fresh one down.
+    session: AtomicU64,
+    last_applied: AtomicU64,
+    /// Subscribe/Unsubscribe frames awaiting the link's pump pass.
+    outbox: Mutex<Vec<u8>>,
+    next_downlink: AtomicU32,
+    /// Downlink subscription id → the parent-side entry it feeds.
+    routes: Mutex<HashMap<u32, Arc<SubEntry>>>,
+    relayed_beats: AtomicU64,
+    relayed_events: AtomicU64,
+    duplicate_events: AtomicU64,
+    /// Relayed names whose `node/` prefix overflowed the wire name limit
+    /// (dropped — bounded node names make this unreachable for valid
+    /// children, but the counter keeps it observable).
+    oversize_names: AtomicU64,
+}
+
+impl UpstreamLink {
+    pub(crate) fn new(node: &str) -> Self {
+        UpstreamLink {
+            node: node.to_string(),
+            connected: AtomicBool::new(false),
+            session: AtomicU64::new(0),
+            last_applied: AtomicU64::new(0),
+            outbox: Mutex::new(Vec::new()),
+            next_downlink: AtomicU32::new(1),
+            routes: Mutex::new(HashMap::new()),
+            relayed_beats: AtomicU64::new(0),
+            relayed_events: AtomicU64::new(0),
+            duplicate_events: AtomicU64::new(0),
+            oversize_names: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a new link session: marks the link connected, clears stale
+    /// session state and returns the session token the serving handler
+    /// must present at close.
+    pub(crate) fn begin_session(&self) -> u64 {
+        let session = self.session.fetch_add(1, Ordering::AcqRel) + 1;
+        self.connected.store(true, Ordering::Release);
+        self.outbox.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.routes.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        session
+    }
+
+    /// The current session token (only the connection holding it may act
+    /// for the link).
+    pub(crate) fn current_session(&self) -> u64 {
+        self.session.load(Ordering::Acquire)
+    }
+
+    /// Ends `session` if it is still the current one.
+    pub(crate) fn end_session(&self, session: u64) {
+        if self.session.load(Ordering::Acquire) == session {
+            self.connected.store(false, Ordering::Release);
+            self.routes.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    pub(crate) fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn last_applied(&self) -> u64 {
+        self.last_applied.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn store_last_applied(&self, seq: u64) {
+        self.last_applied.store(seq, Ordering::Release);
+    }
+
+    pub(crate) fn count_duplicate(&self) {
+        self.duplicate_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_relayed_beats(&self, n: u64) {
+        self.relayed_beats.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_relayed_event(&self) {
+        self.relayed_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_oversize(&self) {
+        self.oversize_names.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocates a fresh downlink subscription id and records its route.
+    pub(crate) fn add_route(&self, entry: Arc<SubEntry>) -> u32 {
+        let id = self.next_downlink.fetch_add(1, Ordering::Relaxed);
+        self.routes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, entry);
+        id
+    }
+
+    pub(crate) fn route(&self, sub_id: u32) -> Option<Arc<SubEntry>> {
+        self.routes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&sub_id)
+            .cloned()
+    }
+
+    /// Removes every route feeding `entry`, returning the downlink ids to
+    /// unsubscribe at the child.
+    pub(crate) fn remove_routes_for(&self, entry: &Arc<SubEntry>) -> Vec<u32> {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let ids: Vec<u32> = routes
+            .iter()
+            .filter(|(_, e)| Arc::ptr_eq(e, entry))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &ids {
+            routes.remove(id);
+        }
+        ids
+    }
+
+    /// Removes routes whose entries went inactive without an explicit
+    /// retraction (e.g. a dropped [`LocalSubscription`]), returning their
+    /// downlink ids.
+    pub(crate) fn collect_dead_routes(&self) -> Vec<u32> {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let ids: Vec<u32> = routes
+            .iter()
+            .filter(|(_, e)| !e.is_active())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &ids {
+            routes.remove(id);
+        }
+        ids
+    }
+
+    /// Appends a frame to the link's outbox (drained by the serving
+    /// connection's pump pass).
+    pub(crate) fn push_frame(&self, frame: &Frame) {
+        frame.encode_into(&mut self.outbox.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Moves the queued outbox bytes into `out`.
+    pub(crate) fn drain_outbox(&self, out: &mut Vec<u8>) {
+        let mut outbox = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
+        if !outbox.is_empty() {
+            out.extend_from_slice(&outbox);
+            outbox.clear();
+        }
+    }
+
+    /// `(last_applied, relayed_beats, relayed_events, duplicates,
+    /// oversize)` for STATS / Prometheus.
+    pub(crate) fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.last_applied(),
+            self.relayed_beats.load(Ordering::Relaxed),
+            self.relayed_events.load(Ordering::Relaxed),
+            self.duplicate_events.load(Ordering::Relaxed),
+            self.oversize_names.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Cap on buffered-but-unwritten uplink bytes before the relay stops
+/// draining the tap (backpressure then sheds at the tap, exactly counted).
+const MAX_UPLINK_OUTBOX: usize = 1 << 20;
+
+/// How long the relay waits for the parent's resume [`Frame::RelayAck`]
+/// before treating the connection attempt as failed.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The background relay serving one collector's uplink. Owned by
+/// [`Collector`](crate::Collector); stopped (signalled and joined) by
+/// [`stop`](Self::stop) or drop.
+#[derive(Debug)]
+pub struct UpstreamRelay {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UpstreamRelay {
+    /// Spawns the relay thread for `state`, which must have been built
+    /// with [`CollectorConfig::upstream`](crate::CollectorConfig) set.
+    pub(crate) fn spawn(state: Arc<CollectorState>, config: UpstreamConfig) -> UpstreamRelay {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hb-upstream".into())
+                .spawn(move || RelayWorker::new(state, config, stop).run())
+                .expect("spawn upstream relay thread")
+        };
+        UpstreamRelay {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signals the relay to exit and joins its thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for UpstreamRelay {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One rollup event in flight: its link sequence and encoded bytes, kept
+/// until the parent's cumulative ack covers it.
+struct Unacked {
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// A propagated subscription the relay holds open locally on the parent's
+/// behalf, keyed by the parent-assigned downlink id.
+struct Propagated {
+    sub: LocalSubscription,
+}
+
+struct RelayWorker {
+    state: Arc<CollectorState>,
+    config: UpstreamConfig,
+    stop: Arc<AtomicBool>,
+    tap: Arc<UpstreamTap>,
+    stats: Arc<UpstreamStats>,
+    next_seq: u64,
+    unacked: VecDeque<Unacked>,
+    /// Encoded frames awaiting the socket (partial writes resume here).
+    outbox: Vec<u8>,
+    subs: HashMap<u32, Propagated>,
+    sessions: u64,
+}
+
+impl RelayWorker {
+    fn new(state: Arc<CollectorState>, config: UpstreamConfig, stop: Arc<AtomicBool>) -> Self {
+        let tap = state.upstream_tap().expect("relay requires an upstream tap");
+        let stats = state.upstream_stats().expect("relay requires upstream stats");
+        RelayWorker {
+            state,
+            config,
+            stop,
+            tap,
+            stats,
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            outbox: Vec::new(),
+            subs: HashMap::new(),
+            sessions: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let mut backoff = self.config.backoff_min;
+        while !self.stop.load(Ordering::Acquire) {
+            match self.connect() {
+                Some(stream) => {
+                    backoff = self.config.backoff_min;
+                    self.serve(stream);
+                    self.teardown_link();
+                }
+                None => {
+                    // Bounded exponential backoff, interruptible by stop.
+                    let deadline = Instant::now() + backoff;
+                    while Instant::now() < deadline && !self.stop.load(Ordering::Acquire) {
+                        std::thread::sleep(self.config.tick.min(Duration::from_millis(20)));
+                    }
+                    backoff = (backoff * 2).min(self.config.backoff_max);
+                }
+            }
+        }
+        self.teardown_link();
+    }
+
+    /// One connection attempt: TCP connect, NodeHello, wait for the resume
+    /// RelayAck. Returns a non-blocking stream ready to serve.
+    fn connect(&mut self) -> Option<TcpStream> {
+        let addr = self
+            .config
+            .parent
+            .to_socket_addrs()
+            .ok()?
+            .next()?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+        stream.set_nodelay(true).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        Some(stream)
+    }
+
+    /// Serves one established connection until error, EOF or stop.
+    fn serve(&mut self, mut stream: TcpStream) {
+        let mut decoder = FrameDecoder::new();
+        self.outbox.clear();
+        Frame::NodeHello {
+            node: self.config.node.clone(),
+            pid: std::process::id(),
+        }
+        .encode_into(&mut self.outbox);
+
+        // Handshake: flush the NodeHello and wait for the parent's resume
+        // ack (Subscribe frames may arrive first and are processed).
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let mut resumed = false;
+        while !resumed {
+            if self.stop.load(Ordering::Acquire) || Instant::now() > deadline {
+                return;
+            }
+            if !self.flush(&mut stream) || !self.read_frames(&mut stream, &mut decoder, &mut resumed)
+            {
+                return;
+            }
+            if !resumed {
+                std::thread::sleep(self.config.tick);
+            }
+        }
+
+        self.sessions += 1;
+        if self.sessions > 1 {
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.connected.store(true, Ordering::Release);
+        crate::log!(
+            Level::Info,
+            "upstream link established parent={} node={} resume_seq={}",
+            self.config.parent,
+            self.config.node,
+            self.next_seq - 1
+        );
+
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let mut resumed = false;
+            if !self.read_frames(&mut stream, &mut decoder, &mut resumed) {
+                return;
+            }
+            self.pump_rollups();
+            self.pump_propagated();
+            if !self.flush(&mut stream) {
+                return;
+            }
+            // Park only when idle: back-to-back full taps keep streaming.
+            if self.outbox.is_empty() && self.tap.len() == 0 {
+                std::thread::sleep(self.config.tick);
+            }
+        }
+    }
+
+    /// Reads and handles every available frame. Returns `false` on a dead
+    /// or protocol-violating link. Sets `resumed` once a RelayAck arrives.
+    fn read_frames(
+        &mut self,
+        stream: &mut TcpStream,
+        decoder: &mut FrameDecoder,
+        resumed: &mut bool,
+    ) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => decoder.push(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        loop {
+            match decoder.next_event() {
+                Ok(Some(FrameEvent::Control(Frame::RelayAck { last_applied }))) => {
+                    self.handle_ack(last_applied, resumed);
+                }
+                Ok(Some(FrameEvent::Control(Frame::Subscribe(req)))) => {
+                    self.handle_subscribe(req);
+                }
+                Ok(Some(FrameEvent::Control(Frame::Unsubscribe { sub_id }))) => {
+                    self.handle_unsubscribe(sub_id);
+                }
+                Ok(Some(_)) => {
+                    crate::log!(Level::Warn, "unexpected frame on upstream link, reconnecting");
+                    return false;
+                }
+                Ok(None) => return true,
+                Err(err) => {
+                    crate::log!(Level::Warn, "upstream link decode error: {err:?}");
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Applies a cumulative ack: prunes covered rollups; the first ack of
+    /// a connection is the resume point (retransmit the rest).
+    fn handle_ack(&mut self, last_applied: u64, resumed: &mut bool) {
+        while self
+            .unacked
+            .front()
+            .is_some_and(|u| u.seq <= last_applied)
+        {
+            self.unacked.pop_front();
+        }
+        if !*resumed {
+            *resumed = true;
+            self.next_seq = self.next_seq.max(last_applied + 1);
+            let retransmits = self.unacked.len() as u64;
+            if retransmits > 0 {
+                self.stats
+                    .retransmits
+                    .fetch_add(retransmits, Ordering::Relaxed);
+                for unacked in &self.unacked {
+                    self.outbox.extend_from_slice(&unacked.bytes);
+                }
+            }
+        }
+    }
+
+    /// Registers a parent-propagated subscription as a real local
+    /// subscription (recursing the propagation through this node's own
+    /// child links, if any).
+    fn handle_subscribe(&mut self, req: SubscribeReq) {
+        self.handle_unsubscribe(req.sub_id);
+        match self.state.subscribe_propagated(&req) {
+            Ok(sub) => {
+                crate::log!(
+                    Level::Debug,
+                    "upstream link: propagated subscribe sub={} pattern={}",
+                    req.sub_id,
+                    req.pattern
+                );
+                self.subs.insert(req.sub_id, Propagated { sub });
+            }
+            Err(status) => crate::log!(
+                Level::Warn,
+                "upstream link: propagated subscribe rejected sub={} status={status:?}",
+                req.sub_id
+            ),
+        }
+    }
+
+    fn handle_unsubscribe(&mut self, sub_id: u32) {
+        if let Some(p) = self.subs.remove(&sub_id) {
+            self.state.unsubscribe_propagated(&p.sub);
+        }
+    }
+
+    /// Drains the tap into sequence-numbered rollup events, respecting the
+    /// unacked window and the outbox cap.
+    fn pump_rollups(&mut self) {
+        loop {
+            if self.unacked.len() >= self.config.unacked_capacity
+                || self.outbox.len() >= MAX_UPLINK_OUTBOX
+            {
+                return;
+            }
+            if let Some((app, producer_dropped, tap_dropped)) = self.tap.pop_announcement() {
+                self.send_rollup(&app, producer_dropped + tap_dropped, &[]);
+                continue;
+            }
+            let Some((item, tap_dropped)) = self.tap.pop_item() else {
+                return;
+            };
+            self.stats
+                .forwarded_beats
+                .fetch_add(item.beats.len() as u64, Ordering::Relaxed);
+            let dropped_total = item.producer_dropped + tap_dropped;
+            if item.beats.len() <= MAX_EVENT_BEATS {
+                self.send_rollup(&item.app, dropped_total, &item.beats);
+            } else {
+                for chunk in item.beats.chunks(MAX_EVENT_BEATS) {
+                    self.send_rollup(&item.app, dropped_total, chunk);
+                }
+            }
+        }
+    }
+
+    /// Encodes one rollup event, assigns it the next link sequence, and
+    /// queues it for transmission and retransmission.
+    fn send_rollup(&mut self, app: &str, dropped_total: u64, beats: &[WireBeat]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Frame::RelayEvent {
+            seq,
+            event: EventFrame {
+                sub_id: 0,
+                sent_at_ns: telemetry::wall_clock_ns(),
+                app: app.to_string(),
+                payload: EventPayload::Beats {
+                    dropped_total,
+                    beats: beats.to_vec(),
+                },
+            },
+        };
+        let mut bytes = Vec::with_capacity(64 + beats.len() * 8);
+        frame.encode_into(&mut bytes);
+        self.outbox.extend_from_slice(&bytes);
+        self.unacked.push_back(Unacked { seq, bytes });
+    }
+
+    /// Forwards queued events of every propagated subscription verbatim
+    /// (their sub_id is the parent's downlink id and their names are this
+    /// node's local names — exactly what the parent expects), and runs the
+    /// silence sweep so stalls at this tier are detected without ingest.
+    fn pump_propagated(&mut self) {
+        for p in self.subs.values() {
+            self.state.sweep_subscriptions(p.sub.queue());
+            let budget = MAX_UPLINK_OUTBOX.saturating_sub(self.outbox.len());
+            if budget == 0 {
+                return;
+            }
+            let before = self.outbox.len();
+            let moved = p.sub.queue().drain_to_vec(&mut self.outbox, budget);
+            if moved > 0 {
+                debug_assert!(self.outbox.len() > before);
+                self.stats
+                    .forwarded_events
+                    .fetch_add(moved as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Writes as much of the outbox as the socket accepts. Returns `false`
+    /// on a dead link.
+    fn flush(&mut self, stream: &mut TcpStream) -> bool {
+        let mut written = 0;
+        while written < self.outbox.len() {
+            match stream.write(&self.outbox[written..]) {
+                Ok(0) => return false,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        self.outbox.drain(..written);
+        true
+    }
+
+    /// Link-down cleanup: propagated subscriptions are torn down locally
+    /// (the parent re-propagates on reconnect with fresh downlink ids);
+    /// unacked rollups are kept for retransmission.
+    fn teardown_link(&mut self) {
+        if self.stats.connected.swap(false, Ordering::AcqRel) {
+            crate::log!(
+                Level::Warn,
+                "upstream link down parent={} node={} ({} rollups unacked)",
+                self.config.parent,
+                self.config.node,
+                self.unacked.len()
+            );
+        }
+        for (_, p) in self.subs.drain() {
+            self.state.unsubscribe_propagated(&p.sub);
+        }
+        self.outbox.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heartbeats::{BeatScope, BeatThreadId, HeartbeatRecord, Tag};
+
+    fn beats(n: usize) -> Vec<WireBeat> {
+        (0..n)
+            .map(|i| WireBeat {
+                record: HeartbeatRecord::new(i as u64, i as u64 * 1_000, Tag::NONE, BeatThreadId(0)),
+                scope: BeatScope::Global,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tap_sheds_oldest_with_exact_accounting() {
+        let tap = UpstreamTap::new(2);
+        tap.capture("a", 0, beats(3));
+        tap.capture("a", 0, beats(4));
+        tap.capture("a", 5, beats(2)); // sheds the 3-beat batch
+        assert_eq!(tap.dropped_beats(), 3);
+        assert_eq!(tap.captured_beats(), 9);
+        let (app, producer_dropped, tap_dropped) = tap.pop_announcement().unwrap();
+        assert_eq!((app.as_str(), producer_dropped, tap_dropped), ("a", 0, 3));
+        assert!(tap.pop_announcement().is_none());
+        let (item, tap_dropped) = tap.pop_item().unwrap();
+        assert_eq!((item.beats.len(), tap_dropped), (4, 3));
+        let (item, tap_dropped) = tap.pop_item().unwrap();
+        assert_eq!((item.beats.len(), item.producer_dropped, tap_dropped), (2, 5, 3));
+        assert!(tap.pop_item().is_none());
+    }
+
+    #[test]
+    fn tap_drop_totals_fold_monotonically() {
+        // The forwarded dropped_total (producer_dropped at capture + tap
+        // cumulative) must be monotone in send order even when sheds
+        // interleave — the parent max-merges it.
+        let tap = UpstreamTap::new(1);
+        tap.capture("a", 10, beats(5));
+        tap.capture("a", 12, beats(1)); // sheds the first batch (5 beats)
+        let (_, producer_dropped, tap_dropped) = tap.pop_announcement().unwrap();
+        let announced = producer_dropped + tap_dropped;
+        assert_eq!(announced, 15);
+        let (item, tap_dropped) = tap.pop_item().unwrap();
+        assert!(item.producer_dropped + tap_dropped >= announced);
+    }
+}

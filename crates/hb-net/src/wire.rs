@@ -128,6 +128,12 @@ pub const MAX_COMPACT_BEAT_LEN: usize = 1 + 10 + 10 + 10 + 5;
 /// Maximum application-name length accepted in a hello frame.
 pub const MAX_NAME_LEN: usize = 256;
 
+/// Maximum federation node (origin) name length accepted in a
+/// [`Frame::NodeHello`]. Node names become `node/` prefixes on every
+/// re-exported application name, so they are bounded much tighter than
+/// [`MAX_NAME_LEN`] to leave room for the application part.
+pub const MAX_NODE_LEN: usize = 64;
+
 /// Encoded size of one [`HistorySample`] inside a [`Frame::History`]
 /// payload.
 pub const SAMPLE_LEN: usize = 40;
@@ -151,6 +157,9 @@ const KIND_SUBSCRIBE: u8 = 11;
 const KIND_SUB_ACK: u8 = 12;
 const KIND_EVENT: u8 = 13;
 const KIND_UNSUBSCRIBE: u8 = 14;
+const KIND_NODE_HELLO: u8 = 15;
+const KIND_RELAY_EVENT: u8 = 16;
+const KIND_RELAY_ACK: u8 = 17;
 
 /// The lowest protocol version that defines `kind`, which is also the
 /// version stamped into the header when the frame is encoded. `None` if no
@@ -159,7 +168,7 @@ pub fn wire_version(kind: u8) -> Option<u8> {
     match kind {
         KIND_HELLO..=KIND_BYE => Some(1),
         KIND_HISTORY_REQ..=KIND_HEALTH => Some(2),
-        KIND_HELLO_ACK..=KIND_UNSUBSCRIBE => Some(3),
+        KIND_HELLO_ACK..=KIND_RELAY_ACK => Some(3),
         _ => None,
     }
 }
@@ -225,6 +234,49 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
         pi += 1;
     }
     pi == p.len()
+}
+
+/// True if `name` is acceptable as a federation node (origin) name:
+/// everything [`valid_app_name`] demands, within [`MAX_NODE_LEN`] bytes,
+/// and additionally free of `/` (the namespace separator) and `*` (the
+/// subscription wildcard) — so `node/app` parses unambiguously and node
+/// prefixes never alias glob patterns.
+pub fn valid_node_name(name: &str) -> bool {
+    valid_app_name(name) && name.len() <= MAX_NODE_LEN && !name.contains('/') && !name.contains('*')
+}
+
+/// True if some application name starting with `prefix` could match
+/// `pattern` — i.e. the glob can consume all of `prefix` and still have a
+/// viable (possibly empty) remainder. Used by federation to decide whether
+/// a subscription at a parent must be propagated to the child behind a
+/// `node/` prefix. May report `true` for patterns no concrete child name
+/// ends up matching (the parent re-filters on delivery); it never reports
+/// `false` for a pattern that could match.
+pub fn glob_overlaps_prefix(pattern: &str, prefix: &str) -> bool {
+    let p = pattern.as_bytes();
+    let n = prefix.as_bytes();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && p[pi] == b'*' {
+            star = pi;
+            mark = ni;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == n[ni] {
+            pi += 1;
+            ni += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    // The prefix is consumed. Any remaining pattern tail can always be
+    // satisfied by some suffix (literals match themselves, `*` matches
+    // anything), so consuming the prefix is sufficient.
+    true
 }
 
 /// Rewrites an arbitrary string into a valid wire application name:
@@ -488,6 +540,36 @@ pub enum Frame {
     Unsubscribe {
         /// The subscription to cancel.
         sub_id: u32,
+    },
+    /// Child collector → parent, first frame on a federation uplink (in
+    /// place of [`Frame::Hello`] on the ingest port): identifies the child
+    /// as a relaying collector node rather than a single producer. The
+    /// parent prefixes every re-exported application with `node/` and
+    /// answers with a [`Frame::RelayAck`] carrying the highest link
+    /// sequence it has already applied, so the child can resume without
+    /// re-sending acknowledged batches.
+    NodeHello {
+        /// Federation node (origin) name; must satisfy [`valid_node_name`].
+        node: String,
+        /// The child collector's process id, for diagnostics.
+        pid: u32,
+    },
+    /// Child collector → parent: one rollup event, tagged with a link
+    /// sequence number for exactly-once application across reconnects. The
+    /// parent applies the event only if `seq` is greater than the highest
+    /// it has applied for this node, and acknowledges with
+    /// [`Frame::RelayAck`].
+    RelayEvent {
+        /// Link-scoped sequence number, monotone from 1 per node.
+        seq: u64,
+        /// The event, named in the child's (un-prefixed) namespace.
+        event: EventFrame,
+    },
+    /// Parent → child: cumulative acknowledgment of [`Frame::RelayEvent`]s.
+    /// Also sent in answer to a [`Frame::NodeHello`] as the resume point.
+    RelayAck {
+        /// Highest link sequence applied so far (`0` = none).
+        last_applied: u64,
     },
 }
 
@@ -962,6 +1044,59 @@ fn decode_sample(bytes: &[u8]) -> Result<HistorySample> {
     })
 }
 
+/// Appends a complete [`Frame::Event`] payload body to `buf`. Shared by
+/// the [`KIND_EVENT`] encoder and [`Frame::RelayEvent`], which embeds the
+/// same body after its link sequence number — so federation relays can
+/// splice child event bytes without re-encoding.
+fn encode_event_payload(buf: &mut Vec<u8>, event: &EventFrame) {
+    put_varint(buf, event.sub_id as u64);
+    match &event.payload {
+        EventPayload::Snapshot { .. } => buf.push(EVENT_SNAPSHOT),
+        EventPayload::HealthTransition { .. } => buf.push(EVENT_HEALTH),
+        EventPayload::Beats { .. } => buf.push(EVENT_BEATS),
+    }
+    put_name(buf, &event.app);
+    put_varint(buf, event.sent_at_ns);
+    match &event.payload {
+        EventPayload::Snapshot {
+            total_beats,
+            producer_dropped,
+            rate_bps,
+            target,
+            alive,
+        } => {
+            put_varint(buf, *total_beats);
+            put_varint(buf, *producer_dropped);
+            put_opt_f64(buf, *rate_bps);
+            put_opt_f64(buf, target.map(|(min, _)| min));
+            put_opt_f64(buf, target.map(|(_, max)| max));
+            buf.push(u8::from(*alive));
+        }
+        EventPayload::HealthTransition {
+            from,
+            to,
+            reasons,
+            window_beats,
+        } => {
+            buf.push(from.as_u8());
+            buf.push(to.as_u8());
+            put_u16(buf, HealthReason::pack(reasons));
+            put_u32(buf, *window_beats);
+        }
+        EventPayload::Beats {
+            dropped_total,
+            beats,
+        } => {
+            debug_assert!(beats.len() <= MAX_EVENT_BEATS, "unchunked beats event");
+            put_varint(buf, *dropped_total);
+            let mut state = DeltaState::default();
+            for beat in beats {
+                encode_compact_beat(buf, &mut state, beat);
+            }
+        }
+    }
+}
+
 impl Frame {
     fn kind(&self) -> u8 {
         match self {
@@ -978,6 +1113,9 @@ impl Frame {
             Frame::SubAck { .. } => KIND_SUB_ACK,
             Frame::Event(_) => KIND_EVENT,
             Frame::Unsubscribe { .. } => KIND_UNSUBSCRIBE,
+            Frame::NodeHello { .. } => KIND_NODE_HELLO,
+            Frame::RelayEvent { .. } => KIND_RELAY_EVENT,
+            Frame::RelayAck { .. } => KIND_RELAY_ACK,
         }
     }
 
@@ -1046,55 +1184,23 @@ impl Frame {
                 buf.push(status.as_u8());
             }
             Frame::Event(event) => {
-                put_varint(buf, event.sub_id as u64);
-                match &event.payload {
-                    EventPayload::Snapshot { .. } => buf.push(EVENT_SNAPSHOT),
-                    EventPayload::HealthTransition { .. } => buf.push(EVENT_HEALTH),
-                    EventPayload::Beats { .. } => buf.push(EVENT_BEATS),
-                }
-                put_name(buf, &event.app);
-                put_varint(buf, event.sent_at_ns);
-                match &event.payload {
-                    EventPayload::Snapshot {
-                        total_beats,
-                        producer_dropped,
-                        rate_bps,
-                        target,
-                        alive,
-                    } => {
-                        put_varint(buf, *total_beats);
-                        put_varint(buf, *producer_dropped);
-                        put_opt_f64(buf, *rate_bps);
-                        put_opt_f64(buf, target.map(|(min, _)| min));
-                        put_opt_f64(buf, target.map(|(_, max)| max));
-                        buf.push(u8::from(*alive));
-                    }
-                    EventPayload::HealthTransition {
-                        from,
-                        to,
-                        reasons,
-                        window_beats,
-                    } => {
-                        buf.push(from.as_u8());
-                        buf.push(to.as_u8());
-                        put_u16(buf, HealthReason::pack(reasons));
-                        put_u32(buf, *window_beats);
-                    }
-                    EventPayload::Beats {
-                        dropped_total,
-                        beats,
-                    } => {
-                        debug_assert!(beats.len() <= MAX_EVENT_BEATS, "unchunked beats event");
-                        put_varint(buf, *dropped_total);
-                        let mut state = DeltaState::default();
-                        for beat in beats {
-                            encode_compact_beat(buf, &mut state, beat);
-                        }
-                    }
-                }
+                encode_event_payload(buf, event);
             }
             Frame::Unsubscribe { sub_id } => {
                 put_u32(buf, *sub_id);
+            }
+            Frame::NodeHello { node, pid } => {
+                put_u32(buf, *pid);
+                let name = node.as_bytes();
+                put_u16(buf, name.len() as u16);
+                buf.extend_from_slice(name);
+            }
+            Frame::RelayEvent { seq, event } => {
+                put_varint(buf, *seq);
+                encode_event_payload(buf, event);
+            }
+            Frame::RelayAck { last_applied } => {
+                put_varint(buf, *last_applied);
             }
         }
     }
@@ -1204,6 +1310,17 @@ impl Frame {
                     return Err(NetError::Protocol(format!(
                         "invalid application name {app:?} (empty, too long, or contains \
                          whitespace/control/quote characters)"
+                    )));
+                }
+                // `/` is the federation namespace separator: `node/app`
+                // names are minted exclusively by a parent collector when
+                // it prefixes a child's re-exports, so a producer claiming
+                // one at hello could impersonate (or double-count against)
+                // a federated application.
+                if app.contains('/') {
+                    return Err(NetError::Protocol(format!(
+                        "invalid application name {app:?}: '/' is reserved for \
+                         federation origin namespacing"
                     )));
                 }
                 Ok(Frame::Hello(Hello {
@@ -1372,109 +1489,7 @@ impl Frame {
                 })?;
                 Ok(Frame::SubAck { sub_id, status })
             }
-            KIND_EVENT => {
-                let (sub_id, at) = get_varint(payload, 0)?;
-                if sub_id > u32::MAX as u64 {
-                    return Err(NetError::Protocol(format!(
-                        "event subscription id {sub_id} exceeds u32"
-                    )));
-                }
-                let Some(&event_kind) = payload.get(at) else {
-                    return Err(NetError::Protocol("event kind truncated".into()));
-                };
-                let (app, at) = get_name(payload, at + 1)?;
-                let (sent_at_ns, at) = get_varint(payload, at)?;
-                let payload_body = match event_kind {
-                    EVENT_SNAPSHOT => {
-                        let (total_beats, at) = get_varint(payload, at)?;
-                        let (producer_dropped, at) = get_varint(payload, at)?;
-                        if payload.len() != at + 25 {
-                            return Err(NetError::Protocol(
-                                "snapshot event length mismatch".into(),
-                            ));
-                        }
-                        let rate_bps = get_opt_f64(payload, at)?;
-                        let target = match (
-                            get_opt_f64(payload, at + 8)?,
-                            get_opt_f64(payload, at + 16)?,
-                        ) {
-                            (Some(min), Some(max)) => Some((min, max)),
-                            (None, None) => None,
-                            _ => {
-                                return Err(NetError::Protocol(
-                                    "half-set snapshot event target".into(),
-                                ))
-                            }
-                        };
-                        let alive = match payload[at + 24] {
-                            0 => false,
-                            1 => true,
-                            other => {
-                                return Err(NetError::Protocol(format!(
-                                    "invalid snapshot event alive byte {other}"
-                                )))
-                            }
-                        };
-                        EventPayload::Snapshot {
-                            total_beats,
-                            producer_dropped,
-                            rate_bps,
-                            target,
-                            alive,
-                        }
-                    }
-                    EVENT_HEALTH => {
-                        if payload.len() != at + 8 {
-                            return Err(NetError::Protocol(
-                                "health event length mismatch".into(),
-                            ));
-                        }
-                        let from = HealthStatus::from_u8(payload[at]).ok_or_else(|| {
-                            NetError::Protocol(format!(
-                                "invalid health status byte {}",
-                                payload[at]
-                            ))
-                        })?;
-                        let to = HealthStatus::from_u8(payload[at + 1]).ok_or_else(|| {
-                            NetError::Protocol(format!(
-                                "invalid health status byte {}",
-                                payload[at + 1]
-                            ))
-                        })?;
-                        EventPayload::HealthTransition {
-                            from,
-                            to,
-                            reasons: HealthReason::unpack(get_u16(payload, at + 2)),
-                            window_beats: get_u32(payload, at + 4),
-                        }
-                    }
-                    EVENT_BEATS => {
-                        let (dropped_total, mut at) = get_varint(payload, at)?;
-                        let mut beats = Vec::new();
-                        let mut state = DeltaState::default();
-                        while at < payload.len() {
-                            let (beat, next) = decode_compact_beat(payload, at, &mut state)?;
-                            beats.push(beat);
-                            at = next;
-                        }
-                        EventPayload::Beats {
-                            dropped_total,
-                            beats,
-                        }
-                    }
-                    other => {
-                        return Err(NetError::Protocol(format!(
-                            "unknown event kind {other}"
-                        )))
-                    }
-                };
-                Ok(Frame::Event(EventFrame {
-                    sub_id: sub_id as u32,
-                    sent_at_ns,
-                    app,
-                    payload: payload_body,
-                }))
-            }
+            KIND_EVENT => Ok(Frame::Event(decode_event_payload(payload, 0)?)),
             KIND_UNSUBSCRIBE => {
                 if payload.len() != 4 {
                     return Err(NetError::Protocol(format!(
@@ -1485,6 +1500,52 @@ impl Frame {
                 Ok(Frame::Unsubscribe {
                     sub_id: get_u32(payload, 0),
                 })
+            }
+            KIND_NODE_HELLO => {
+                if payload.len() < 6 {
+                    return Err(NetError::Protocol("node hello truncated".into()));
+                }
+                let pid = get_u32(payload, 0);
+                let name_len = get_u16(payload, 4) as usize;
+                if name_len > MAX_NODE_LEN {
+                    return Err(NetError::Protocol(format!(
+                        "node name of {name_len} bytes exceeds the {MAX_NODE_LEN}-byte limit"
+                    )));
+                }
+                if payload.len() != 6 + name_len {
+                    return Err(NetError::Protocol(format!(
+                        "node hello payload is {} bytes, expected {}",
+                        payload.len(),
+                        6 + name_len
+                    )));
+                }
+                let node = std::str::from_utf8(&payload[6..])
+                    .map_err(|_| NetError::Protocol("node name is not UTF-8".into()))?
+                    .to_string();
+                if !valid_node_name(&node) {
+                    return Err(NetError::Protocol(format!(
+                        "invalid node name {node:?} (empty, too long, or contains \
+                         whitespace/control/quote/'/'/'*' characters)"
+                    )));
+                }
+                Ok(Frame::NodeHello { node, pid })
+            }
+            KIND_RELAY_EVENT => {
+                let (seq, at) = get_varint(payload, 0)?;
+                if seq == 0 {
+                    return Err(NetError::Protocol(
+                        "relay event sequence 0 is reserved".into(),
+                    ));
+                }
+                let event = decode_event_payload(payload, at)?;
+                Ok(Frame::RelayEvent { seq, event })
+            }
+            KIND_RELAY_ACK => {
+                let (last_applied, end) = get_varint(payload, 0)?;
+                if end != payload.len() {
+                    return Err(NetError::Protocol("relay ack trailing bytes".into()));
+                }
+                Ok(Frame::RelayAck { last_applied })
             }
             _ => unreachable!("kind validated by decode_header"),
         }
@@ -1507,6 +1568,93 @@ impl Frame {
         let frame = Self::decode_payload(kind, &bytes[HEADER_LEN..total], crc)?;
         Ok((frame, total))
     }
+}
+
+/// Decodes a [`Frame::Event`] payload body beginning at offset `at` and
+/// extending to the end of `payload`. Shared by the [`KIND_EVENT`] decoder
+/// (`at == 0`) and [`Frame::RelayEvent`], which prefixes the same body
+/// with a link sequence varint.
+fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
+    let (sub_id, at) = get_varint(payload, at)?;
+    if sub_id > u32::MAX as u64 {
+        return Err(NetError::Protocol(format!(
+            "event subscription id {sub_id} exceeds u32"
+        )));
+    }
+    let Some(&event_kind) = payload.get(at) else {
+        return Err(NetError::Protocol("event kind truncated".into()));
+    };
+    let (app, at) = get_name(payload, at + 1)?;
+    let (sent_at_ns, at) = get_varint(payload, at)?;
+    let payload_body = match event_kind {
+        EVENT_SNAPSHOT => {
+            let (total_beats, at) = get_varint(payload, at)?;
+            let (producer_dropped, at) = get_varint(payload, at)?;
+            if payload.len() != at + 25 {
+                return Err(NetError::Protocol("snapshot event length mismatch".into()));
+            }
+            let rate_bps = get_opt_f64(payload, at)?;
+            let target = match (get_opt_f64(payload, at + 8)?, get_opt_f64(payload, at + 16)?) {
+                (Some(min), Some(max)) => Some((min, max)),
+                (None, None) => None,
+                _ => return Err(NetError::Protocol("half-set snapshot event target".into())),
+            };
+            let alive = match payload[at + 24] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "invalid snapshot event alive byte {other}"
+                    )))
+                }
+            };
+            EventPayload::Snapshot {
+                total_beats,
+                producer_dropped,
+                rate_bps,
+                target,
+                alive,
+            }
+        }
+        EVENT_HEALTH => {
+            if payload.len() != at + 8 {
+                return Err(NetError::Protocol("health event length mismatch".into()));
+            }
+            let from = HealthStatus::from_u8(payload[at]).ok_or_else(|| {
+                NetError::Protocol(format!("invalid health status byte {}", payload[at]))
+            })?;
+            let to = HealthStatus::from_u8(payload[at + 1]).ok_or_else(|| {
+                NetError::Protocol(format!("invalid health status byte {}", payload[at + 1]))
+            })?;
+            EventPayload::HealthTransition {
+                from,
+                to,
+                reasons: HealthReason::unpack(get_u16(payload, at + 2)),
+                window_beats: get_u32(payload, at + 4),
+            }
+        }
+        EVENT_BEATS => {
+            let (dropped_total, mut at) = get_varint(payload, at)?;
+            let mut beats = Vec::new();
+            let mut state = DeltaState::default();
+            while at < payload.len() {
+                let (beat, next) = decode_compact_beat(payload, at, &mut state)?;
+                beats.push(beat);
+                at = next;
+            }
+            EventPayload::Beats {
+                dropped_total,
+                beats,
+            }
+        }
+        other => return Err(NetError::Protocol(format!("unknown event kind {other}"))),
+    };
+    Ok(EventFrame {
+        sub_id: sub_id as u32,
+        sent_at_ns,
+        app,
+        payload: payload_body,
+    })
 }
 
 /// Streaming encoder for one [`Frame::Beats`] batch, in either wire
@@ -2774,6 +2922,154 @@ mod tests {
             "48 42 57 54 03 0a 0e 00 00 00 74 b4 15 0b \
              00 00 01 80 89 7a 00 03 01 e8 90 7a 07 00"
         );
+    }
+
+    #[test]
+    fn hello_rejects_namespaced_names() {
+        // `/` passes valid_app_name (queries and events must accept
+        // namespaced names) but a *producer* may not claim one at hello.
+        assert!(valid_app_name("leaf-1/cam"));
+        let frame = Frame::Hello(Hello {
+            app: "leaf-1/cam".into(),
+            pid: 1,
+            default_window: 20,
+        });
+        assert!(matches!(
+            Frame::decode(&frame.encode()),
+            Err(NetError::Protocol(msg)) if msg.contains("federation")
+        ));
+    }
+
+    #[test]
+    fn node_name_validation() {
+        assert!(valid_node_name("leaf-1"));
+        assert!(valid_node_name("rack07.eu"));
+        assert!(!valid_node_name(""));
+        assert!(!valid_node_name("leaf/1"));
+        assert!(!valid_node_name("leaf*"));
+        assert!(!valid_node_name("leaf 1"));
+        assert!(!valid_node_name("leaf\u{7}"));
+        assert!(!valid_node_name(&"n".repeat(MAX_NODE_LEN + 1)));
+        assert!(valid_node_name(&"n".repeat(MAX_NODE_LEN)));
+    }
+
+    #[test]
+    fn node_hello_roundtrip_and_rejections() {
+        let frame = Frame::NodeHello {
+            node: "leaf-1".into(),
+            pid: 4242,
+        };
+        let bytes = frame.encode();
+        // Federation kinds ride the existing v3 wire.
+        assert_eq!(bytes[4], 3);
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+        for bad in ["leaf/1", "leaf*", "has space", ""] {
+            let frame = Frame::NodeHello {
+                node: bad.into(),
+                pid: 1,
+            };
+            assert!(
+                matches!(Frame::decode(&frame.encode()), Err(NetError::Protocol(_))),
+                "node name {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn relay_event_roundtrip() {
+        for payload in [
+            EventPayload::Beats {
+                dropped_total: 17,
+                beats: vec![beat(1, BeatScope::Global), beat(2, BeatScope::Local)],
+            },
+            EventPayload::HealthTransition {
+                from: HealthStatus::Healthy,
+                to: HealthStatus::Stalled,
+                reasons: vec![HealthReason::Silent],
+                window_beats: 12,
+            },
+        ] {
+            let frame = Frame::RelayEvent {
+                seq: u64::MAX / 3,
+                event: EventFrame {
+                    sub_id: 0,
+                    sent_at_ns: 123_456_789,
+                    app: "cam".into(),
+                    payload,
+                },
+            };
+            let bytes = frame.encode();
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn relay_event_rejects_seq_zero() {
+        let frame = Frame::RelayEvent {
+            seq: 1,
+            event: EventFrame {
+                sub_id: 0,
+                sent_at_ns: 0,
+                app: "cam".into(),
+                payload: EventPayload::Beats {
+                    dropped_total: 0,
+                    beats: vec![],
+                },
+            },
+        };
+        let mut bytes = frame.encode();
+        // Rewrite the seq varint (first payload byte) from 1 to 0 and
+        // re-stamp the CRC.
+        bytes[HEADER_LEN] = 0;
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(NetError::Protocol(msg)) if msg.contains("reserved")
+        ));
+    }
+
+    #[test]
+    fn relay_ack_roundtrip() {
+        for last_applied in [0u64, 1, 300, u64::MAX] {
+            let frame = Frame::RelayAck { last_applied };
+            let bytes = frame.encode();
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn federation_kinds_are_version_3() {
+        for kind in [KIND_NODE_HELLO, KIND_RELAY_EVENT, KIND_RELAY_ACK] {
+            assert_eq!(wire_version(kind), Some(3));
+        }
+        assert_eq!(wire_version(KIND_RELAY_ACK + 1), None);
+    }
+
+    #[test]
+    fn glob_overlaps_prefix_cases() {
+        // Anything a subscription could match under the prefix → true.
+        assert!(glob_overlaps_prefix("*", "leaf-1/"));
+        assert!(glob_overlaps_prefix("leaf-1/*", "leaf-1/"));
+        assert!(glob_overlaps_prefix("leaf-1/cam", "leaf-1/"));
+        assert!(glob_overlaps_prefix("leaf*", "leaf-1/"));
+        assert!(glob_overlaps_prefix("le*af/x", "leaf/"));
+        assert!(glob_overlaps_prefix("*cam", "leaf-1/"));
+        // Patterns that cannot reach past the prefix → false.
+        assert!(!glob_overlaps_prefix("other/*", "leaf-1/"));
+        assert!(!glob_overlaps_prefix("cam", "leaf-1/"));
+        assert!(!glob_overlaps_prefix("leaf-2*", "leaf-1/"));
+        // Consistency with glob_match: a matching full name implies overlap.
+        for (pattern, name) in [("*", "leaf-1/cam"), ("leaf-1/c*m", "leaf-1/cam")] {
+            assert!(glob_match(pattern, name));
+            assert!(glob_overlaps_prefix(pattern, "leaf-1/"));
+        }
     }
 }
 

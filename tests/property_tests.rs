@@ -235,3 +235,160 @@ proptest! {
         prop_assert_eq!(hb.total_beats(), tags.len() as u64);
     }
 }
+
+// --- Federation naming: namespaced origins, globs, and wire round-trips ---
+
+use app_heartbeats::heartbeats::{BeatScope, HeartbeatRecord};
+use app_heartbeats::net::wire::{self, EventFrame, EventPayload, Frame, WireBeat};
+
+/// Alphabet for federation node (origin) names: printable, no `/`, no `*`.
+const NODE_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+/// Alphabet for application name components. Literal `*` is deliberately
+/// included: application names may contain it even though patterns treat it
+/// as a wildcard — the properties below pin down that asymmetry.
+const APP_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-*";
+/// Alphabet for arbitrary subscription patterns, wildcards and separators
+/// included.
+const PATTERN_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-*/";
+
+/// Maps seed bytes into `alphabet`, yielding a name drawn from it.
+fn from_alphabet(alphabet: &[u8], seeds: &[u8]) -> String {
+    seeds
+        .iter()
+        .map(|&s| alphabet[s as usize % alphabet.len()] as char)
+        .collect()
+}
+
+proptest! {
+    /// `node/app` composes into a valid application name (parents accept
+    /// it), while the composite is never itself a valid node name — `/` is
+    /// reserved as the namespace separator, so re-prefixing at each tier
+    /// parses unambiguously.
+    #[test]
+    fn namespaced_names_validate_as_apps_not_nodes(
+        node_seed in prop::collection::vec(any::<u8>(), 1..16),
+        app_seed in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let node = from_alphabet(NODE_ALPHABET, &node_seed);
+        let app = from_alphabet(APP_ALPHABET, &app_seed);
+        let name = format!("{node}/{app}");
+        prop_assert!(wire::valid_node_name(&node));
+        prop_assert!(wire::valid_app_name(&name));
+        prop_assert!(!wire::valid_node_name(&name));
+    }
+
+    /// Namespaced names survive a v3 `Event` frame encode→decode round trip
+    /// byte-identically, including literal `*` in the application part.
+    #[test]
+    fn namespaced_names_round_trip_event_frames(
+        node_seed in prop::collection::vec(any::<u8>(), 1..16),
+        app_seed in prop::collection::vec(any::<u8>(), 1..32),
+        sub_id in any::<u32>(),
+        sent_at_ns in any::<u64>(),
+        dropped_total in any::<u64>(),
+        seqs in prop::collection::vec(any::<u32>(), 0..20),
+    ) {
+        let node = from_alphabet(NODE_ALPHABET, &node_seed);
+        let app = from_alphabet(APP_ALPHABET, &app_seed);
+        let beats: Vec<WireBeat> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| WireBeat {
+                record: HeartbeatRecord::new(
+                    s as u64,
+                    (i as u64 + 1) * 1_000,
+                    Tag::new(s as u64),
+                    BeatThreadId(0),
+                ),
+                scope: BeatScope::Global,
+            })
+            .collect();
+        let frame = Frame::Event(EventFrame {
+            sub_id,
+            sent_at_ns,
+            app: format!("{node}/{app}"),
+            payload: EventPayload::Beats { dropped_total, beats },
+        });
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The same holds inside the federation rollup envelope
+    /// (`RelayEvent{seq, event}`), which carries the namespaced name one
+    /// more hop up the tree.
+    #[test]
+    fn namespaced_names_round_trip_relay_events(
+        node_seed in prop::collection::vec(any::<u8>(), 1..16),
+        app_seed in prop::collection::vec(any::<u8>(), 1..32),
+        seq in 1u64..u64::MAX,
+        dropped_total in any::<u64>(),
+    ) {
+        let node = from_alphabet(NODE_ALPHABET, &node_seed);
+        let app = from_alphabet(APP_ALPHABET, &app_seed);
+        let frame = Frame::RelayEvent {
+            seq,
+            event: EventFrame {
+                sub_id: 0,
+                sent_at_ns: 0,
+                app: format!("{node}/{app}"),
+                payload: EventPayload::Beats { dropped_total, beats: Vec::new() },
+            },
+        };
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Glob semantics over namespaced names: the universal and node-scoped
+    /// wildcards match, a name used as its own pattern matches (a literal
+    /// `*` in the name acts as a wildcard in the pattern, which can always
+    /// re-consume the same text), and a *different* node's scope never
+    /// matches — node names contain no `/`, so the separator can only align
+    /// when the origins are equal.
+    #[test]
+    fn glob_matches_namespaced_names_coherently(
+        node_seed in prop::collection::vec(any::<u8>(), 1..16),
+        other_seed in prop::collection::vec(any::<u8>(), 1..16),
+        app_seed in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let node = from_alphabet(NODE_ALPHABET, &node_seed);
+        let other = from_alphabet(NODE_ALPHABET, &other_seed);
+        let app = from_alphabet(APP_ALPHABET, &app_seed);
+        let name = format!("{node}/{app}");
+        prop_assert!(wire::glob_match("*", &name));
+        prop_assert!(wire::glob_match(&format!("{node}/*"), &name));
+        prop_assert!(wire::glob_match(&name, &name));
+        if other != node {
+            prop_assert!(!wire::glob_match(&format!("{other}/*"), &name));
+        }
+    }
+
+    /// Propagation soundness: whenever a pattern matches some name under
+    /// `node/`, `glob_overlaps_prefix` must report overlap for that prefix
+    /// — the parent may over-propagate (it re-filters on delivery) but must
+    /// never fail to propagate a subscription a child event could match.
+    #[test]
+    fn glob_overlap_never_false_negative(
+        node_seed in prop::collection::vec(any::<u8>(), 1..16),
+        app_seed in prop::collection::vec(any::<u8>(), 1..32),
+        pattern_seed in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let node = from_alphabet(NODE_ALPHABET, &node_seed);
+        let app = from_alphabet(APP_ALPHABET, &app_seed);
+        let pattern = from_alphabet(PATTERN_ALPHABET, &pattern_seed);
+        let name = format!("{node}/{app}");
+        let prefix = format!("{node}/");
+        if wire::glob_match(&pattern, &name) {
+            prop_assert!(
+                wire::glob_overlaps_prefix(&pattern, &prefix),
+                "pattern {:?} matches {:?} but reports no overlap with {:?}",
+                pattern, name, prefix
+            );
+        }
+        // And the patterns federation itself synthesizes always overlap.
+        prop_assert!(wire::glob_overlaps_prefix("*", &prefix));
+        prop_assert!(wire::glob_overlaps_prefix(&format!("{node}/*"), &prefix));
+        prop_assert!(wire::glob_overlaps_prefix(&name, &prefix));
+    }
+}
