@@ -5,7 +5,7 @@
 //!              [--io-threads N|auto] [--idle-timeout SECS]
 //!              [--history-capacity N] [--health-window SECS]
 //!              [--sub-queue-capacity N] [--log-level LEVEL]
-//!              [--upstream HOST:PORT --node-name NAME]
+//!              [--upstream HOST:PORT --node-name NAME] [--cluster-secret SECRET]
 //! ```
 //!
 //! Producers point a `TcpBackend` at the ingest address; observers speak the
@@ -41,7 +41,10 @@
 //! namespaced as `NAME/app`, reconnecting with bounded backoff and exact
 //! drop-oldest accounting when the parent is unreachable — local ingest
 //! never blocks. Subscriptions placed at the parent propagate down
-//! automatically. See `docs/FEDERATION.md`.
+//! automatically. With `--cluster-secret` the collector both challenges
+//! incoming uplinks (rejecting children that cannot answer the keyed-MAC
+//! challenge) and answers its own parent's challenges; every collector in
+//! the tree must carry the same secret. See `docs/FEDERATION.md`.
 //!
 //! Lifecycle events (accepts, hellos, protocol errors, evictions, health
 //! transitions) go to the in-process journal — replay them with `TRACE [n]`
@@ -69,6 +72,9 @@ struct Args {
     upstream: Option<String>,
     /// This node's federation name (required with `--upstream`).
     node_name: Option<String>,
+    /// Shared federation secret: uplinks are challenged and children
+    /// answer with a keyed MAC (see `docs/FEDERATION.md`).
+    cluster_secret: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         log_level: Some(Level::Info),
         upstream: None,
         node_name: None,
+        cluster_secret: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -159,13 +166,20 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.node_name = Some(raw);
             }
+            "--cluster-secret" => {
+                let raw = value("--cluster-secret")?;
+                if raw.is_empty() {
+                    return Err("--cluster-secret must not be empty".into());
+                }
+                args.cluster_secret = Some(raw);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hb-collector [--ingest HOST:PORT] [--query HOST:PORT] \
                      [--print-every SECS] [--io-threads N|auto] [--idle-timeout SECS] \
                      [--history-capacity N] [--health-window SECS] \
                      [--sub-queue-capacity N] [--log-level LEVEL] \
-                     [--upstream HOST:PORT --node-name NAME]"
+                     [--upstream HOST:PORT --node-name NAME] [--cluster-secret SECRET]"
                 );
                 std::process::exit(0);
             }
@@ -194,7 +208,7 @@ fn main() {
         Level::Info,
         "config ingest={} query={} io_threads={} idle_timeout_s={} history_capacity={} \
          health_window_s={} sub_queue_capacity={} print_every_s={} log_level={} \
-         upstream={} node_name={}",
+         upstream={} node_name={} cluster_secret={}",
         args.ingest,
         args.query,
         if args.io_threads == 0 {
@@ -210,6 +224,7 @@ fn main() {
         args.log_level.map_or("off", |l| l.as_str()),
         args.upstream.as_deref().unwrap_or("none"),
         args.node_name.as_deref().unwrap_or("none"),
+        if args.cluster_secret.is_some() { "set" } else { "none" },
     );
     let config = CollectorConfig {
         io_threads: args.io_threads,
@@ -224,7 +239,12 @@ fn main() {
             .upstream
             .as_ref()
             .zip(args.node_name.as_ref())
-            .map(|(parent, node)| UpstreamConfig::new(parent.clone(), node.clone())),
+            .map(|(parent, node)| {
+                let mut up = UpstreamConfig::new(parent.clone(), node.clone());
+                up.secret = args.cluster_secret.clone();
+                up
+            }),
+        cluster_secret: args.cluster_secret.clone(),
         ..CollectorConfig::default()
     };
     let collector = match Collector::with_config(&args.ingest, &args.query, config) {

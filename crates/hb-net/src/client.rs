@@ -574,6 +574,7 @@ impl RemoteReader {
             pattern: pattern.to_string(),
             interests: filter.interests.bits(),
             min_interval_ns: filter.min_interval.as_nanos().min(u64::MAX as u128) as u64,
+            resume_from: 0,
         })
         .encode();
         let ack = self.exchange_on_demux(&demux, &request, |conn| {

@@ -120,6 +120,13 @@ pub struct CollectorConfig {
     /// parent collector, namespaced as `node/app` (see `docs/FEDERATION.md`
     /// and the `hb-collector --upstream/--node-name` flags).
     pub upstream: Option<UpstreamConfig>,
+    /// Shared cluster secret for uplink authentication (the
+    /// `--cluster-secret` flag). When set, every child NodeHello is
+    /// challenged with a fresh nonce and accepted only with the matching
+    /// keyed-HMAC answer; failures count in
+    /// `hb_collector_uplink_rejected_total{reason="auth"}`. `None`
+    /// disables the challenge (open cluster, the pre-hardening behavior).
+    pub cluster_secret: Option<String>,
 }
 
 impl Default for CollectorConfig {
@@ -135,6 +142,7 @@ impl Default for CollectorConfig {
             sub_queue_capacity: 1024,
             telemetry: true,
             upstream: None,
+            cluster_secret: None,
         }
     }
 }
@@ -325,6 +333,17 @@ pub struct CollectorState {
     /// surviving that child's reconnects so `last_applied` sequences keep
     /// retransmissions exactly-once.
     links: Mutex<HashMap<String, Arc<UpstreamLink>>>,
+    /// Bumped whenever this collector's downstream path changes (a child
+    /// connects or announces a new path). The relay worker watches it and
+    /// reconnects upward to re-announce the wider path, so loop detection
+    /// stays correct as the tree assembles in any order.
+    path_epoch: AtomicU64,
+    /// Uplinks refused because the child's announced path contained this
+    /// collector's own node name (a relay cycle).
+    uplink_rejected_loop: AtomicU64,
+    /// Uplinks refused because the challenge went unanswered or the
+    /// keyed-HMAC answer did not verify.
+    uplink_rejected_auth: AtomicU64,
 }
 
 impl CollectorState {
@@ -374,6 +393,9 @@ impl CollectorState {
             upstream_tap,
             upstream_stats,
             links: Mutex::new(HashMap::new()),
+            path_epoch: AtomicU64::new(0),
+            uplink_rejected_loop: AtomicU64::new(0),
+            uplink_rejected_auth: AtomicU64::new(0),
         }
     }
 
@@ -860,6 +882,7 @@ impl CollectorState {
             pattern: pattern.to_string(),
             interests: interests.bits(),
             min_interval_ns: min_interval.as_nanos().min(u64::MAX as u128) as u64,
+            resume_from: 0,
         };
         self.register_subscription(&queue, &req)?;
         Ok(LocalSubscription::new(queue, Arc::clone(&self.subs), 0))
@@ -899,6 +922,7 @@ impl CollectorState {
             .map(|link| {
                 let (last_applied, relayed_beats, relayed_events, duplicates, oversize) =
                     link.counters();
+                let (event_stream_duplicates, event_stream_gaps) = link.event_counters();
                 OriginSnapshot {
                     node: link.node.clone(),
                     connected: link.is_connected(),
@@ -907,6 +931,8 @@ impl CollectorState {
                     relayed_events,
                     duplicate_events: duplicates,
                     oversize_names: oversize,
+                    event_stream_duplicates,
+                    event_stream_gaps,
                 }
             })
             .collect();
@@ -977,10 +1003,12 @@ impl CollectorState {
     }
 
     /// Starts (or restarts) the link session for child `node` (the
-    /// [`Frame::NodeHello`] path) and replays every active subscription
-    /// down the fresh link. Returns the link and the session token the
-    /// serving connection must present at close.
-    pub(crate) fn link_hello(&self, node: &str) -> (Arc<UpstreamLink>, u64) {
+    /// [`Frame::NodeHello`] path), records the child's announced path, and
+    /// replays every active subscription down the fresh link — resuming
+    /// any that already have a route (and a cursor watermark) from before
+    /// the reconnect. Returns the link and the session token the serving
+    /// connection must present at close.
+    pub(crate) fn link_hello(&self, node: &str, path: Vec<String>) -> (Arc<UpstreamLink>, u64) {
         let link = {
             let mut links = self.links.lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(
@@ -989,11 +1017,79 @@ impl CollectorState {
                     .or_insert_with(|| Arc::new(UpstreamLink::new(node))),
             )
         };
+        link.set_path(path);
         let session = link.begin_session();
+        // The downstream view widened (or at least changed): our own
+        // upward announcement must follow, so the relay re-announces.
+        self.path_epoch.fetch_add(1, Ordering::Release);
         for entry in self.subs.all_active() {
             self.propagate_entry_to_link(&entry, &link);
         }
         (link, session)
+    }
+
+    /// The monotone epoch of this collector's downstream path (bumped on
+    /// every child hello). The relay worker reconnects upward when it
+    /// changes, so the announced path vector is never stale.
+    pub(crate) fn path_epoch(&self) -> u64 {
+        self.path_epoch.load(Ordering::Acquire)
+    }
+
+    /// The path vector this collector announces upward: its own node name
+    /// followed by every node relaying through it (children first, their
+    /// subtrees flattened), deduplicated and capped at
+    /// [`crate::wire::MAX_PATH_NODES`].
+    pub(crate) fn downstream_path(&self, own: &str) -> Vec<String> {
+        let mut path = vec![own.to_string()];
+        let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        for link in links.values() {
+            if !link.is_connected() {
+                continue;
+            }
+            for node in link.announced_path() {
+                if !path.iter().any(|p| p == &node) {
+                    path.push(node);
+                }
+            }
+        }
+        path.truncate(crate::wire::MAX_PATH_NODES);
+        path
+    }
+
+    /// Checks a child's announced path against this collector's own node
+    /// name (when it relays upward itself): a path containing our own name
+    /// means accepting the uplink would close a relay cycle. Returns
+    /// `true` when the hello must be refused. The tree root has no
+    /// upstream and never refuses — a cycle cannot close without every
+    /// participant relaying upward.
+    pub(crate) fn uplink_would_loop(&self, path: &[String]) -> bool {
+        let Some(upstream) = self.config.upstream.as_ref() else {
+            return false;
+        };
+        path.iter().any(|node| node == &upstream.node)
+    }
+
+    /// Counts one refused uplink hello for `/metrics`
+    /// (`hb_collector_uplink_rejected_total{reason}`).
+    pub(crate) fn count_uplink_rejected(&self, reason: UplinkRejectReason) {
+        match reason {
+            UplinkRejectReason::Loop => &self.uplink_rejected_loop,
+            UplinkRejectReason::Auth => &self.uplink_rejected_auth,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(loop, auth)` refused-uplink counters.
+    pub fn uplink_rejections(&self) -> (u64, u64) {
+        (
+            self.uplink_rejected_loop.load(Ordering::Relaxed),
+            self.uplink_rejected_auth.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The configured cluster secret, if uplink auth is enabled.
+    pub(crate) fn cluster_secret(&self) -> Option<&str> {
+        self.config.cluster_secret.as_deref()
     }
 
     /// Registers a subscription *and* propagates it down every connected
@@ -1044,12 +1140,19 @@ impl CollectorState {
     }
 
     /// Pushes a translated Subscribe for `entry` onto `link`'s outbox if
-    /// the pattern could match anything under that child's namespace.
+    /// the pattern could match anything under that child's namespace. When
+    /// a route for `entry` already exists (a reconnect), the **same**
+    /// downlink id is re-subscribed with `resume_from` set one past its
+    /// cursor watermark, so the child resumes the stream instead of
+    /// restarting it.
     fn propagate_entry_to_link(&self, entry: &Arc<SubEntry>, link: &UpstreamLink) {
         let Some(pattern) = Self::child_pattern(entry.pattern(), &link.node) else {
             return;
         };
-        let sub_id = link.add_route(Arc::clone(entry));
+        let (sub_id, resume_from) = match link.route_for(entry) {
+            Some((id, route)) => (id, route.last_seen_cursor() + 1),
+            None => (link.add_route(Arc::clone(entry)), 0),
+        };
         link.push_frame(&Frame::Subscribe(SubscribeReq {
             sub_id,
             pattern,
@@ -1058,6 +1161,7 @@ impl CollectorState {
                 .min_interval()
                 .as_nanos()
                 .min(u64::MAX as u128) as u64,
+            resume_from,
         }));
     }
 
@@ -1097,7 +1201,7 @@ impl CollectorState {
     /// skipped — together with the child's cumulative sequences this makes
     /// the rollup plane exactly-once across reconnects.
     pub(crate) fn apply_relay_event(&self, link: &UpstreamLink, seq: u64, event: EventFrame) {
-        if seq <= link.last_applied() {
+        if !link.claim_seq(seq) {
             link.count_duplicate();
             return;
         }
@@ -1108,7 +1212,6 @@ impl CollectorState {
         {
             self.ingest_relayed(link, &event.app, dropped_total, beats);
         }
-        link.store_last_applied(seq);
     }
 
     /// Absorbs one relayed batch as `node/app`. No subscriber fan-out: the
@@ -1147,18 +1250,32 @@ impl CollectorState {
     }
 
     /// Delivers a child-forwarded subscription event ([`Frame::Event`] on a
-    /// link connection): looks up the downlink route, re-prefixes the app
-    /// name with the child's node, re-filters against the *original*
-    /// pattern (the child may hold a conservative `*` translation) and
-    /// enqueues toward the subscriber. A route whose entry went inactive is
-    /// retracted lazily here.
+    /// link connection): looks up the downlink route, cursor-checks it
+    /// against the route's watermark (resume replays overlap — duplicates
+    /// are dropped here, gaps are counted), re-prefixes the app name with
+    /// the child's node, re-filters against the *original* pattern (the
+    /// child may hold a conservative `*` translation) and enqueues toward
+    /// the subscriber. A route whose entry went inactive is retracted
+    /// lazily here.
     pub(crate) fn deliver_routed_event(&self, link: &UpstreamLink, event: EventFrame) {
-        let Some(entry) = link.route(event.sub_id) else {
+        let Some(route) = link.route(event.sub_id) else {
             return;
         };
+        let entry = Arc::clone(&route.entry);
         if !entry.is_active() {
             self.retract_entry(&entry);
             return;
+        }
+        match link.check_cursor(&route, event.cursor) {
+            crate::upstream::CursorVerdict::Duplicate => return,
+            crate::upstream::CursorVerdict::Gap(skipped) => crate::log!(
+                Level::Warn,
+                "event stream gap node={} sub={} skipped={} (child ring overflow)",
+                link.node,
+                event.sub_id,
+                skipped
+            ),
+            crate::upstream::CursorVerdict::Fresh => {}
         }
         let app = format!("{}/{}", link.node, event.app);
         if app.len() > MAX_NAME_LEN || !crate::wire::valid_app_name(&app) {
@@ -1176,7 +1293,10 @@ impl CollectorState {
     /// The relay side of [`register_subscription`]: opens a propagated
     /// subscription under the parent-chosen downlink id with a dedicated
     /// queue (so the relay forwards its frames verbatim — sub ids already
-    /// match what the parent routes on).
+    /// match what the parent routes on). Propagated subscriptions are
+    /// **cursored**: their events carry monotone per-subscription cursors
+    /// (spliced in at uplink send) and their drained frames are retained
+    /// in the queue's replay ring for resume after a link failure.
     pub(crate) fn subscribe_propagated(
         &self,
         req: &SubscribeReq,
@@ -1187,7 +1307,18 @@ impl CollectorState {
                 .telemetry
                 .then(|| Arc::clone(&self.telemetry.delivery)),
         ));
-        self.register_subscription(&queue, req)?;
+        let entry = self.subs.register_cursored(&queue, req)?;
+        // Propagate deeper by hand (register_subscription would register
+        // uncursored): every connected child link gets the translated
+        // Subscribe, recursing the propagation down the tree.
+        {
+            let links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+            for link in links.values() {
+                if link.is_connected() {
+                    self.propagate_entry_to_link(&entry, link);
+                }
+            }
+        }
         Ok(LocalSubscription::new(
             queue,
             Arc::clone(&self.subs),
@@ -1628,6 +1759,18 @@ impl CollectorState {
                 stats.retransmits()
             ));
         }
+        // Uplink admission control: refusals by reason. Rendered always
+        // (both labels, even at zero) so dashboards and the chaos tests can
+        // rely on the series existing before the first refusal.
+        let (rejected_loop, rejected_auth) = self.uplink_rejections();
+        out.push_str("# HELP hb_collector_uplink_rejected_total Child NodeHellos refused, by reason (loop = relay cycle in the announced path, auth = failed challenge).\n");
+        out.push_str("# TYPE hb_collector_uplink_rejected_total counter\n");
+        out.push_str(&format!(
+            "hb_collector_uplink_rejected_total{{reason=\"loop\"}} {rejected_loop}\n"
+        ));
+        out.push_str(&format!(
+            "hb_collector_uplink_rejected_total{{reason=\"auth\"}} {rejected_auth}\n"
+        ));
         // Parent side: per-child-link counters and per-origin cluster
         // rollups (apps, beats, health class counts).
         let origins = self.origins();
@@ -1675,6 +1818,24 @@ impl CollectorState {
                     "hb_origin_duplicate_events_total{{origin=\"{}\"}} {}\n",
                     Self::escape_label(&o.node),
                     o.duplicate_events
+                ));
+            }
+            out.push_str("# HELP hb_origin_event_stream_duplicates_total Cursored subscription events dropped as resume-replay overlaps.\n");
+            out.push_str("# TYPE hb_origin_event_stream_duplicates_total counter\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_event_stream_duplicates_total{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.event_stream_duplicates
+                ));
+            }
+            out.push_str("# HELP hb_origin_event_stream_gaps_total Event cursors skipped on the child's streams (replay ring overflow) — accounted loss.\n");
+            out.push_str("# TYPE hb_origin_event_stream_gaps_total counter\n");
+            for o in &origins {
+                out.push_str(&format!(
+                    "hb_origin_event_stream_gaps_total{{origin=\"{}\"}} {}\n",
+                    Self::escape_label(&o.node),
+                    o.event_stream_gaps
                 ));
             }
             out.push_str("# HELP hb_origin_apps Applications registered under the origin's namespace.\n");
@@ -1875,6 +2036,22 @@ pub struct OriginSnapshot {
     /// Relayed names dropped because the `node/` prefix overflowed the
     /// wire name limit.
     pub oversize_names: u64,
+    /// Cursored subscription events dropped as resume-replay overlaps.
+    pub event_stream_duplicates: u64,
+    /// Event cursors skipped on this child's streams (its replay ring
+    /// overflowed while disconnected) — accounted loss, never silent.
+    pub event_stream_gaps: u64,
+}
+
+/// Why an uplink [`Frame::NodeHello`] was refused (the `reason` label of
+/// `hb_collector_uplink_rejected_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UplinkRejectReason {
+    /// The child's announced path contained this collector's own node
+    /// name — accepting would close a relay cycle.
+    Loop,
+    /// The keyed-HMAC challenge went unanswered or failed verification.
+    Auth,
 }
 
 /// Per-origin cluster rollup computed from the registry (see
@@ -2048,6 +2225,10 @@ struct ProducerHandler {
     /// collector's relay. The session token guards against a stale,
     /// not-yet-reaped connection racing the child's fresh reconnect.
     link: Option<(Arc<UpstreamLink>, u64)>,
+    /// A NodeHello awaiting its keyed-HMAC answer: `(node, pid, path,
+    /// nonce)`. Set when the collector runs with a cluster secret; the
+    /// link is established only by a verifying [`Frame::NodeAuth`].
+    pending_auth: Option<(String, u32, Vec<String>, [u8; crate::wire::AUTH_LEN])>,
     /// A relay event was applied this read burst; one coalesced
     /// [`Frame::RelayAck`] goes out when the decode loop drains.
     ack_due: bool,
@@ -2062,8 +2243,23 @@ impl ProducerHandler {
             home: None,
             counted: false,
             link: None,
+            pending_auth: None,
             ack_due: false,
         }
+    }
+
+    /// Establishes the child link after every admission check passed:
+    /// session start, resume ack, subscription (re-)propagation.
+    fn establish_link(&mut self, node: &str, pid: u32, path: Vec<String>, out: &mut OutBuf) {
+        crate::log!(Level::Info, "link up node={node} pid={pid} path={path:?}");
+        let (link, session) = self.state.link_hello(node, path);
+        // The resume ack: tells the child which rollup sequences this
+        // parent already applied, so the child retransmits exactly the gap.
+        Frame::RelayAck {
+            last_applied: link.last_applied(),
+        }
+        .encode_into(out.vec_mut());
+        self.link = Some((link, session));
     }
 
     /// True while this connection's link session is the child's current
@@ -2173,8 +2369,11 @@ impl Handler for ProducerHandler {
                             );
                             return false;
                         }
-                        FrameEvent::Control(Frame::NodeHello { node, pid }) => {
-                            if self.app.is_some() || self.link.is_some() {
+                        FrameEvent::Control(Frame::NodeHello { node, pid, path }) => {
+                            if self.app.is_some()
+                                || self.link.is_some()
+                                || self.pending_auth.is_some()
+                            {
                                 self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
                                 crate::log!(
                                     Level::Warn,
@@ -2182,16 +2381,56 @@ impl Handler for ProducerHandler {
                                 );
                                 return false;
                             }
-                            crate::log!(Level::Info, "link up node={node} pid={pid}");
-                            let (link, session) = self.state.link_hello(&node);
-                            // The resume ack: tells the child which rollup
-                            // sequences this parent already applied, so the
-                            // child retransmits exactly the gap.
-                            Frame::RelayAck {
-                                last_applied: link.last_applied(),
+                            // Loop detection: a child whose downstream path
+                            // already contains this collector's own node
+                            // name would close a relay cycle — beats would
+                            // circulate forever. Refuse at connect time.
+                            if self.state.uplink_would_loop(&path) {
+                                self.state.count_uplink_rejected(UplinkRejectReason::Loop);
+                                crate::log!(
+                                    Level::Warn,
+                                    "uplink refused node={node}: path {path:?} would close a relay cycle"
+                                );
+                                return false;
                             }
-                            .encode_into(out.vec_mut());
-                            self.link = Some((link, session));
+                            if self.state.cluster_secret().is_some() {
+                                // Challenge/response: hold the hello until
+                                // a NodeAuth proves knowledge of the shared
+                                // secret for this node name and nonce.
+                                let nonce = crate::auth::fresh_nonce();
+                                Frame::NodeChallenge { nonce }.encode_into(out.vec_mut());
+                                self.pending_auth = Some((node, pid, path, nonce));
+                            } else {
+                                self.establish_link(&node, pid, path, out);
+                            }
+                        }
+                        FrameEvent::Control(Frame::NodeAuth { mac }) => {
+                            let Some((node, pid, path, nonce)) = self.pending_auth.take()
+                            else {
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                crate::log!(
+                                    Level::Warn,
+                                    "protocol error: node auth without a pending challenge"
+                                );
+                                return false;
+                            };
+                            let Some(secret) = self.state.cluster_secret() else {
+                                // Secret cleared between frames — treat as
+                                // a refused handshake rather than panic.
+                                self.state.count_uplink_rejected(UplinkRejectReason::Auth);
+                                return false;
+                            };
+                            let expected =
+                                crate::auth::uplink_mac(secret, &nonce, &node);
+                            if !crate::auth::mac_eq(&expected, &mac) {
+                                self.state.count_uplink_rejected(UplinkRejectReason::Auth);
+                                crate::log!(
+                                    Level::Warn,
+                                    "uplink refused node={node}: challenge response failed verification"
+                                );
+                                return false;
+                            }
+                            self.establish_link(&node, pid, path, out);
                         }
                         FrameEvent::Control(Frame::RelayEvent { seq, event }) => {
                             let Some((link, _)) = &self.link else {

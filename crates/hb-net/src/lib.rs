@@ -66,11 +66,13 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod auth;
 pub mod backend;
 pub mod client;
 pub mod collector;
 pub mod crc;
 mod error;
+pub mod faultnet;
 pub mod frame;
 pub mod health;
 pub mod reactor;
@@ -79,10 +81,13 @@ pub mod telemetry;
 pub mod upstream;
 pub mod wire;
 
+pub use auth::{hmac_sha256, sha256};
 pub use backend::{TcpBackend, TcpBackendConfig};
+pub use faultnet::{FaultConfig, FaultProxy, FaultStats};
 pub use client::{CollectorStats, RemoteApp, RemoteReader, Subscription};
 pub use collector::{
     AppSnapshot, Collector, CollectorConfig, CollectorState, OriginRollup, OriginSnapshot,
+    UplinkRejectReason,
 };
 pub use error::{NetError, Result};
 pub use frame::{FrameDecoder, FrameReader, FrameWriter};

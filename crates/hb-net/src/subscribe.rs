@@ -31,11 +31,18 @@ use crate::wire::{self, EventFrame, EventPayload, Frame, SubscribeReq, SubStatus
 /// answered [`SubStatus::TooManySubscriptions`].
 pub const MAX_SUBS_PER_CONNECTION: usize = 64;
 
-/// One queued event: `(sub_id, encoded frame, enqueue instant)` — the
-/// instant feeds the collector-side delivery-lag histogram at drain.
-/// Frames are shared `Arc<[u8]>`s: a fan-out encodes each event once and
-/// every matching queue references the same bytes.
-type QueuedEvent = (u32, Arc<[u8]>, Instant);
+/// One queued event: `(sub_id, encoded frame, delivery cursor, enqueue
+/// instant)` — the instant feeds the collector-side delivery-lag histogram
+/// at drain. Frames are shared `Arc<[u8]>`s: a fan-out encodes each event
+/// once and every matching queue references the same bytes; the cursor
+/// rides alongside (not inside) the shared bytes because each cursored
+/// subscription numbers its own stream. `0` = un-numbered (plain observer
+/// subscriptions).
+type QueuedEvent = (u32, Arc<[u8]>, u64, Instant);
+
+/// One subscription's resume buffer: `(cursor, encoded frame)` pairs
+/// retained after draining, oldest first.
+type ReplayRing = VecDeque<(u64, Arc<[u8]>)>;
 
 /// A bounded queue of encoded events owned by one subscriber (an observer
 /// connection or a [`LocalSubscription`]).
@@ -50,6 +57,15 @@ pub struct SubscriberQueue {
     /// Enqueue-to-drain latency sink, when the owning collector records
     /// delivery lag.
     lag: Option<Arc<LatencyHisto>>,
+    /// Retained cursored events, per sub_id, after they drained — the
+    /// resume buffer a reconnecting federation parent replays from.
+    /// Bounded per subscription at the queue capacity, drop-oldest with
+    /// exact accounting (`replay_dropped`).
+    replay: Mutex<HashMap<u32, ReplayRing>>,
+    /// Cursored events evicted from a replay ring before anyone resumed
+    /// over them — each one is a potential gap a reconnecting parent can
+    /// no longer be spared.
+    replay_dropped: AtomicU64,
 }
 
 impl SubscriberQueue {
@@ -67,12 +83,35 @@ impl SubscriberQueue {
             dropped: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             lag,
+            replay: Mutex::new(HashMap::new()),
+            replay_dropped: AtomicU64::new(0),
         }
     }
 
     /// Events shed from this queue because the subscriber was slow.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Cursored events evicted from a replay ring before a resume could
+    /// use them (bounded-buffer accounting, like the rollup tap).
+    pub fn replay_dropped(&self) -> u64 {
+        self.replay_dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained cursored events of `sub_id` with cursor `>= from`, in
+    /// cursor order — what a resuming subscription can still be re-sent.
+    pub fn replay_events(&self, sub_id: u32, from: u64) -> Vec<(u64, Arc<[u8]>)> {
+        let replay = self.replay.lock().unwrap_or_else(|e| e.into_inner());
+        replay
+            .get(&sub_id)
+            .map(|ring| {
+                ring.iter()
+                    .filter(|(cursor, _)| *cursor >= from)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Subscriptions currently registered against this queue.
@@ -96,16 +135,26 @@ impl SubscriberQueue {
     /// least one event if any is queued, so huge events still drain).
     /// Returns the number of events moved.
     pub fn drain_into(&self, out: &mut OutBuf, max_bytes: usize) -> usize {
-        self.drain_with(max_bytes, |bytes| out.push_shared(bytes))
+        self.drain_events(max_bytes, |bytes, _| out.push_shared(bytes))
     }
 
     /// Like [`drain_into`](Self::drain_into) but copies into a plain byte
     /// vector — the in-process [`LocalSubscription`] path.
     pub fn drain_to_vec(&self, out: &mut Vec<u8>, max_bytes: usize) -> usize {
-        self.drain_with(max_bytes, |bytes| out.extend_from_slice(&bytes))
+        self.drain_events(max_bytes, |bytes, _| out.extend_from_slice(&bytes))
     }
 
-    fn drain_with(&self, max_bytes: usize, mut push: impl FnMut(Arc<[u8]>)) -> usize {
+    /// The general drain: hands each departing event (shared bytes plus
+    /// its delivery cursor, `0` when un-numbered) to `push`, at most
+    /// `max_bytes` worth per pass (always at least one event if any is
+    /// queued, so huge events still drain). Cursored events are retained
+    /// in the per-subscription replay ring on the way out. Returns the
+    /// number of events moved.
+    pub fn drain_events(
+        &self,
+        max_bytes: usize,
+        mut push: impl FnMut(Arc<[u8]>, u64),
+    ) -> usize {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut moved = 0;
         let mut budget = max_bytes;
@@ -115,28 +164,47 @@ impl SubscriberQueue {
             .as_ref()
             .filter(|_| !inner.is_empty())
             .map(|_| Instant::now());
-        while let Some((_, bytes, _)) = inner.front() {
+        while let Some((_, bytes, _, _)) = inner.front() {
             if moved > 0 && bytes.len() > budget {
                 break;
             }
             budget = budget.saturating_sub(bytes.len());
-            let (_, bytes, queued_at) = inner.pop_front().expect("front checked");
+            let (sub_id, bytes, cursor, queued_at) = inner.pop_front().expect("front checked");
             if let (Some(lag), Some(now)) = (&self.lag, now) {
                 lag.record_duration(now.saturating_duration_since(queued_at));
             }
-            push(bytes);
+            if cursor != 0 {
+                self.retain_for_replay(sub_id, cursor, Arc::clone(&bytes));
+            }
+            push(bytes, cursor);
             moved += 1;
         }
         moved
     }
 
-    /// Removes every queued event belonging to `sub_id` (an unsubscribed
-    /// stream must deliver nothing after its ack).
-    fn purge(&self, sub_id: u32) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.retain(|(id, _, _)| *id != sub_id);
+    /// Keeps one drained cursored event in `sub_id`'s replay ring, bounded
+    /// at the queue capacity with drop-oldest accounting.
+    fn retain_for_replay(&self, sub_id: u32, cursor: u64, bytes: Arc<[u8]>) {
+        let mut replay = self.replay.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = replay.entry(sub_id).or_default();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.replay_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back((cursor, bytes));
     }
 
+    /// Removes every queued event belonging to `sub_id` — and its replay
+    /// ring (an unsubscribed stream must deliver nothing after its ack,
+    /// and a later subscription reusing the id must not resurrect the old
+    /// stream's retained events through a resume).
+    fn purge(&self, sub_id: u32) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.retain(|(id, _, _, _)| *id != sub_id);
+        drop(inner);
+        let mut replay = self.replay.lock().unwrap_or_else(|e| e.into_inner());
+        replay.remove(&sub_id);
+    }
 }
 
 /// Per-application delivery state of one subscription.
@@ -176,6 +244,15 @@ pub struct SubEntry {
     /// When this entry last swept for stalls (rate limiting the
     /// no-ingest-traffic health path).
     swept: Mutex<Option<Instant>>,
+    /// True for federation-propagated subscriptions: every enqueued event
+    /// gets the next monotone delivery cursor (assigned under the queue
+    /// lock, so cursors follow queue order exactly) and drained events are
+    /// retained for resume.
+    cursored: bool,
+    /// The last delivery cursor assigned (`0` = none yet). A resumed
+    /// registration starts this at `resume_from - 1` so the continued
+    /// stream picks up exactly where the parent left off.
+    next_cursor: AtomicU64,
 }
 
 impl SubEntry {
@@ -214,6 +291,18 @@ impl SubEntry {
     /// True while the subscription is registered.
     pub fn is_active(&self) -> bool {
         self.active.load(Ordering::Relaxed)
+    }
+
+    /// True if this subscription numbers its event stream (federation
+    /// resume support).
+    pub fn is_cursored(&self) -> bool {
+        self.cursored
+    }
+
+    /// The last delivery cursor assigned to this subscription's stream
+    /// (`0` = nothing delivered yet).
+    pub fn last_cursor(&self) -> u64 {
+        self.next_cursor.load(Ordering::Relaxed)
     }
 
     /// True if a snapshot event is due for `app` (and records the emission
@@ -315,6 +404,28 @@ impl SubscriptionRegistry {
         queue: &Arc<SubscriberQueue>,
         req: &SubscribeReq,
     ) -> Result<Arc<SubEntry>, SubStatus> {
+        self.register_with(queue, req, false)
+    }
+
+    /// [`register`](Self::register) for a **cursored** subscription (the
+    /// federation-propagated kind): enqueued events are numbered with
+    /// monotone delivery cursors, drained events are retained for resume,
+    /// and `req.resume_from` (when non-zero) continues an interrupted
+    /// stream's numbering instead of restarting at 1.
+    pub fn register_cursored(
+        &self,
+        queue: &Arc<SubscriberQueue>,
+        req: &SubscribeReq,
+    ) -> Result<Arc<SubEntry>, SubStatus> {
+        self.register_with(queue, req, true)
+    }
+
+    fn register_with(
+        &self,
+        queue: &Arc<SubscriberQueue>,
+        req: &SubscribeReq,
+        cursored: bool,
+    ) -> Result<Arc<SubEntry>, SubStatus> {
         let valid_interests = heartbeats::observe::Interest::from_bits(req.interests)
             .is_some_and(|mask| !mask.is_empty());
         if !wire::valid_subscribe_pattern(&req.pattern) || !valid_interests {
@@ -343,6 +454,15 @@ impl SubscriptionRegistry {
             active: AtomicBool::new(true),
             watches: Mutex::new(HashMap::new()),
             swept: Mutex::new(None),
+            cursored,
+            // A resumed stream continues its numbering: the next assigned
+            // cursor is exactly `resume_from`, so the parent sees no gap
+            // where the reconnect happened.
+            next_cursor: AtomicU64::new(if cursored {
+                req.resume_from.saturating_sub(1)
+            } else {
+                0
+            }),
         });
         entries.push(Arc::clone(&entry));
         self.count.store(entries.len(), Ordering::Release);
@@ -528,6 +648,13 @@ impl SubscriptionRegistry {
                         let frame = Frame::Event(EventFrame {
                             sub_id: entry.sub_id,
                             sent_at_ns,
+                            // The wire cursor is a placeholder here: real
+                            // cursors are assigned per-subscriber under the
+                            // queue lock (enqueue_encoded) and spliced into
+                            // the bytes at uplink-send time, because these
+                            // encode-once bytes are shared across every
+                            // same-sub_id subscriber.
+                            cursor: 0,
                             app: app.to_string(),
                             payload: EventPayload::Beats {
                                 dropped_total,
@@ -550,6 +677,7 @@ impl SubscriptionRegistry {
         let frame = Frame::Event(EventFrame {
             sub_id: entry.sub_id,
             sent_at_ns: telemetry::wall_clock_ns(),
+            cursor: 0,
             app: app.to_string(),
             payload,
         });
@@ -563,13 +691,22 @@ impl SubscriptionRegistry {
         if !entry.is_active() {
             return;
         }
+        // Cursors are assigned here, under the queue mutex, so they are
+        // monotone in queue order regardless of which delivery path (or
+        // shard) produced the event. Non-cursored subscriptions ride with
+        // cursor 0 — the wire encoding already carries that placeholder.
+        let cursor = if entry.cursored {
+            entry.next_cursor.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        };
         let mut dropped = false;
         if inner.len() >= entry.queue.capacity {
             inner.pop_front();
             entry.queue.dropped.fetch_add(1, Ordering::Relaxed);
             dropped = true;
         }
-        inner.push_back((entry.sub_id, bytes, Instant::now()));
+        inner.push_back((entry.sub_id, bytes, cursor, Instant::now()));
         // Counter order pins the exported invariant dropped <= enqueued:
         // the enqueue increment precedes the drop's releasing increment, and
         // snapshot readers load `dropped` first with acquire — whatever drop
@@ -671,6 +808,7 @@ mod tests {
             pattern: pattern.into(),
             interests,
             min_interval_ns: 0,
+            resume_from: 0,
         }
     }
 
@@ -1009,5 +1147,102 @@ mod tests {
         let before = out.len();
         assert_eq!(queue.drain_to_vec(&mut out, usize::MAX), 4);
         assert!(out.len() > before);
+    }
+
+    #[test]
+    fn cursored_subscription_numbers_events_monotonically() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        let entry = registry
+            .register_cursored(&queue, &req(1, "*", 0b001))
+            .unwrap();
+        assert!(entry.is_cursored());
+        assert_eq!(entry.last_cursor(), 0);
+        for i in 0..5 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+        }
+        assert_eq!(entry.last_cursor(), 5);
+        let mut cursors = Vec::new();
+        queue.drain_events(usize::MAX, |_, cursor| cursors.push(cursor));
+        assert_eq!(cursors, vec![1, 2, 3, 4, 5]);
+        // Drained cursored events land in the replay ring, ready for resume.
+        let replay = queue.replay_events(1, 3);
+        assert_eq!(
+            replay.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn resumed_registration_continues_cursor_numbering() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        let mut resume = req(7, "*", 0b001);
+        resume.resume_from = 42;
+        let entry = registry.register_cursored(&queue, &resume).unwrap();
+        registry.deliver(&entry, "a", snapshot_payload(0));
+        assert_eq!(entry.last_cursor(), 42, "first cursor is resume_from");
+        // Non-cursored registrations ignore resume_from entirely.
+        let plain_queue = Arc::new(SubscriberQueue::new(16));
+        let plain = registry.register(&plain_queue, &resume).unwrap();
+        registry.deliver(&plain, "a", snapshot_payload(0));
+        assert!(!plain.is_cursored());
+        assert_eq!(plain.last_cursor(), 0);
+        let mut cursors = Vec::new();
+        plain_queue.drain_events(usize::MAX, |_, cursor| cursors.push(cursor));
+        assert_eq!(cursors, vec![0]);
+    }
+
+    #[test]
+    fn purge_discards_replay_ring_so_reused_sub_id_cannot_resurrect() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(16));
+        let entry = registry
+            .register_cursored(&queue, &req(3, "*", 0b001))
+            .unwrap();
+        for i in 0..4 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+        }
+        queue.drain_events(usize::MAX, |_, _| {});
+        assert_eq!(queue.replay_events(3, 1).len(), 4);
+        // Unsubscribe purges pending events AND the replay ring.
+        assert!(registry.unregister(&queue, 3));
+        assert!(
+            queue.replay_events(3, 1).is_empty(),
+            "stale replay ring must not survive the purge"
+        );
+        // A fresh subscription reusing sub_id 3 starts a clean stream.
+        let reused = registry
+            .register_cursored(&queue, &req(3, "*", 0b001))
+            .unwrap();
+        registry.deliver(&reused, "a", snapshot_payload(9));
+        queue.drain_events(usize::MAX, |_, _| {});
+        let replay = queue.replay_events(3, 1);
+        assert_eq!(replay.len(), 1, "only the new stream's events replay");
+        assert_eq!(replay[0].0, 1, "numbering restarted at 1");
+    }
+
+    #[test]
+    fn replay_ring_is_bounded_with_exact_accounting() {
+        let registry = SubscriptionRegistry::new();
+        let queue = Arc::new(SubscriberQueue::new(4));
+        let entry = registry
+            .register_cursored(&queue, &req(1, "*", 0b001))
+            .unwrap();
+        // Ten events through a capacity-4 queue: drain in lockstep so none
+        // are shed from the live queue, then the replay ring itself must
+        // bound at capacity, dropping oldest with accounting.
+        for i in 0..10 {
+            registry.deliver(&entry, "a", snapshot_payload(i));
+            queue.drain_events(usize::MAX, |_, _| {});
+        }
+        let replay = queue.replay_events(1, 1);
+        assert_eq!(replay.len(), 4, "ring bounded at queue capacity");
+        assert_eq!(
+            replay.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10],
+            "newest retained, oldest shed"
+        );
+        assert_eq!(queue.replay_dropped(), 6, "every shed entry accounted");
     }
 }

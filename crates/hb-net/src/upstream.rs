@@ -20,16 +20,31 @@
 //! * **Event plane (subscription propagation).** When an observer
 //!   subscribes at the parent with a pattern that could match `node/…`,
 //!   the parent pushes a translated [`Frame::Subscribe`] down this link.
-//!   The relay registers it as a real local subscription (so propagation
-//!   recurses through mid tiers) and forwards the resulting Event frames
-//!   verbatim; the parent re-prefixes the names, re-filters against the
-//!   original pattern and delivers — each leaf event travels the tree
-//!   exactly once.
+//!   The relay registers it as a real local **cursored** subscription (so
+//!   propagation recurses through mid tiers) and forwards the resulting
+//!   Event frames with monotone per-subscription cursors spliced in; the
+//!   parent re-prefixes the names, re-filters against the original
+//!   pattern, and deduplicates by cursor. Across a reconnect the parent
+//!   re-subscribes with `resume_from = last seen cursor + 1` and the relay
+//!   replays from its bounded replay ring — the event plane is gap-free
+//!   through link failures as long as the ring holds (ring overflow is
+//!   counted, never silent).
 //!
-//! When the parent is unreachable the relay backs off exponentially
-//! between [`UpstreamConfig::backoff_min`] and
-//! [`UpstreamConfig::backoff_max`]; local ingest, queries and local
-//! subscribers are never affected.
+//! The link itself is hardened: the opening [`Frame::NodeHello`] carries
+//! the child's downstream **path vector** so a parent can refuse relay
+//! cycles at connect time, and when both ends share a cluster secret the
+//! parent challenges the hello with [`Frame::NodeChallenge`] and only
+//! accepts a keyed-HMAC [`Frame::NodeAuth`] answer (see
+//! `docs/FEDERATION.md` § Security).
+//!
+//! When the parent is unreachable the relay backs off with **full
+//! jitter**: each wait is drawn uniformly from zero up to the current
+//! exponential bound, between [`UpstreamConfig::backoff_min`] and
+//! [`UpstreamConfig::backoff_max`] — simultaneous leaf reconnects spread
+//! out instead of thundering the parent in lockstep. The jitter RNG is
+//! seeded from the node name, so a given node's schedule is reproducible.
+//! Local ingest, queries and local subscribers are never affected by
+//! uplink failures.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -38,11 +53,14 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::auth;
 use crate::collector::CollectorState;
 use crate::frame::{FrameDecoder, FrameEvent};
 use crate::subscribe::{LocalSubscription, SubEntry};
 use crate::telemetry::{self, Level};
-use crate::wire::{EventFrame, EventPayload, Frame, SubscribeReq, WireBeat, MAX_EVENT_BEATS};
+use crate::wire::{
+    splice_event_cursor, EventFrame, EventPayload, Frame, SubscribeReq, WireBeat, MAX_EVENT_BEATS,
+};
 
 /// Configuration for a collector's upstream relay (the `--upstream` /
 /// `--node-name` flags of `hb-collector`).
@@ -66,8 +84,13 @@ pub struct UpstreamConfig {
     pub unacked_capacity: usize,
     /// First reconnect delay after a link failure.
     pub backoff_min: Duration,
-    /// Reconnect delay ceiling (the backoff doubles up to this).
+    /// Reconnect delay ceiling (the backoff doubles up to this). The
+    /// actual wait is drawn uniformly from `0..bound` (full jitter).
     pub backoff_max: Duration,
+    /// Shared cluster secret for uplink authentication. When the parent
+    /// runs with `--cluster-secret` it challenges every NodeHello; a relay
+    /// without the matching secret cannot establish the link.
+    pub secret: Option<String>,
 }
 
 impl UpstreamConfig {
@@ -81,6 +104,7 @@ impl UpstreamConfig {
             unacked_capacity: 1024,
             backoff_min: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
+            secret: None,
         }
     }
 }
@@ -240,6 +264,37 @@ impl UpstreamStats {
     }
 }
 
+/// One downlink subscription route: the parent-side entry it feeds plus
+/// the resume watermark — the highest event cursor delivered through it.
+/// Routes persist across the child's reconnects so the watermark survives
+/// and the parent can ask the child to resume from `last_cursor + 1`.
+#[derive(Debug)]
+pub(crate) struct RouteState {
+    pub(crate) entry: Arc<SubEntry>,
+    /// Highest cursor accepted on this route (0 = none yet).
+    last_cursor: AtomicU64,
+}
+
+impl RouteState {
+    /// Highest cursor delivered through this route (the resume point is
+    /// one past it).
+    pub(crate) fn last_seen_cursor(&self) -> u64 {
+        self.last_cursor.load(Ordering::Acquire)
+    }
+}
+
+/// Verdict of cursor-checking one relayed event against its route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CursorVerdict {
+    /// Next expected (or first) cursor — deliver it.
+    Fresh,
+    /// At or below the watermark: a replay overlap — drop it.
+    Duplicate,
+    /// Above `watermark + 1`: this many cursors were skipped (counted,
+    /// then delivered — the stream stays live past an accounted loss).
+    Gap(u64),
+}
+
 /// Parent-side state of one child link, keyed by node name and persistent
 /// across that child's reconnects (so `last_applied` survives and
 /// retransmitted sequences stay exactly-once).
@@ -255,11 +310,22 @@ pub(crate) struct UpstreamLink {
     /// Subscribe/Unsubscribe frames awaiting the link's pump pass.
     outbox: Mutex<Vec<u8>>,
     next_downlink: AtomicU32,
-    /// Downlink subscription id → the parent-side entry it feeds.
-    routes: Mutex<HashMap<u32, Arc<SubEntry>>>,
+    /// Downlink subscription id → its route. Persistent across reconnects
+    /// (resume watermarks live here); entries are retired only when their
+    /// parent-side subscription lapses.
+    routes: Mutex<HashMap<u32, Arc<RouteState>>>,
+    /// The downstream path the child announced in its latest NodeHello
+    /// (its own node name plus everything below it) — folded into this
+    /// collector's own announced path for loop detection one tier up.
+    path: Mutex<Vec<String>>,
     relayed_beats: AtomicU64,
     relayed_events: AtomicU64,
     duplicate_events: AtomicU64,
+    /// Cursored events dropped as replay overlaps (at/below watermark).
+    event_duplicates: AtomicU64,
+    /// Cursors skipped on this link's event streams (ring overflow at the
+    /// child while disconnected) — loss is counted, never silent.
+    event_gaps: AtomicU64,
     /// Relayed names whose `node/` prefix overflowed the wire name limit
     /// (dropped — bounded node names make this unreachable for valid
     /// children, but the counter keeps it observable).
@@ -276,21 +342,24 @@ impl UpstreamLink {
             outbox: Mutex::new(Vec::new()),
             next_downlink: AtomicU32::new(1),
             routes: Mutex::new(HashMap::new()),
+            path: Mutex::new(Vec::new()),
             relayed_beats: AtomicU64::new(0),
             relayed_events: AtomicU64::new(0),
             duplicate_events: AtomicU64::new(0),
+            event_duplicates: AtomicU64::new(0),
+            event_gaps: AtomicU64::new(0),
             oversize_names: AtomicU64::new(0),
         }
     }
 
-    /// Starts a new link session: marks the link connected, clears stale
-    /// session state and returns the session token the serving handler
-    /// must present at close.
+    /// Starts a new link session: marks the link connected, clears the
+    /// stale outbox and returns the session token the serving handler must
+    /// present at close. Routes deliberately survive — their watermarks
+    /// are the resume points the new session subscribes from.
     pub(crate) fn begin_session(&self) -> u64 {
         let session = self.session.fetch_add(1, Ordering::AcqRel) + 1;
         self.connected.store(true, Ordering::Release);
         self.outbox.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        self.routes.lock().unwrap_or_else(|e| e.into_inner()).clear();
         session
     }
 
@@ -300,12 +369,23 @@ impl UpstreamLink {
         self.session.load(Ordering::Acquire)
     }
 
-    /// Ends `session` if it is still the current one.
+    /// Ends `session` if it is still the current one. Routes are kept for
+    /// resume; stale ones are retired by `collect_dead_routes`.
     pub(crate) fn end_session(&self, session: u64) {
         if self.session.load(Ordering::Acquire) == session {
             self.connected.store(false, Ordering::Release);
-            self.routes.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
+    }
+
+    /// Records the downstream path from the child's latest NodeHello.
+    pub(crate) fn set_path(&self, path: Vec<String>) {
+        *self.path.lock().unwrap_or_else(|e| e.into_inner()) = path;
+    }
+
+    /// The child's announced downstream path (empty when disconnected or
+    /// the child predates path vectors).
+    pub(crate) fn announced_path(&self) -> Vec<String> {
+        self.path.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     pub(crate) fn is_connected(&self) -> bool {
@@ -316,8 +396,18 @@ impl UpstreamLink {
         self.last_applied.load(Ordering::Acquire)
     }
 
-    pub(crate) fn store_last_applied(&self, seq: u64) {
-        self.last_applied.store(seq, Ordering::Release);
+    /// Atomically claims rollup sequence `seq`, returning `true` exactly
+    /// once per sequence across every connection serving this link. During
+    /// a reconnect the old socket's still-buffered copy of a window and
+    /// the new socket's retransmit of it can race on different reactor
+    /// shards; a load-then-store watermark would let both through and
+    /// apply the window twice.
+    pub(crate) fn claim_seq(&self, seq: u64) -> bool {
+        self.last_applied
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (seq > cur).then_some(seq)
+            })
+            .is_ok()
     }
 
     pub(crate) fn count_duplicate(&self) {
@@ -339,19 +429,33 @@ impl UpstreamLink {
     /// Allocates a fresh downlink subscription id and records its route.
     pub(crate) fn add_route(&self, entry: Arc<SubEntry>) -> u32 {
         let id = self.next_downlink.fetch_add(1, Ordering::Relaxed);
-        self.routes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, entry);
+        self.routes.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            id,
+            Arc::new(RouteState {
+                entry,
+                last_cursor: AtomicU64::new(0),
+            }),
+        );
         id
     }
 
-    pub(crate) fn route(&self, sub_id: u32) -> Option<Arc<SubEntry>> {
+    pub(crate) fn route(&self, sub_id: u32) -> Option<Arc<RouteState>> {
         self.routes
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&sub_id)
             .cloned()
+    }
+
+    /// Existing downlink id for `entry`, if a route already feeds it (the
+    /// reconnect path re-subscribes the same id with a resume cursor).
+    pub(crate) fn route_for(&self, entry: &Arc<SubEntry>) -> Option<(u32, Arc<RouteState>)> {
+        self.routes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|(_, r)| Arc::ptr_eq(&r.entry, entry))
+            .map(|(&id, r)| (id, Arc::clone(r)))
     }
 
     /// Removes every route feeding `entry`, returning the downlink ids to
@@ -360,7 +464,7 @@ impl UpstreamLink {
         let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
         let ids: Vec<u32> = routes
             .iter()
-            .filter(|(_, e)| Arc::ptr_eq(e, entry))
+            .filter(|(_, r)| Arc::ptr_eq(&r.entry, entry))
             .map(|(&id, _)| id)
             .collect();
         for id in &ids {
@@ -376,13 +480,50 @@ impl UpstreamLink {
         let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
         let ids: Vec<u32> = routes
             .iter()
-            .filter(|(_, e)| !e.is_active())
+            .filter(|(_, r)| !r.entry.is_active())
             .map(|(&id, _)| id)
             .collect();
         for id in &ids {
             routes.remove(id);
         }
         ids
+    }
+
+    /// Cursor-checks one relayed event against its route's watermark,
+    /// advancing it for fresh (or gapped) deliveries and bumping the
+    /// link-wide duplicate/gap counters. Cursor 0 (an uncursored stream)
+    /// is always fresh.
+    pub(crate) fn check_cursor(&self, route: &RouteState, cursor: u64) -> CursorVerdict {
+        if cursor == 0 {
+            return CursorVerdict::Fresh;
+        }
+        // Claim the watermark atomically: during reconnect overlap the old
+        // and new connection race on different reactor shards, and a
+        // load-then-store pair would deliver the same cursor twice.
+        match route
+            .last_cursor
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |last| {
+                (cursor > last).then_some(cursor)
+            }) {
+            Err(_) => {
+                self.event_duplicates.fetch_add(1, Ordering::Relaxed);
+                CursorVerdict::Duplicate
+            }
+            Ok(last) if cursor > last + 1 => {
+                let skipped = cursor - last - 1;
+                self.event_gaps.fetch_add(skipped, Ordering::Relaxed);
+                CursorVerdict::Gap(skipped)
+            }
+            Ok(_) => CursorVerdict::Fresh,
+        }
+    }
+
+    /// `(event_duplicates, event_gaps)` — the event plane's QoS ledger.
+    pub(crate) fn event_counters(&self) -> (u64, u64) {
+        (
+            self.event_duplicates.load(Ordering::Relaxed),
+            self.event_gaps.load(Ordering::Relaxed),
+        )
     }
 
     /// Appends a frame to the link's outbox (drained by the serving
@@ -465,15 +606,90 @@ impl Drop for UpstreamRelay {
 
 /// One rollup event in flight: its link sequence and encoded bytes, kept
 /// until the parent's cumulative ack covers it.
+#[derive(Debug)]
 struct Unacked {
     seq: u64,
     bytes: Vec<u8>,
 }
 
+/// The uplink retransmit window — the exactly-once state machine between
+/// one child and its parent, extracted so the property tests can drive it
+/// through arbitrary ack/drop/reconnect interleavings against a model.
+///
+/// Invariants (pinned by `rollup_window_applies_exactly_once` below):
+///
+/// * every sent sequence is retained until a cumulative ack covers it;
+/// * a resume retransmits exactly the uncovered suffix, in order;
+/// * `next_seq` never moves backward, so no sequence is ever reissued to
+///   two different payloads — the parent's `seq <= last_applied` dedupe
+///   therefore applies each payload exactly once.
+#[derive(Debug)]
+pub(crate) struct RollupWindow {
+    next_seq: u64,
+    unacked: VecDeque<Unacked>,
+}
+
+impl RollupWindow {
+    pub(crate) fn new() -> Self {
+        RollupWindow {
+            next_seq: 1,
+            unacked: VecDeque::new(),
+        }
+    }
+
+    /// Sends in flight (sent but not yet covered by an ack).
+    pub(crate) fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// The sequence the next send will be assigned.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Assigns the next link sequence to `bytes` and retains the frame
+    /// until a cumulative ack covers it.
+    pub(crate) fn send(&mut self, bytes: Vec<u8>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back(Unacked { seq, bytes });
+        seq
+    }
+
+    /// Applies a cumulative ack, pruning every covered send.
+    pub(crate) fn ack(&mut self, last_applied: u64) {
+        while self.unacked.front().is_some_and(|u| u.seq <= last_applied) {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// First ack of a session: prunes, aligns `next_seq` past the
+    /// parent's watermark, appends the uncovered suffix to `out` for
+    /// retransmission (in order), and returns how many frames that was.
+    pub(crate) fn resume(&mut self, last_applied: u64, out: &mut Vec<u8>) -> u64 {
+        self.ack(last_applied);
+        self.next_seq = self.next_seq.max(last_applied + 1);
+        for unacked in &self.unacked {
+            out.extend_from_slice(&unacked.bytes);
+        }
+        self.unacked.len() as u64
+    }
+}
+
 /// A propagated subscription the relay holds open locally on the parent's
-/// behalf, keyed by the parent-assigned downlink id.
+/// behalf, keyed by the parent-assigned downlink id. Held across link
+/// failures: its queue keeps accumulating (bounded, counted) and its
+/// replay ring is what a resume replays from.
 struct Propagated {
     sub: LocalSubscription,
+    pattern: String,
+    interests: u8,
+    /// Whether the parent has re-subscribed this stream on the *current*
+    /// session. Until it does, the queue must not drain: the session's
+    /// stream has to begin with the resume replay, or freshly drained
+    /// higher cursors would race ahead of it on the wire and the parent
+    /// would dedupe the replayed events as stale — losing them for good.
+    synced: bool,
 }
 
 struct RelayWorker {
@@ -482,50 +698,82 @@ struct RelayWorker {
     stop: Arc<AtomicBool>,
     tap: Arc<UpstreamTap>,
     stats: Arc<UpstreamStats>,
-    next_seq: u64,
-    unacked: VecDeque<Unacked>,
+    window: RollupWindow,
     /// Encoded frames awaiting the socket (partial writes resume here).
     outbox: Vec<u8>,
     subs: HashMap<u32, Propagated>,
     sessions: u64,
+    /// Full-jitter backoff RNG, seeded from the node name so each node's
+    /// reconnect schedule is deterministic in tests yet distinct per node.
+    jitter: u64,
 }
 
 impl RelayWorker {
     fn new(state: Arc<CollectorState>, config: UpstreamConfig, stop: Arc<AtomicBool>) -> Self {
         let tap = state.upstream_tap().expect("relay requires an upstream tap");
         let stats = state.upstream_stats().expect("relay requires upstream stats");
+        // FNV-1a over the node name seeds the jitter stream: stable for a
+        // given node (reproducible schedules) and spread across nodes (no
+        // thundering herd).
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in config.node.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
         RelayWorker {
             state,
             config,
             stop,
             tap,
             stats,
-            next_seq: 1,
-            unacked: VecDeque::new(),
+            window: RollupWindow::new(),
             outbox: Vec::new(),
             subs: HashMap::new(),
             sessions: 0,
+            jitter: seed,
         }
+    }
+
+    /// Next value of the jitter stream (SplitMix64).
+    fn jitter_next(&mut self) -> u64 {
+        self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     fn run(mut self) {
         let mut backoff = self.config.backoff_min;
         while !self.stop.load(Ordering::Acquire) {
-            match self.connect() {
+            // A session only resets the backoff once it was *established*
+            // (RelayAck received). A parent that accepts the TCP connect
+            // but refuses the handshake — wrong secret, relay cycle —
+            // must be retried on the same exponential schedule as a dead
+            // parent, not hammered at connect speed.
+            let established = match self.connect() {
                 Some(stream) => {
-                    backoff = self.config.backoff_min;
-                    self.serve(stream);
+                    let established = self.serve(stream);
                     self.teardown_link();
+                    established
                 }
-                None => {
-                    // Bounded exponential backoff, interruptible by stop.
-                    let deadline = Instant::now() + backoff;
-                    while Instant::now() < deadline && !self.stop.load(Ordering::Acquire) {
-                        std::thread::sleep(self.config.tick.min(Duration::from_millis(20)));
-                    }
-                    backoff = (backoff * 2).min(self.config.backoff_max);
-                }
+                None => false,
+            };
+            if established {
+                backoff = self.config.backoff_min;
+                continue;
             }
+            // Full-jitter backoff: the bound walks exponentially
+            // between backoff_min and backoff_max, the actual wait
+            // is uniform in 0..bound — reconnect storms decorrelate
+            // instead of synchronizing on the shared schedule.
+            let bound = backoff.as_nanos().max(1) as u64;
+            let wait = Duration::from_nanos(self.jitter_next() % bound);
+            let deadline = Instant::now() + wait;
+            while Instant::now() < deadline && !self.stop.load(Ordering::Acquire) {
+                std::thread::sleep(self.config.tick.min(Duration::from_millis(20)));
+            }
+            backoff = (backoff * 2).min(self.config.backoff_max);
         }
         self.teardown_link();
     }
@@ -545,27 +793,44 @@ impl RelayWorker {
         Some(stream)
     }
 
-    /// Serves one established connection until error, EOF or stop.
-    fn serve(&mut self, mut stream: TcpStream) {
+    /// Serves one connection until error, EOF or stop. Returns `true` if
+    /// the session was established (the parent answered with a resume
+    /// RelayAck) — `false` means the handshake was refused or timed out,
+    /// and the caller must back off before retrying.
+    fn serve(&mut self, mut stream: TcpStream) -> bool {
         let mut decoder = FrameDecoder::new();
         self.outbox.clear();
+        // Every held subscription starts the session unsynced: its queue
+        // stays parked until the parent's Subscribe(resume) arrives and the
+        // ring replay has been written, so replayed cursors always precede
+        // freshly drained ones on the wire.
+        for p in self.subs.values_mut() {
+            p.synced = false;
+        }
+        // The announced path — this node plus everything relaying through
+        // it — is what lets the parent refuse cycles at connect time. Its
+        // epoch is captured here: if a new child attaches below us while
+        // this link is up, we reconnect to re-announce the wider path.
+        let path_epoch = self.state.path_epoch();
         Frame::NodeHello {
             node: self.config.node.clone(),
             pid: std::process::id(),
+            path: self.state.downstream_path(&self.config.node),
         }
         .encode_into(&mut self.outbox);
 
         // Handshake: flush the NodeHello and wait for the parent's resume
-        // ack (Subscribe frames may arrive first and are processed).
+        // ack. A NodeChallenge may arrive first (answered inline by
+        // read_frames), as may Subscribe frames.
         let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
         let mut resumed = false;
         while !resumed {
             if self.stop.load(Ordering::Acquire) || Instant::now() > deadline {
-                return;
+                return false;
             }
             if !self.flush(&mut stream) || !self.read_frames(&mut stream, &mut decoder, &mut resumed)
             {
-                return;
+                return false;
             }
             if !resumed {
                 std::thread::sleep(self.config.tick);
@@ -582,21 +847,29 @@ impl RelayWorker {
             "upstream link established parent={} node={} resume_seq={}",
             self.config.parent,
             self.config.node,
-            self.next_seq - 1
+            self.window.next_seq() - 1
         );
 
         loop {
             if self.stop.load(Ordering::Acquire) {
-                return;
+                return true;
+            }
+            if self.state.path_epoch() != path_epoch {
+                crate::log!(
+                    Level::Info,
+                    "downstream path changed node={}; reconnecting to re-announce",
+                    self.config.node
+                );
+                return true;
             }
             let mut resumed = false;
             if !self.read_frames(&mut stream, &mut decoder, &mut resumed) {
-                return;
+                return true;
             }
             self.pump_rollups();
             self.pump_propagated();
             if !self.flush(&mut stream) {
-                return;
+                return true;
             }
             // Park only when idle: back-to-back full taps keep streaming.
             if self.outbox.is_empty() && self.tap.len() == 0 {
@@ -628,6 +901,18 @@ impl RelayWorker {
                 Ok(Some(FrameEvent::Control(Frame::RelayAck { last_applied }))) => {
                     self.handle_ack(last_applied, resumed);
                 }
+                Ok(Some(FrameEvent::Control(Frame::NodeChallenge { nonce }))) => {
+                    let Some(secret) = self.config.secret.as_deref() else {
+                        crate::log!(
+                            Level::Warn,
+                            "parent {} requires uplink auth but no cluster secret is configured",
+                            self.config.parent
+                        );
+                        return false;
+                    };
+                    let mac = auth::uplink_mac(secret, &nonce, &self.config.node);
+                    Frame::NodeAuth { mac }.encode_into(&mut self.outbox);
+                }
                 Ok(Some(FrameEvent::Control(Frame::Subscribe(req)))) => {
                     self.handle_subscribe(req);
                 }
@@ -650,42 +935,73 @@ impl RelayWorker {
     /// Applies a cumulative ack: prunes covered rollups; the first ack of
     /// a connection is the resume point (retransmit the rest).
     fn handle_ack(&mut self, last_applied: u64, resumed: &mut bool) {
-        while self
-            .unacked
-            .front()
-            .is_some_and(|u| u.seq <= last_applied)
-        {
-            self.unacked.pop_front();
+        if *resumed {
+            self.window.ack(last_applied);
+            return;
         }
-        if !*resumed {
-            *resumed = true;
-            self.next_seq = self.next_seq.max(last_applied + 1);
-            let retransmits = self.unacked.len() as u64;
-            if retransmits > 0 {
-                self.stats
-                    .retransmits
-                    .fetch_add(retransmits, Ordering::Relaxed);
-                for unacked in &self.unacked {
-                    self.outbox.extend_from_slice(&unacked.bytes);
-                }
-            }
+        *resumed = true;
+        let retransmits = self.window.resume(last_applied, &mut self.outbox);
+        if retransmits > 0 {
+            self.stats
+                .retransmits
+                .fetch_add(retransmits, Ordering::Relaxed);
         }
     }
 
     /// Registers a parent-propagated subscription as a real local
     /// subscription (recursing the propagation through this node's own
-    /// child links, if any).
+    /// child links, if any). A request whose `resume_from` is non-zero and
+    /// whose id/pattern/interests match a subscription already held is a
+    /// **resume**: the existing stream is kept (its cursors keep counting)
+    /// and drained-but-possibly-lost events at or past the resume point
+    /// are replayed from the ring.
     fn handle_subscribe(&mut self, req: SubscribeReq) {
+        if req.resume_from > 0 {
+            if let Some(p) = self.subs.get_mut(&req.sub_id) {
+                if p.pattern == req.pattern && p.interests == req.interests {
+                    let replay = p.sub.queue().replay_events(req.sub_id, req.resume_from);
+                    let frames = replay.len();
+                    for (cursor, bytes) in replay {
+                        let at = self.outbox.len();
+                        self.outbox.extend_from_slice(&bytes);
+                        if let Err(err) = splice_event_cursor(&mut self.outbox, at, cursor) {
+                            debug_assert!(false, "replay splice failed: {err:?}");
+                            self.outbox.truncate(at);
+                        }
+                    }
+                    // The replay is in the outbox ahead of anything the
+                    // queue drains from here on — the stream may flow.
+                    p.synced = true;
+                    crate::log!(
+                        Level::Debug,
+                        "upstream link: resumed subscribe sub={} from={} replayed={}",
+                        req.sub_id,
+                        req.resume_from,
+                        frames
+                    );
+                    return;
+                }
+            }
+        }
         self.handle_unsubscribe(req.sub_id);
         match self.state.subscribe_propagated(&req) {
             Ok(sub) => {
                 crate::log!(
                     Level::Debug,
-                    "upstream link: propagated subscribe sub={} pattern={}",
+                    "upstream link: propagated subscribe sub={} pattern={} resume_from={}",
                     req.sub_id,
-                    req.pattern
+                    req.pattern,
+                    req.resume_from
                 );
-                self.subs.insert(req.sub_id, Propagated { sub });
+                self.subs.insert(
+                    req.sub_id,
+                    Propagated {
+                        sub,
+                        pattern: req.pattern,
+                        interests: req.interests,
+                        synced: true,
+                    },
+                );
             }
             Err(status) => crate::log!(
                 Level::Warn,
@@ -705,7 +1021,7 @@ impl RelayWorker {
     /// unacked window and the outbox cap.
     fn pump_rollups(&mut self) {
         loop {
-            if self.unacked.len() >= self.config.unacked_capacity
+            if self.window.in_flight() >= self.config.unacked_capacity
                 || self.outbox.len() >= MAX_UPLINK_OUTBOX
             {
                 return;
@@ -734,13 +1050,12 @@ impl RelayWorker {
     /// Encodes one rollup event, assigns it the next link sequence, and
     /// queues it for transmission and retransmission.
     fn send_rollup(&mut self, app: &str, dropped_total: u64, beats: &[WireBeat]) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
         let frame = Frame::RelayEvent {
-            seq,
+            seq: self.window.next_seq(),
             event: EventFrame {
                 sub_id: 0,
                 sent_at_ns: telemetry::wall_clock_ns(),
+                cursor: 0,
                 app: app.to_string(),
                 payload: EventPayload::Beats {
                     dropped_total,
@@ -751,28 +1066,45 @@ impl RelayWorker {
         let mut bytes = Vec::with_capacity(64 + beats.len() * 8);
         frame.encode_into(&mut bytes);
         self.outbox.extend_from_slice(&bytes);
-        self.unacked.push_back(Unacked { seq, bytes });
+        self.window.send(bytes);
     }
 
-    /// Forwards queued events of every propagated subscription verbatim
-    /// (their sub_id is the parent's downlink id and their names are this
-    /// node's local names — exactly what the parent expects), and runs the
-    /// silence sweep so stalls at this tier are detected without ingest.
+    /// Forwards queued events of every propagated subscription (their
+    /// sub_id is the parent's downlink id and their names are this node's
+    /// local names — exactly what the parent expects), splicing each
+    /// event's assigned cursor into the shared bytes on the way out, and
+    /// runs the silence sweep so stalls at this tier are detected without
+    /// ingest.
     fn pump_propagated(&mut self) {
+        let outbox = &mut self.outbox;
+        let mut forwarded = 0u64;
         for p in self.subs.values() {
             self.state.sweep_subscriptions(p.sub.queue());
-            let budget = MAX_UPLINK_OUTBOX.saturating_sub(self.outbox.len());
+            // Parked until this session's Subscribe(resume) has put the
+            // ring replay in the outbox — see `Propagated::synced`. The
+            // queue keeps accumulating (bounded, counted) meanwhile.
+            if !p.synced {
+                continue;
+            }
+            let budget = MAX_UPLINK_OUTBOX.saturating_sub(outbox.len());
             if budget == 0 {
-                return;
+                break;
             }
-            let before = self.outbox.len();
-            let moved = p.sub.queue().drain_to_vec(&mut self.outbox, budget);
-            if moved > 0 {
-                debug_assert!(self.outbox.len() > before);
-                self.stats
-                    .forwarded_events
-                    .fetch_add(moved as u64, Ordering::Relaxed);
-            }
+            forwarded += p.sub.queue().drain_events(budget, |bytes, cursor| {
+                let at = outbox.len();
+                outbox.extend_from_slice(&bytes);
+                if cursor != 0 {
+                    if let Err(err) = splice_event_cursor(outbox, at, cursor) {
+                        debug_assert!(false, "cursor splice failed: {err:?}");
+                        outbox.truncate(at);
+                    }
+                }
+            }) as u64;
+        }
+        if forwarded > 0 {
+            self.stats
+                .forwarded_events
+                .fetch_add(forwarded, Ordering::Relaxed);
         }
     }
 
@@ -793,21 +1125,26 @@ impl RelayWorker {
         true
     }
 
-    /// Link-down cleanup: propagated subscriptions are torn down locally
-    /// (the parent re-propagates on reconnect with fresh downlink ids);
-    /// unacked rollups are kept for retransmission.
+    /// Link-down cleanup. Propagated subscriptions are deliberately
+    /// **kept**: their queues and replay rings keep accumulating (bounded,
+    /// counted) so the parent's resume re-subscribe finds the stream
+    /// intact and cursor numbering unbroken. Unacked rollups are kept for
+    /// retransmission. Only the stop path tears the subscriptions down.
     fn teardown_link(&mut self) {
         if self.stats.connected.swap(false, Ordering::AcqRel) {
             crate::log!(
                 Level::Warn,
-                "upstream link down parent={} node={} ({} rollups unacked)",
+                "upstream link down parent={} node={} ({} rollups unacked, {} subs held)",
                 self.config.parent,
                 self.config.node,
-                self.unacked.len()
+                self.window.in_flight(),
+                self.subs.len()
             );
         }
-        for (_, p) in self.subs.drain() {
-            self.state.unsubscribe_propagated(&p.sub);
+        if self.stop.load(Ordering::Acquire) {
+            for (_, p) in self.subs.drain() {
+                self.state.unsubscribe_propagated(&p.sub);
+            }
         }
         self.outbox.clear();
     }
@@ -843,6 +1180,112 @@ mod tests {
         let (item, tap_dropped) = tap.pop_item().unwrap();
         assert_eq!((item.beats.len(), item.producer_dropped, tap_dropped), (2, 5, 3));
         assert!(tap.pop_item().is_none());
+    }
+
+    #[test]
+    fn rollup_window_resume_retransmits_uncovered_suffix_in_order() {
+        let mut window = RollupWindow::new();
+        for seq in 1u64..=5 {
+            assert_eq!(window.send(seq.to_le_bytes().to_vec()), seq);
+        }
+        window.ack(2);
+        assert_eq!(window.in_flight(), 3);
+        let mut out = Vec::new();
+        assert_eq!(window.resume(3, &mut out), 2, "4 and 5 retransmit");
+        let seqs: Vec<u64> = out
+            .chunks(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(window.next_seq(), 6, "never reissue a spent sequence");
+        // A resume watermark from a parent that saw everything (e.g. acks
+        // lost, not frames) clears the window entirely.
+        let mut out = Vec::new();
+        assert_eq!(window.resume(5, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    proptest::proptest! {
+        /// The retransmit watermark state machine, driven through
+        /// arbitrary interleavings of sends, deliveries, acks (delivered
+        /// and lost), and reconnects, against a model parent. Pins the
+        /// federation invariants: every produced sequence is applied
+        /// **exactly once**, and the parent watermark is monotone.
+        #[test]
+        fn rollup_window_applies_exactly_once(ops in proptest::collection::vec(0u8..100, 1..300)) {
+            use std::collections::HashSet;
+
+            let mut window = RollupWindow::new();
+            // The in-order connection: sequence numbers in flight to the
+            // parent. TCP gives in-order delivery within a connection;
+            // loss happens only when the connection dies (reconnect).
+            let mut wire: VecDeque<u64> = VecDeque::new();
+            let mut last_applied = 0u64; // parent watermark
+            let mut applied: HashSet<u64> = HashSet::new();
+
+            let deliver = |wire: &mut VecDeque<u64>,
+                               last_applied: &mut u64,
+                               applied: &mut HashSet<u64>|
+             -> Result<(), String> {
+                if let Some(seq) = wire.pop_front() {
+                    // Parent dedupe: at/below the watermark is a replay.
+                    if seq > *last_applied {
+                        proptest::prop_assert!(
+                            applied.insert(seq),
+                            "sequence {seq} applied twice"
+                        );
+                        *last_applied = seq;
+                    }
+                }
+                Ok(())
+            };
+            let reconnect = |window: &mut RollupWindow,
+                                 wire: &mut VecDeque<u64>,
+                                 last_applied: u64| {
+                wire.clear(); // everything in flight is lost with the link
+                let mut out = Vec::new();
+                window.resume(last_applied, &mut out);
+                for chunk in out.chunks(8) {
+                    wire.push_back(u64::from_le_bytes(chunk.try_into().unwrap()));
+                }
+            };
+
+            for op in ops {
+                match op {
+                    // Send a new rollup (its payload is its sequence).
+                    0..=39 => {
+                        let seq = window.next_seq();
+                        let assigned = window.send(seq.to_le_bytes().to_vec());
+                        proptest::prop_assert_eq!(assigned, seq);
+                        wire.push_back(seq);
+                    }
+                    // The parent consumes the next in-flight frame.
+                    40..=69 => deliver(&mut wire, &mut last_applied, &mut applied)?,
+                    // A cumulative ack reaches the child...
+                    70..=84 => window.ack(last_applied),
+                    // ...or is lost in transit (nothing happens).
+                    85..=89 => {}
+                    // The link dies and the child reconnects + resumes.
+                    _ => reconnect(&mut window, &mut wire, last_applied),
+                }
+                proptest::prop_assert!(last_applied < window.next_seq());
+            }
+
+            // Quiesce: a final reconnect flushes the uncovered suffix, the
+            // parent drains it, and the ledgers must agree exactly.
+            reconnect(&mut window, &mut wire, last_applied);
+            while !wire.is_empty() {
+                deliver(&mut wire, &mut last_applied, &mut applied)?;
+            }
+            window.ack(last_applied);
+            proptest::prop_assert_eq!(window.in_flight(), 0);
+            let produced = window.next_seq() - 1;
+            proptest::prop_assert_eq!(applied.len() as u64, produced);
+            proptest::prop_assert_eq!(last_applied, produced, "watermark converges");
+            for seq in 1..=produced {
+                proptest::prop_assert!(applied.contains(&seq), "gap at {seq}");
+            }
+        }
     }
 
     #[test]

@@ -160,6 +160,19 @@ const KIND_UNSUBSCRIBE: u8 = 14;
 const KIND_NODE_HELLO: u8 = 15;
 const KIND_RELAY_EVENT: u8 = 16;
 const KIND_RELAY_ACK: u8 = 17;
+const KIND_NODE_CHALLENGE: u8 = 18;
+const KIND_NODE_AUTH: u8 = 19;
+
+/// Most ancestry entries a [`Frame::NodeHello`] path vector may carry —
+/// bounds the announced subtree, and therefore the federation tree depth ×
+/// fan-in a single hello can describe. Far beyond any deployment this
+/// codebase targets; the bound exists so a hostile hello cannot make the
+/// parent buffer an unbounded name list.
+pub const MAX_PATH_NODES: usize = 64;
+
+/// Nonce and MAC length in the [`Frame::NodeChallenge`] /
+/// [`Frame::NodeAuth`] handshake (the SHA-256 digest width).
+pub const AUTH_LEN: usize = 32;
 
 /// The lowest protocol version that defines `kind`, which is also the
 /// version stamped into the header when the frame is encoded. `None` if no
@@ -168,7 +181,7 @@ pub fn wire_version(kind: u8) -> Option<u8> {
     match kind {
         KIND_HELLO..=KIND_BYE => Some(1),
         KIND_HISTORY_REQ..=KIND_HEALTH => Some(2),
-        KIND_HELLO_ACK..=KIND_RELAY_ACK => Some(3),
+        KIND_HELLO_ACK..=KIND_NODE_AUTH => Some(3),
         _ => None,
     }
 }
@@ -378,6 +391,13 @@ pub struct SubscribeReq {
     /// per application, in nanoseconds. Raw-beat events are not throttled
     /// (they are bounded by the subscriber queue instead).
     pub min_interval_ns: u64,
+    /// First event cursor the subscriber wants (`0` = no resume: start
+    /// fresh). A federation parent re-issuing a propagated subscription
+    /// after a link drop sets this to one past its last-delivered cursor;
+    /// the child replays what its bounded replay ring still holds and
+    /// continues the cursor sequence without a gap. Encoded as a trailing
+    /// varint; absent on the wire (frames from older peers) decodes as `0`.
+    pub resume_from: u64,
 }
 
 /// Outcome of a [`Frame::Subscribe`] / [`Frame::Unsubscribe`] request, as
@@ -422,6 +442,13 @@ pub struct EventFrame {
     /// subtract their own wall clock to estimate delivery lag
     /// ([`Subscription::delivery_lag`](crate::Subscription::delivery_lag)).
     pub sent_at_ns: u64,
+    /// Per-subscription delivery cursor: monotone from 1 in queue order,
+    /// or `0` when the emitter does not number this stream (local
+    /// deliveries and plain observer connections). Federation uplinks
+    /// stamp the real cursor when forwarding
+    /// ([`splice_event_cursor`]), and the parent uses it to deduplicate
+    /// replays and detect gaps across reconnects.
+    pub cursor: u64,
     /// The application the event describes.
     pub app: String,
     /// What happened.
@@ -553,6 +580,30 @@ pub enum Frame {
         node: String,
         /// The child collector's process id, for diagnostics.
         pid: u32,
+        /// Every node name in the subtree the child is announcing: its own
+        /// name plus the announced paths of its currently-connected
+        /// children (at most [`MAX_PATH_NODES`] entries). The parent
+        /// refuses the uplink if its *own* node name appears here — that
+        /// is a relay cycle, and accepting it would loop beats forever.
+        /// Absent on the wire (older peers) decodes as empty.
+        path: Vec<String>,
+    },
+    /// Parent → child, answering a [`Frame::NodeHello`] when the parent
+    /// runs with a cluster secret: a fresh nonce the child must MAC before
+    /// the link opens. A parent without a secret skips this and answers
+    /// with [`Frame::RelayAck`] directly.
+    NodeChallenge {
+        /// Fresh per-handshake nonce.
+        nonce: [u8; AUTH_LEN],
+    },
+    /// Child → parent, answering a [`Frame::NodeChallenge`]:
+    /// `HMAC-SHA256(secret, nonce || node)` (see [`crate::auth`]). A valid
+    /// MAC is answered with the resume [`Frame::RelayAck`]; anything else
+    /// closes the connection and counts toward
+    /// `hb_collector_uplink_rejected_total{reason="auth"}`.
+    NodeAuth {
+        /// The keyed MAC over the challenge nonce and the node name.
+        mac: [u8; AUTH_LEN],
     },
     /// Child collector → parent: one rollup event, tagged with a link
     /// sequence number for exactly-once application across reconnects. The
@@ -1057,6 +1108,7 @@ fn encode_event_payload(buf: &mut Vec<u8>, event: &EventFrame) {
     }
     put_name(buf, &event.app);
     put_varint(buf, event.sent_at_ns);
+    put_varint(buf, event.cursor);
     match &event.payload {
         EventPayload::Snapshot {
             total_beats,
@@ -1116,6 +1168,8 @@ impl Frame {
             Frame::NodeHello { .. } => KIND_NODE_HELLO,
             Frame::RelayEvent { .. } => KIND_RELAY_EVENT,
             Frame::RelayAck { .. } => KIND_RELAY_ACK,
+            Frame::NodeChallenge { .. } => KIND_NODE_CHALLENGE,
+            Frame::NodeAuth { .. } => KIND_NODE_AUTH,
         }
     }
 
@@ -1178,6 +1232,7 @@ impl Frame {
                 buf.push(req.interests);
                 put_u64(buf, req.min_interval_ns);
                 put_name(buf, &req.pattern);
+                put_varint(buf, req.resume_from);
             }
             Frame::SubAck { sub_id, status } => {
                 put_u32(buf, *sub_id);
@@ -1189,11 +1244,18 @@ impl Frame {
             Frame::Unsubscribe { sub_id } => {
                 put_u32(buf, *sub_id);
             }
-            Frame::NodeHello { node, pid } => {
+            Frame::NodeHello { node, pid, path } => {
                 put_u32(buf, *pid);
                 let name = node.as_bytes();
                 put_u16(buf, name.len() as u16);
                 buf.extend_from_slice(name);
+                debug_assert!(path.len() <= MAX_PATH_NODES, "oversize node path");
+                buf.push(path.len() as u8);
+                for entry in path {
+                    debug_assert!(entry.len() <= MAX_NODE_LEN, "oversize path entry");
+                    buf.push(entry.len() as u8);
+                    buf.extend_from_slice(entry.as_bytes());
+                }
             }
             Frame::RelayEvent { seq, event } => {
                 put_varint(buf, *seq);
@@ -1201,6 +1263,12 @@ impl Frame {
             }
             Frame::RelayAck { last_applied } => {
                 put_varint(buf, *last_applied);
+            }
+            Frame::NodeChallenge { nonce } => {
+                buf.extend_from_slice(nonce);
+            }
+            Frame::NodeAuth { mac } => {
+                buf.extend_from_slice(mac);
             }
         }
     }
@@ -1466,14 +1534,23 @@ impl Frame {
                 }
                 let min_interval_ns = get_u64(payload, 5);
                 let (pattern, end) = get_pattern(payload, 13)?;
-                if end != payload.len() {
-                    return Err(NetError::Protocol("subscribe trailing bytes".into()));
-                }
+                // The resume cursor is a trailing varint; its absence (the
+                // pre-resume encoding) means "start fresh".
+                let resume_from = if end == payload.len() {
+                    0
+                } else {
+                    let (resume_from, end) = get_varint(payload, end)?;
+                    if end != payload.len() {
+                        return Err(NetError::Protocol("subscribe trailing bytes".into()));
+                    }
+                    resume_from
+                };
                 Ok(Frame::Subscribe(SubscribeReq {
                     sub_id,
                     pattern,
                     interests,
                     min_interval_ns,
+                    resume_from,
                 }))
             }
             KIND_SUB_ACK => {
@@ -1512,14 +1589,14 @@ impl Frame {
                         "node name of {name_len} bytes exceeds the {MAX_NODE_LEN}-byte limit"
                     )));
                 }
-                if payload.len() != 6 + name_len {
+                let name_end = 6 + name_len;
+                if payload.len() < name_end {
                     return Err(NetError::Protocol(format!(
-                        "node hello payload is {} bytes, expected {}",
+                        "node hello payload is {} bytes, expected at least {name_end}",
                         payload.len(),
-                        6 + name_len
                     )));
                 }
-                let node = std::str::from_utf8(&payload[6..])
+                let node = std::str::from_utf8(&payload[6..name_end])
                     .map_err(|_| NetError::Protocol("node name is not UTF-8".into()))?
                     .to_string();
                 if !valid_node_name(&node) {
@@ -1528,7 +1605,51 @@ impl Frame {
                          whitespace/control/quote/'/'/'*' characters)"
                     )));
                 }
-                Ok(Frame::NodeHello { node, pid })
+                // The path vector is a trailing count-prefixed list; its
+                // absence (the pre-loop-detection encoding) means "no
+                // ancestry announced".
+                let mut path = Vec::new();
+                if payload.len() > name_end {
+                    let count = payload[name_end] as usize;
+                    if count > MAX_PATH_NODES {
+                        return Err(NetError::Protocol(format!(
+                            "node path of {count} entries exceeds the {MAX_PATH_NODES}-entry limit"
+                        )));
+                    }
+                    let mut at = name_end + 1;
+                    for _ in 0..count {
+                        let Some(&len) = payload.get(at) else {
+                            return Err(NetError::Protocol("node path truncated".into()));
+                        };
+                        let len = len as usize;
+                        if len > MAX_NODE_LEN {
+                            return Err(NetError::Protocol(format!(
+                                "node path entry of {len} bytes exceeds the \
+                                 {MAX_NODE_LEN}-byte limit"
+                            )));
+                        }
+                        let end = at + 1 + len;
+                        if payload.len() < end {
+                            return Err(NetError::Protocol("node path truncated".into()));
+                        }
+                        let entry = std::str::from_utf8(&payload[at + 1..end])
+                            .map_err(|_| {
+                                NetError::Protocol("node path entry is not UTF-8".into())
+                            })?
+                            .to_string();
+                        if !valid_node_name(&entry) {
+                            return Err(NetError::Protocol(format!(
+                                "invalid node path entry {entry:?}"
+                            )));
+                        }
+                        path.push(entry);
+                        at = end;
+                    }
+                    if at != payload.len() {
+                        return Err(NetError::Protocol("node hello trailing bytes".into()));
+                    }
+                }
+                Ok(Frame::NodeHello { node, pid, path })
             }
             KIND_RELAY_EVENT => {
                 let (seq, at) = get_varint(payload, 0)?;
@@ -1546,6 +1667,24 @@ impl Frame {
                     return Err(NetError::Protocol("relay ack trailing bytes".into()));
                 }
                 Ok(Frame::RelayAck { last_applied })
+            }
+            KIND_NODE_CHALLENGE => {
+                let nonce: [u8; AUTH_LEN] = payload.try_into().map_err(|_| {
+                    NetError::Protocol(format!(
+                        "node challenge payload is {} bytes, expected {AUTH_LEN}",
+                        payload.len()
+                    ))
+                })?;
+                Ok(Frame::NodeChallenge { nonce })
+            }
+            KIND_NODE_AUTH => {
+                let mac: [u8; AUTH_LEN] = payload.try_into().map_err(|_| {
+                    NetError::Protocol(format!(
+                        "node auth payload is {} bytes, expected {AUTH_LEN}",
+                        payload.len()
+                    ))
+                })?;
+                Ok(Frame::NodeAuth { mac })
             }
             _ => unreachable!("kind validated by decode_header"),
         }
@@ -1586,6 +1725,7 @@ fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
     };
     let (app, at) = get_name(payload, at + 1)?;
     let (sent_at_ns, at) = get_varint(payload, at)?;
+    let (cursor, at) = get_varint(payload, at)?;
     let payload_body = match event_kind {
         EVENT_SNAPSHOT => {
             let (total_beats, at) = get_varint(payload, at)?;
@@ -1652,9 +1792,48 @@ fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
     Ok(EventFrame {
         sub_id: sub_id as u32,
         sent_at_ns,
+        cursor,
         app,
         payload: payload_body,
     })
+}
+
+/// Rewrites the delivery-cursor varint inside an already-encoded
+/// [`Frame::Event`] that occupies `buf[frame_at..]`, re-patching the
+/// header's payload length and CRC. Subscription events are encoded once
+/// and fanned out as shared bytes with `cursor == 0`; the federation
+/// uplink copies those bytes into its outbox and stamps each
+/// subscription's real monotone cursor here — a splice on the freshly
+/// appended tail instead of a full re-encode.
+pub fn splice_event_cursor(buf: &mut Vec<u8>, frame_at: usize, cursor: u64) -> Result<()> {
+    let (kind, payload_len, _crc) = Frame::decode_header(&buf[frame_at..])?;
+    if kind != KIND_EVENT {
+        return Err(NetError::Protocol("cursor splice on a non-event frame".into()));
+    }
+    let payload_at = frame_at + HEADER_LEN;
+    let payload_end = payload_at + payload_len;
+    if buf.len() < payload_end {
+        return Err(NetError::Protocol("cursor splice on a truncated frame".into()));
+    }
+    // Walk to the cursor field: sub_id varint, event-kind byte, name,
+    // sent_at varint — the same prefix decode_event_payload consumes.
+    let payload = &buf[payload_at..payload_end];
+    let (_sub_id, at) = get_varint(payload, 0)?;
+    let at = at + 1; // event kind
+    if payload.len() < at + 2 {
+        return Err(NetError::Protocol("cursor splice: name truncated".into()));
+    }
+    let at = at + 2 + get_u16(payload, at) as usize;
+    let (_sent_at, at) = get_varint(payload, at)?;
+    let (_old, after) = get_varint(payload, at)?;
+    let mut scratch = Vec::with_capacity(10);
+    put_varint(&mut scratch, cursor);
+    buf.splice(payload_at + at..payload_at + after, scratch.iter().copied());
+    let new_len = payload_len - (after - at) + scratch.len();
+    let crc = crc32(&buf[payload_at..payload_at + new_len]);
+    buf[frame_at + 6..frame_at + 10].copy_from_slice(&(new_len as u32).to_le_bytes());
+    buf[frame_at + 10..frame_at + 14].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
 }
 
 /// Streaming encoder for one [`Frame::Beats`] batch, in either wire
@@ -2666,6 +2845,14 @@ mod tests {
                 pattern: "cam*".into(),
                 interests: 0b111,
                 min_interval_ns: 250_000_000,
+                resume_from: 0,
+            }),
+            Frame::Subscribe(SubscribeReq {
+                sub_id: 8,
+                pattern: "*".into(),
+                interests: 0b100,
+                min_interval_ns: 0,
+                resume_from: u64::MAX / 5,
             }),
             Frame::SubAck {
                 sub_id: 7,
@@ -2679,6 +2866,7 @@ mod tests {
             Frame::Event(EventFrame {
                 sub_id: 7,
                 sent_at_ns: 1_722_000_000_123_456_789,
+                cursor: 42,
                 app: "cam3".into(),
                 payload: EventPayload::Snapshot {
                     total_beats: 12_345,
@@ -2691,6 +2879,7 @@ mod tests {
             Frame::Event(EventFrame {
                 sub_id: 7,
                 sent_at_ns: 0,
+                cursor: 0,
                 app: "cam3".into(),
                 payload: EventPayload::Snapshot {
                     total_beats: 1,
@@ -2703,6 +2892,7 @@ mod tests {
             Frame::Event(EventFrame {
                 sub_id: u32::MAX,
                 sent_at_ns: u64::MAX,
+                cursor: u64::MAX,
                 app: "cam3".into(),
                 payload: EventPayload::HealthTransition {
                     from: crate::health::HealthStatus::Healthy,
@@ -2714,6 +2904,7 @@ mod tests {
             Frame::Event(EventFrame {
                 sub_id: 0,
                 sent_at_ns: 1,
+                cursor: 7,
                 app: "cam3".into(),
                 payload: EventPayload::Beats {
                     dropped_total: 3,
@@ -2727,6 +2918,7 @@ mod tests {
             Frame::Event(EventFrame {
                 sub_id: 1,
                 sent_at_ns: 128,
+                cursor: 128,
                 app: "cam3".into(),
                 payload: EventPayload::Beats {
                     dropped_total: 0,
@@ -2751,6 +2943,7 @@ mod tests {
             pattern: "x".into(),
             interests: 0b001,
             min_interval_ns: 0,
+            resume_from: 0,
         })
         .encode();
         bad[HEADER_LEN + 4] = 0;
@@ -2773,9 +2966,12 @@ mod tests {
             pattern: "ab".into(),
             interests: 0b010,
             min_interval_ns: 0,
+            resume_from: 0,
         })
         .encode();
-        let at = sneaky.len() - 2;
+        // The pattern's last byte sits just before the trailing
+        // resume-cursor varint (one byte for 0).
+        let at = sneaky.len() - 3;
         sneaky[at] = b' ';
         let crc = crate::crc::crc32(&sneaky[HEADER_LEN..]);
         sneaky[10..14].copy_from_slice(&crc.to_le_bytes());
@@ -2803,6 +2999,7 @@ mod tests {
         let mut event = Frame::Event(EventFrame {
             sub_id: 1,
             sent_at_ns: 0,
+            cursor: 0,
             app: "x".into(),
             payload: EventPayload::Snapshot {
                 total_beats: 0,
@@ -2840,11 +3037,12 @@ mod tests {
                     pattern: "cam*".into(),
                     interests: 0b010,
                     min_interval_ns: 1_000_000_000,
+                    resume_from: 0,
                 })
                 .encode()
             ),
-            "48 42 57 54 03 0b 13 00 00 00 c9 eb 88 ff \
-             01 00 00 00 02 00 ca 9a 3b 00 00 00 00 04 00 63 61 6d 2a"
+            "48 42 57 54 03 0b 14 00 00 00 72 1d 45 30 \
+             01 00 00 00 02 00 ca 9a 3b 00 00 00 00 04 00 63 61 6d 2a 00"
         );
         assert_eq!(
             hex(
@@ -2861,6 +3059,7 @@ mod tests {
                 &Frame::Event(EventFrame {
                     sub_id: 1,
                     sent_at_ns: 0,
+                    cursor: 0,
                     app: "cam7".into(),
                     payload: EventPayload::HealthTransition {
                         from: crate::health::HealthStatus::Healthy,
@@ -2871,8 +3070,8 @@ mod tests {
                 })
                 .encode()
             ),
-            "48 42 57 54 03 0d 11 00 00 00 71 4c 8b f8 \
-             01 02 04 00 63 61 6d 37 00 03 01 02 00 2a 00 00 00"
+            "48 42 57 54 03 0d 12 00 00 00 ba dd 8e b6 \
+             01 02 04 00 63 61 6d 37 00 00 03 01 02 00 2a 00 00 00"
         );
         assert_eq!(
             hex(&Frame::Unsubscribe { sub_id: 1 }.encode()),
@@ -2924,6 +3123,85 @@ mod tests {
         );
     }
 
+    /// Pins the federation-hardening worked hex in `docs/WIRE.md`: the
+    /// versioned NodeHello path vector, the auth handshake pair (the MAC
+    /// cross-checked against an independent HMAC-SHA256 implementation),
+    /// and the cursored Subscribe/Event forms.
+    #[test]
+    fn federation_worked_examples_match_wire_md() {
+        fn hex(bytes: &[u8]) -> String {
+            bytes
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        assert_eq!(
+            hex(
+                &Frame::NodeHello {
+                    node: "leaf0".into(),
+                    pid: 7,
+                    path: vec!["leaf0".into(), "edge".into()],
+                }
+                .encode()
+            ),
+            "48 42 57 54 03 0f 17 00 00 00 00 8f 09 06 \
+             07 00 00 00 05 00 6c 65 61 66 30 02 05 6c 65 61 66 30 04 65 64 67 65"
+        );
+        let nonce = [0xa5u8; AUTH_LEN];
+        assert_eq!(
+            hex(&Frame::NodeChallenge { nonce }.encode()),
+            "48 42 57 54 03 12 20 00 00 00 85 2f 5f 77 \
+             a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 \
+             a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5 a5"
+        );
+        // The answer for secret "hunter2", node "leaf0": the expected MAC
+        // was computed with an independent HMAC-SHA256 implementation.
+        let mac = crate::auth::uplink_mac("hunter2", &nonce, "leaf0");
+        assert_eq!(
+            hex(&Frame::NodeAuth { mac }.encode()),
+            "48 42 57 54 03 13 20 00 00 00 50 27 7e 1a \
+             aa 9b 67 2d 3b 60 cc 93 49 17 aa 2f da c6 b4 bd \
+             1d 6a 35 32 40 54 b3 35 be 6f 1a e8 35 6f 42 6f"
+        );
+        // Cursored resume forms: Subscribe with resume_from = 43 asks the
+        // child to replay from cursor 43; the first replayed Event carries
+        // that cursor.
+        assert_eq!(
+            hex(
+                &Frame::Subscribe(SubscribeReq {
+                    sub_id: 1,
+                    pattern: "cam*".into(),
+                    interests: 0b010,
+                    min_interval_ns: 1_000_000_000,
+                    resume_from: 43,
+                })
+                .encode()
+            ),
+            "48 42 57 54 03 0b 14 00 00 00 32 e4 f9 9c \
+             01 00 00 00 02 00 ca 9a 3b 00 00 00 00 04 00 63 61 6d 2a 2b"
+        );
+        assert_eq!(
+            hex(
+                &Frame::Event(EventFrame {
+                    sub_id: 1,
+                    sent_at_ns: 0,
+                    cursor: 43,
+                    app: "cam7".into(),
+                    payload: EventPayload::HealthTransition {
+                        from: crate::health::HealthStatus::Healthy,
+                        to: crate::health::HealthStatus::Stalled,
+                        reasons: vec![crate::health::HealthReason::Silent],
+                        window_beats: 42,
+                    },
+                })
+                .encode()
+            ),
+            "48 42 57 54 03 0d 12 00 00 00 c4 c1 2a b6 \
+             01 02 04 00 63 61 6d 37 00 2b 03 01 02 00 2a 00 00 00"
+        );
+    }
+
     #[test]
     fn hello_rejects_namespaced_names() {
         // `/` passes valid_app_name (queries and events must accept
@@ -2955,26 +3233,182 @@ mod tests {
 
     #[test]
     fn node_hello_roundtrip_and_rejections() {
-        let frame = Frame::NodeHello {
-            node: "leaf-1".into(),
-            pid: 4242,
-        };
-        let bytes = frame.encode();
-        // Federation kinds ride the existing v3 wire.
-        assert_eq!(bytes[4], 3);
-        let (decoded, used) = Frame::decode(&bytes).unwrap();
-        assert_eq!(used, bytes.len());
-        assert_eq!(decoded, frame);
+        for path in [
+            vec![],
+            vec!["leaf-1".to_string()],
+            vec!["leaf-1".to_string(), "rack07.eu".to_string(), "x".to_string()],
+        ] {
+            let frame = Frame::NodeHello {
+                node: "leaf-1".into(),
+                pid: 4242,
+                path,
+            };
+            let bytes = frame.encode();
+            // Federation kinds ride the existing v3 wire.
+            assert_eq!(bytes[4], 3);
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
         for bad in ["leaf/1", "leaf*", "has space", ""] {
             let frame = Frame::NodeHello {
                 node: bad.into(),
                 pid: 1,
+                path: vec![],
             };
             assert!(
                 matches!(Frame::decode(&frame.encode()), Err(NetError::Protocol(_))),
                 "node name {bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn node_hello_legacy_body_decodes_with_empty_path() {
+        // The pre-loop-detection encoding ends right after the node name;
+        // it must keep decoding (path = []) so a mixed-version tree can
+        // still link up.
+        let mut frame = Frame::NodeHello {
+            node: "leaf-1".into(),
+            pid: 7,
+            path: vec![],
+        }
+        .encode();
+        // Strip the trailing path-count byte and re-stamp length + CRC.
+        frame.pop();
+        let payload_len = (frame.len() - HEADER_LEN) as u32;
+        frame[6..10].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[10..14].copy_from_slice(&crc.to_le_bytes());
+        let (decoded, used) = Frame::decode(&frame).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(
+            decoded,
+            Frame::NodeHello {
+                node: "leaf-1".into(),
+                pid: 7,
+                path: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn node_hello_path_rejections() {
+        // An invalid name inside the path vector is rejected even though
+        // the node name itself is fine.
+        let frame = Frame::NodeHello {
+            node: "leaf-1".into(),
+            pid: 1,
+            path: vec!["ok-node".into(), "bad/one".into()],
+        };
+        assert!(matches!(
+            Frame::decode(&frame.encode()),
+            Err(NetError::Protocol(msg)) if msg.contains("path entry")
+        ));
+        // A count byte promising more entries than the payload holds.
+        let mut truncated = Frame::NodeHello {
+            node: "leaf-1".into(),
+            pid: 1,
+            path: vec![],
+        }
+        .encode();
+        let at = truncated.len() - 1;
+        truncated[at] = 3; // claims 3 entries, provides none
+        let crc = crc32(&truncated[HEADER_LEN..]);
+        truncated[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&truncated),
+            Err(NetError::Protocol(msg)) if msg.contains("path truncated")
+        ));
+    }
+
+    #[test]
+    fn node_challenge_and_auth_roundtrip() {
+        let nonce = crate::auth::fresh_nonce();
+        let frame = Frame::NodeChallenge { nonce };
+        let bytes = frame.encode();
+        assert_eq!(bytes[4], 3);
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+
+        let mac = crate::auth::uplink_mac("swordfish", &nonce, "leaf-1");
+        let frame = Frame::NodeAuth { mac };
+        let (decoded, used) = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(used, frame.encode().len());
+        assert_eq!(decoded, frame);
+
+        // Wrong payload length is rejected, not padded.
+        let mut short = Frame::NodeAuth { mac }.encode();
+        short.truncate(short.len() - 1);
+        let payload_len = (short.len() - HEADER_LEN) as u32;
+        short[6..10].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&short[HEADER_LEN..]);
+        short[10..14].copy_from_slice(&crc.to_le_bytes());
+        assert!(Frame::decode(&short).is_err());
+    }
+
+    #[test]
+    fn subscribe_legacy_body_decodes_with_zero_resume() {
+        let mut frame = Frame::Subscribe(SubscribeReq {
+            sub_id: 3,
+            pattern: "cam*".into(),
+            interests: 0b100,
+            min_interval_ns: 5,
+            resume_from: 0,
+        })
+        .encode();
+        // Strip the trailing resume varint (one byte for 0) and re-stamp.
+        frame.pop();
+        let payload_len = (frame.len() - HEADER_LEN) as u32;
+        frame[6..10].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[10..14].copy_from_slice(&crc.to_le_bytes());
+        let (decoded, _) = Frame::decode(&frame).unwrap();
+        assert!(matches!(
+            decoded,
+            Frame::Subscribe(SubscribeReq { resume_from: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn splice_event_cursor_rewrites_in_place() {
+        for (cursor, trailing) in [(1u64, false), (300, false), (u64::MAX, true)] {
+            let event = Frame::Event(EventFrame {
+                sub_id: 9,
+                sent_at_ns: 123_456,
+                cursor: 0,
+                app: "leaf/cam3".into(),
+                payload: EventPayload::Beats {
+                    dropped_total: 2,
+                    beats: vec![beat(5, BeatScope::Global), beat(6, BeatScope::Local)],
+                },
+            });
+            let mut buf = Vec::new();
+            let frame_at = if trailing {
+                // The spliced frame need not start at offset 0.
+                Frame::Bye.encode_into(&mut buf);
+                buf.len()
+            } else {
+                0
+            };
+            event.encode_into(&mut buf);
+            splice_event_cursor(&mut buf, frame_at, cursor).unwrap();
+            let (decoded, used) = Frame::decode(&buf[frame_at..]).unwrap();
+            assert_eq!(used, buf.len() - frame_at);
+            let Frame::Event(decoded) = decoded else {
+                panic!("not an event");
+            };
+            assert_eq!(decoded.cursor, cursor);
+            assert_eq!(decoded.app, "leaf/cam3");
+            assert!(matches!(
+                decoded.payload,
+                EventPayload::Beats { dropped_total: 2, ref beats } if beats.len() == 2
+            ));
+        }
+        // Non-event frames are refused.
+        let mut buf = Frame::Bye.encode();
+        assert!(splice_event_cursor(&mut buf, 0, 1).is_err());
     }
 
     #[test]
@@ -2996,6 +3430,7 @@ mod tests {
                 event: EventFrame {
                     sub_id: 0,
                     sent_at_ns: 123_456_789,
+                    cursor: 0,
                     app: "cam".into(),
                     payload,
                 },
@@ -3014,6 +3449,7 @@ mod tests {
             event: EventFrame {
                 sub_id: 0,
                 sent_at_ns: 0,
+                cursor: 0,
                 app: "cam".into(),
                 payload: EventPayload::Beats {
                     dropped_total: 0,
@@ -3046,10 +3482,16 @@ mod tests {
 
     #[test]
     fn federation_kinds_are_version_3() {
-        for kind in [KIND_NODE_HELLO, KIND_RELAY_EVENT, KIND_RELAY_ACK] {
+        for kind in [
+            KIND_NODE_HELLO,
+            KIND_RELAY_EVENT,
+            KIND_RELAY_ACK,
+            KIND_NODE_CHALLENGE,
+            KIND_NODE_AUTH,
+        ] {
             assert_eq!(wire_version(kind), Some(3));
         }
-        assert_eq!(wire_version(KIND_RELAY_ACK + 1), None);
+        assert_eq!(wire_version(KIND_NODE_AUTH + 1), None);
     }
 
     #[test]

@@ -278,3 +278,88 @@ proptest! {
         );
     }
 }
+
+/// A representative multi-frame stream covering the federation-hardening
+/// surface: versioned NodeHello with a path vector, the challenge/response
+/// pair, a cursored Subscribe, a cursored Event inside and outside the
+/// relay envelope, plus plain beats and acks.
+fn federation_stream() -> Vec<u8> {
+    use hb_net::wire::{EventFrame, EventPayload, SubscribeReq, AUTH_LEN};
+    let event = EventFrame {
+        sub_id: 7,
+        sent_at_ns: 1_700_000_000_000_000_000,
+        cursor: 42,
+        app: "edge/camera".into(),
+        payload: EventPayload::Beats {
+            dropped_total: 3,
+            beats: (0..4).map(|i| adversarial_beat(i, 0x9E37_79B9 + i as u64)).collect(),
+        },
+    };
+    let frames = vec![
+        Frame::NodeHello {
+            node: "edge".into(),
+            pid: 4242,
+            path: vec!["edge".into(), "leaf-a".into(), "leaf-b".into()],
+        },
+        Frame::NodeChallenge { nonce: [0xA5; AUTH_LEN] },
+        Frame::NodeAuth { mac: [0x5A; AUTH_LEN] },
+        Frame::Subscribe(SubscribeReq {
+            sub_id: 7,
+            pattern: "edge/*".into(),
+            interests: 0x07,
+            min_interval_ns: 1_000_000,
+            resume_from: 41,
+        }),
+        Frame::Event(event.clone()),
+        Frame::RelayEvent { seq: 9, event },
+        Frame::RelayAck { last_applied: 9 },
+        Frame::Beats(BeatBatch {
+            dropped_total: 1,
+            beats: (0..8).map(|i| adversarial_beat(i, i as u64 * 0x517C_C1B7)).collect(),
+        }),
+    ];
+    let mut stream = Vec::new();
+    for frame in &frames {
+        stream.extend_from_slice(&frame.encode());
+    }
+    stream
+}
+
+proptest! {
+    /// Decoder survival under faultnet mangling: feed a valid federation
+    /// stream through [`hb_net::faultnet::mangle`] (truncation plus random
+    /// bit flips) in arbitrary chunk sizes. Corruption must surface as a
+    /// decode error or a clean early end of stream — never a panic. This
+    /// is the offline twin of the chaos test's in-flight corruption.
+    #[test]
+    fn mangled_streams_never_panic_the_decoder(
+        seed in any::<u64>(),
+        chunk in 1usize..512,
+    ) {
+        let mangled = hb_net::faultnet::mangle(seed, &federation_stream());
+
+        // One-shot decode of the mangled head: Ok or Err, never a panic.
+        let _ = Frame::decode(&mangled);
+
+        // Incremental decode in adversarial chunk sizes: frames before the
+        // first corruption may decode; the stream then errors or ends.
+        let mut decoder = hb_net::FrameDecoder::new();
+        let mut dead = false;
+        for part in mangled.chunks(chunk) {
+            if dead {
+                break;
+            }
+            decoder.push(part);
+            loop {
+                match decoder.next_event() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

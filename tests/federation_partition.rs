@@ -245,6 +245,14 @@ fn partition_recovery_accounts_loss_exactly() {
         "global ledger must balance"
     );
 
+    // An unkeyed tree never challenges: the parent must have established
+    // every (re)connect directly, with zero loop or auth rejections.
+    assert_eq!(
+        parent_state.uplink_rejections(),
+        (0, 0),
+        "an unkeyed parent must not reject its child"
+    );
+
     // The origin row confirms the resume path: the link is up, and any
     // retransmitted duplicates were detected, counted, and not applied.
     let origins = parent_state.origins();

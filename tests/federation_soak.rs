@@ -150,11 +150,16 @@ fn batch(start_seq: u64, count: usize) -> Vec<WireBeat> {
         .collect()
 }
 
+/// The whole tree runs authenticated: every uplink in the soak also
+/// exercises the keyed-MAC challenge/response on each (re)connect.
+const SOAK_SECRET: &str = "soak-cluster-secret";
+
 fn uplink(parent: String, node: &str) -> UpstreamConfig {
     UpstreamConfig {
         tick: Duration::from_millis(1),
         backoff_min: Duration::from_millis(5),
         backoff_max: Duration::from_millis(80),
+        secret: Some(SOAK_SECRET.into()),
         ..UpstreamConfig::new(parent, node)
     }
 }
@@ -172,6 +177,7 @@ fn three_level_tree_exact_accounting_across_reconnect() {
         CollectorConfig {
             io_threads: 2,
             health: health.clone(),
+            cluster_secret: Some(SOAK_SECRET.into()),
             ..CollectorConfig::default()
         },
     )
@@ -183,6 +189,7 @@ fn three_level_tree_exact_accounting_across_reconnect() {
         CollectorConfig {
             io_threads: 2,
             health: health.clone(),
+            cluster_secret: Some(SOAK_SECRET.into()),
             upstream: Some(uplink(root.ingest_addr().to_string(), "mid")),
             ..CollectorConfig::default()
         },
@@ -300,6 +307,12 @@ fn three_level_tree_exact_accounting_across_reconnect() {
         .sum();
     let sent_total: u64 = produced.values().sum();
     assert_eq!(root_total + root_dropped, sent_total, "global ledger must balance");
+
+    // Auth hygiene: every link in the tree carries the shared secret, so
+    // the whole soak — including every forced reconnect — must complete
+    // without a single uplink rejection of either kind.
+    assert_eq!(root_state.uplink_rejections(), (0, 0), "root rejected an uplink");
+    assert_eq!(mid.state().uplink_rejections(), (0, 0), "mid rejected an uplink");
 
     // Origin topology: the root sees exactly one connected child ("mid");
     // the mid tier sees all four leaves, all connected after the heal.

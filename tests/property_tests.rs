@@ -306,6 +306,7 @@ proptest! {
         let frame = Frame::Event(EventFrame {
             sub_id,
             sent_at_ns,
+            cursor: 0,
             app: format!("{node}/{app}"),
             payload: EventPayload::Beats { dropped_total, beats },
         });
@@ -332,6 +333,7 @@ proptest! {
             event: EventFrame {
                 sub_id: 0,
                 sent_at_ns: 0,
+                cursor: 0,
                 app: format!("{node}/{app}"),
                 payload: EventPayload::Beats { dropped_total, beats: Vec::new() },
             },
