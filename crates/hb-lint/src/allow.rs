@@ -1,0 +1,245 @@
+//! Suppression mechanics: the per-site allowlist file and inline
+//! `// hb-lint: allow(rule): reason` comments.
+//!
+//! Both forms demand a reason — a suppression without one is itself a
+//! finding. Allowlist entries are matched by file suffix plus a substring
+//! of the flagged line (line numbers drift; code text drifts less), and an
+//! entry that matches nothing is reported stale so the file cannot rot.
+
+use crate::lexer::Lexed;
+use crate::report::Rule;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: Rule,
+    /// Path suffix the entry applies to (workspace-relative).
+    pub path: String,
+    /// Substring of the flagged source line.
+    pub needle: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line in the allowlist file (for stale reports).
+    pub line: usize,
+}
+
+/// The allowlist file plus per-entry use counts.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Parsed entries.
+    pub entries: Vec<AllowEntry>,
+    /// Parallel to `entries`: how many findings each suppressed.
+    pub hits: Vec<usize>,
+    /// Parse errors (reported as findings).
+    pub errors: Vec<String>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one entry per line,
+    /// `rule path "needle" reason…`; `#` starts a comment.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let rule_name = parts.next().unwrap_or_default();
+            let rest = parts.next().unwrap_or_default().trim_start();
+            let Some(rule) = Rule::parse(rule_name) else {
+                list.errors
+                    .push(format!("line {lineno}: unknown rule {rule_name:?}"));
+                continue;
+            };
+            let mut parts = rest.splitn(2, char::is_whitespace);
+            let path = parts.next().unwrap_or_default().to_string();
+            let rest = parts.next().unwrap_or_default().trim_start();
+            let Some(stripped) = rest.strip_prefix('"') else {
+                list.errors.push(format!(
+                    "line {lineno}: expected a quoted line-substring after the path"
+                ));
+                continue;
+            };
+            let Some(close) = stripped.find('"') else {
+                list.errors
+                    .push(format!("line {lineno}: unterminated line-substring"));
+                continue;
+            };
+            let needle = stripped[..close].to_string();
+            let reason = stripped[close + 1..].trim().to_string();
+            if path.is_empty() || needle.is_empty() {
+                list.errors
+                    .push(format!("line {lineno}: empty path or substring"));
+                continue;
+            }
+            if reason.is_empty() {
+                list.errors.push(format!(
+                    "line {lineno}: entry for {path} has no reason; every suppression must say why"
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule,
+                path,
+                needle,
+                reason,
+                line: lineno,
+            });
+            list.hits.push(0);
+        }
+        list
+    }
+
+    /// Does any entry suppress this (rule, file, raw line)? Counts the hit.
+    pub fn suppresses(&mut self, rule: Rule, file: &str, raw_line: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == rule && file.ends_with(&e.path) && raw_line.contains(&e.needle) {
+                self.hits[i] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding.
+    pub fn stale(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .zip(&self.hits)
+            .filter(|(_, hits)| **hits == 0)
+            .map(|(e, _)| {
+                format!(
+                    "line {}: {} {} \"{}\"",
+                    e.line,
+                    e.rule.name(),
+                    e.path,
+                    e.needle
+                )
+            })
+            .collect()
+    }
+}
+
+/// Does line `lineno` (0-based) of `lx` carry an inline
+/// `hb-lint: allow(<rule>): <reason>` for `rule`, either on the line
+/// itself or on a directly-preceding run of comment-only lines? A reason
+/// is mandatory: `allow(panic)` with nothing after the colon is not a
+/// suppression.
+pub fn inline_allowed(lx: &Lexed, lineno: usize, rule: Rule) -> bool {
+    if comment_allows(&lx.comments[lineno], rule) {
+        return true;
+    }
+    // Walk up over comment-only lines.
+    let mut l = lineno;
+    while l > 0 {
+        l -= 1;
+        let code_blank = lx.code[l].trim().is_empty();
+        let has_comment = !lx.comments[l].trim().is_empty();
+        if code_blank && has_comment {
+            if comment_allows(&lx.comments[l], rule) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn comment_allows(comment: &str, rule: Rule) -> bool {
+    let marker = format!("hb-lint: allow({})", rule.name());
+    let Some(at) = comment.find(&marker) else {
+        return false;
+    };
+    // Require a non-empty reason after "allow(rule):".
+    let rest = comment[at + marker.len()..].trim_start();
+    let rest = rest.strip_prefix(':').unwrap_or("").trim();
+    !rest.is_empty()
+}
+
+/// Does line `lineno` carry an `// ordering:` justification (same line or
+/// directly-preceding comment run) with non-empty text after the colon?
+pub fn ordering_justified(lx: &Lexed, lineno: usize) -> bool {
+    if comment_justifies_ordering(&lx.comments[lineno]) {
+        return true;
+    }
+    let mut l = lineno;
+    while l > 0 {
+        l -= 1;
+        let code_blank = lx.code[l].trim().is_empty();
+        let has_comment = !lx.comments[l].trim().is_empty();
+        if code_blank && has_comment {
+            if comment_justifies_ordering(&lx.comments[l]) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn comment_justifies_ordering(comment: &str) -> bool {
+    let Some(at) = comment.find("ordering:") else {
+        return false;
+    };
+    !comment[at + "ordering:".len()..].trim().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_flags_missing_reasons() {
+        let list = Allowlist::parse(
+            "# comment\n\
+             panic crates/hb-net/src/reactor.rs \"lock().unwrap()\" poisoning follows a panic\n\
+             panic crates/x.rs \"y\"\n\
+             bogus crates/x.rs \"y\" z\n",
+        );
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.errors.len(), 2);
+        assert_eq!(list.entries[0].rule, Rule::Panic);
+        assert!(list.entries[0].reason.contains("poisoning"));
+    }
+
+    #[test]
+    fn suppression_and_staleness() {
+        let mut list = Allowlist::parse("panic src/a.rs \"x.unwrap()\" fine\n");
+        assert!(list.suppresses(Rule::Panic, "crates/src/a.rs", "let y = x.unwrap();"));
+        assert!(!list.suppresses(Rule::Panic, "crates/src/a.rs", "let y = z;"));
+        assert!(list.stale().is_empty());
+        let list2 = Allowlist::parse("index src/a.rs \"never\" fine\n");
+        assert_eq!(list2.stale().len(), 1);
+    }
+
+    #[test]
+    fn inline_allow_requires_reason() {
+        let lx = Lexed::lex(
+            "a.unwrap(); // hb-lint: allow(panic): checked above\n\
+             b.unwrap(); // hb-lint: allow(panic)\n\
+             // hb-lint: allow(index): ring mask bounds it\n\
+             c[0];\n",
+        );
+        assert!(inline_allowed(&lx, 0, Rule::Panic));
+        assert!(!inline_allowed(&lx, 1, Rule::Panic));
+        assert!(inline_allowed(&lx, 3, Rule::Index));
+    }
+
+    #[test]
+    fn ordering_comment_grammar() {
+        let lx = Lexed::lex(
+            "x.load(Ordering::Relaxed); // ordering: stats-only counter\n\
+             // ordering: release pairs with the acquire in snapshot()\n\
+             y.store(1, Ordering::Release);\n\
+             z.load(Ordering::Acquire); // ordering:\n",
+        );
+        assert!(ordering_justified(&lx, 0));
+        assert!(ordering_justified(&lx, 2));
+        assert!(!ordering_justified(&lx, 3));
+    }
+}

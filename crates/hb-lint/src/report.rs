@@ -1,0 +1,126 @@
+//! Finding types and the text report.
+
+use std::fmt;
+
+/// The individual rules hb-lint enforces. Checks group one or two rules;
+/// rules are what findings carry and what inline `allow(..)` names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `Ordering::` use without a `// ordering:` justification.
+    Ordering,
+    /// Load-then-store on a watermark/cursor/seq field without a CAS claim.
+    Claim,
+    /// `unwrap`/`expect`/`panic!`-family on the data plane.
+    Panic,
+    /// Slice/array indexing on the data plane (panics when out of range).
+    Index,
+    /// Deny-listed allocating call inside a `hb-lint: hot-path` region.
+    Alloc,
+    /// Wire-kind constant drift (match arms, WIRE.md, proptests).
+    WireKind,
+    /// Metric-registry drift (`# HELP`, docs/TELEMETRY.md).
+    Metric,
+}
+
+impl Rule {
+    /// The name used in findings, inline allows and the allowlist file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Ordering => "ordering",
+            Rule::Claim => "claim",
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::Alloc => "alloc",
+            Rule::WireKind => "wire-kind",
+            Rule::Metric => "metric",
+        }
+    }
+
+    /// Parses a rule name (as spelled in allowlist entries).
+    pub fn parse(name: &str) -> Option<Rule> {
+        Some(match name {
+            "ordering" => Rule::Ordering,
+            "claim" => Rule::Claim,
+            "panic" => Rule::Panic,
+            "index" => Rule::Index,
+            "alloc" => Rule::Alloc,
+            "wire-kind" => Rule::WireKind,
+            "metric" => Rule::Metric,
+            _ => return None,
+        })
+    }
+}
+
+/// One violation, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule.name(), self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file,
+                self.line,
+                self.rule.name(),
+                self.message
+            )
+        }
+    }
+}
+
+/// The full result of a run: surviving findings plus bookkeeping.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that were not suppressed.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by the allowlist file or inline allows.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (stale entries rot; they are
+    /// reported as findings by the driver).
+    pub stale_allows: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing (and no allowlist entry is stale).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+
+    /// Renders the findings sorted by file then line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&Finding> = self.findings.iter().collect();
+        sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for f in &sorted {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for stale in &self.stale_allows {
+            out.push_str(&format!(
+                "hb-lint.allow: stale entry matched no finding: {stale}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "hb-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len() + self.stale_allows.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}

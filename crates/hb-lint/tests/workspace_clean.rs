@@ -1,0 +1,21 @@
+//! Regression: the linter runs clean on the current workspace. A new
+//! violation fails this test with the rendered findings — a readable
+//! `file:line: [rule] message` diff, not a mystery CI exit code.
+
+use hb_lint::{run, Options};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let report = run(&Options::new(root)).unwrap();
+    assert!(
+        report.clean(),
+        "hb-lint found violations in the workspace:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 10, "suspiciously few files scanned");
+}

@@ -197,17 +197,17 @@ impl TcpBackend {
 
     /// Beats successfully handed to the TCP stream so far.
     pub fn sent(&self) -> u64 {
-        self.shared.sent.load(Ordering::Relaxed)
+        self.shared.sent.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Beats shed under backpressure (queue overflow or dead connection).
     pub fn dropped_beats(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        self.shared.dropped.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Whether the flusher currently holds a live connection.
     pub fn is_connected(&self) -> bool {
-        self.shared.connected.load(Ordering::Relaxed)
+        self.shared.connected.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Whether the live connection negotiated compact (version-3) beat
@@ -215,7 +215,7 @@ impl TcpBackend {
     /// [`TcpBackendConfig::prefer_compact`] is off, or when the collector
     /// never acknowledged version 3 (an old peer — the v2 fallback).
     pub fn negotiated_compact(&self) -> bool {
-        self.shared.compact.load(Ordering::Relaxed)
+        self.shared.compact.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Beats currently waiting in the queue.
@@ -230,7 +230,7 @@ impl Backend for TcpBackend {
         if inner.queue.len() >= inner.capacity {
             // Drop-oldest: fresh telemetry is worth more than stale.
             inner.queue.pop_front();
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         inner.queue.push_back(WireBeat {
             record: *record,
@@ -355,8 +355,8 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
                 }
                 shared
                     .connected
-                    .store(connection.is_some(), Ordering::Relaxed);
-                shared.compact.store(compact, Ordering::Relaxed);
+                    .store(connection.is_some(), Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
+                shared.compact.store(compact, Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
             }
         }
 
@@ -365,7 +365,7 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
             // target stay pending for the next successful connect.
             shared
                 .dropped
-                .fetch_add(beats.len() as u64, Ordering::Relaxed);
+                .fetch_add(beats.len() as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             if let Some(t) = target {
                 let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                 inner.target = Some(t);
@@ -386,15 +386,15 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
         let result = ship(writer, &mut encoder, &beats, target, config, shared, compact);
         match result {
             Ok(()) => {
-                shared.sent.fetch_add(sent_len, Ordering::Relaxed);
+                shared.sent.fetch_add(sent_len, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             }
             Err(_) => {
                 // The batch is lost with the connection; count it and retry
                 // the link on the next pass.
-                shared.dropped.fetch_add(sent_len, Ordering::Relaxed);
+                shared.dropped.fetch_add(sent_len, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 connection = None;
-                shared.connected.store(false, Ordering::Relaxed);
-                shared.compact.store(false, Ordering::Relaxed);
+                shared.connected.store(false, Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
+                shared.compact.store(false, Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
             }
         }
     }
@@ -408,10 +408,10 @@ fn flusher_loop(shared: &Shared, addr: &str, app: &str, config: &TcpBackendConfi
     let remaining = inner.queue.len() as u64;
     if remaining > 0 {
         inner.queue.clear();
-        shared.dropped.fetch_add(remaining, Ordering::Relaxed);
+        shared.dropped.fetch_add(remaining, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
-    shared.connected.store(false, Ordering::Relaxed);
-    shared.compact.store(false, Ordering::Relaxed);
+    shared.connected.store(false, Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
+    shared.compact.store(false, Ordering::Relaxed); // ordering: advisory flag/stat; no payload is published with it
 }
 
 /// Connects, sends the hello, and — when compact framing is preferred —
@@ -512,7 +512,7 @@ fn ship(
         writer.write_frame(&Frame::Target { min_bps, max_bps })?;
     }
     if !beats.is_empty() {
-        let dropped_total = shared.dropped.load(Ordering::Relaxed);
+        let dropped_total = shared.dropped.load(Ordering::Relaxed); // ordering: drop total piggybacks on the batch frame; cross-thread exactness is not required
         if config.frame_per_beat {
             for beat in beats {
                 begin(encoder, dropped_total);

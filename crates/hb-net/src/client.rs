@@ -183,13 +183,13 @@ struct DemuxShared {
 
 impl DemuxShared {
     fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::Acquire)
+        self.alive.load(Ordering::Acquire) // ordering: pairs with the Release stores that clear alive, so a dead handle stays dead
     }
 
     /// Tears the demuxed connection down: the socket shutdown unblocks the
     /// demux thread, which then closes the pipe and every subscription.
     fn shutdown(&self) {
-        self.alive.store(false, Ordering::Release);
+        self.alive.store(false, Ordering::Release); // ordering: publishes the dead state to is_alive()'s Acquire load
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 
@@ -202,7 +202,7 @@ impl DemuxShared {
     }
 
     fn close_all(&self) {
-        self.alive.store(false, Ordering::Release);
+        self.alive.store(false, Ordering::Release); // ordering: publishes the dead state to is_alive()'s Acquire load
         self.pipe.close();
         let mut subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
         for sub in subs.values() {
@@ -228,7 +228,7 @@ struct SubShared {
 
 impl SubShared {
     fn push(&self, event: EventFrame) {
-        if self.closed.load(Ordering::Acquire) {
+        if self.closed.load(Ordering::Acquire) { // ordering: pairs with the Release in close(); everything enqueued before close stays visible
             return;
         }
         // sent_at_ns == 0 marks a pre-telemetry collector: no lag sample.
@@ -239,7 +239,7 @@ impl SubShared {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= SUB_QUEUE_CAPACITY {
             queue.pop_front();
-            self.lost.fetch_add(1, Ordering::Relaxed);
+            self.lost.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         queue.push_back(event);
         drop(queue);
@@ -247,7 +247,7 @@ impl SubShared {
     }
 
     fn close(&self) {
-        self.closed.store(true, Ordering::Release);
+        self.closed.store(true, Ordering::Release); // ordering: publishes closure; pairs with the Acquire loads on the event path
         self.ready.notify_all();
     }
 
@@ -265,7 +265,7 @@ impl SubShared {
             if let Some(event) = queue.pop_front() {
                 return Some(event);
             }
-            if self.closed.load(Ordering::Acquire) {
+            if self.closed.load(Ordering::Acquire) { // ordering: pairs with the Release in close()
                 return None;
             }
             let now = Instant::now();
@@ -562,7 +562,7 @@ impl RemoteReader {
             ));
         }
         let demux = self.ensure_demux()?;
-        let sub_id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        let sub_id = self.next_sub.fetch_add(1, Ordering::Relaxed); // ordering: sub-id allocation; only atomicity matters
         let shared = Arc::new(SubShared::default());
         demux
             .subs
@@ -798,7 +798,7 @@ impl Subscription {
     /// True once no further event can ever arrive (unsubscribed or the
     /// demuxed connection died) and the queue is drained.
     pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::Acquire)
+        self.shared.closed.load(Ordering::Acquire) // ordering: pairs with the Release in close()
             && self
                 .shared
                 .queue
@@ -811,7 +811,7 @@ impl Subscription {
     /// (the collector's own shedding is visible in its `events_dropped`
     /// counter).
     pub fn lost(&self) -> u64 {
-        self.shared.lost.load(Ordering::Relaxed)
+        self.shared.lost.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Observed end-to-end delivery lag: collector enqueue wall clock
@@ -879,7 +879,7 @@ impl Iterator for Subscription {
             if let Some(event) = self.shared.wait_next(Duration::from_millis(250)) {
                 return Some(event);
             }
-            if self.shared.closed.load(Ordering::Acquire) || self.done {
+            if self.shared.closed.load(Ordering::Acquire) || self.done { // ordering: pairs with the Release in close()
                 return None;
             }
         }

@@ -443,7 +443,7 @@ impl CollectorState {
     /// shard. Hello-time migration keeps steady state at zero — the soak
     /// test pins it.
     pub fn cross_shard_ingest(&self) -> u64 {
-        self.cross_shard_ingest.load(Ordering::Relaxed)
+        self.cross_shard_ingest.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Per-reactor-shard `(connections, frames)` attribution, indexed by
@@ -454,8 +454,8 @@ impl CollectorState {
             .iter()
             .map(|c| {
                 (
-                    c.connections.load(Ordering::Relaxed),
-                    c.frames.load(Ordering::Relaxed),
+                    c.connections.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+                    c.frames.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
                 )
             })
             .collect()
@@ -465,10 +465,10 @@ impl CollectorState {
     /// alongside the aggregate count, keeping the per-shard gauge sums
     /// exactly equal to `frames_total`.
     fn count_frame(&self) {
-        self.frames_total.fetch_add(1, Ordering::Relaxed);
+        self.frames_total.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         self.shard_counters[self.calling_shard()]
             .frames
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// Attributes one producer connection to the calling reactor shard,
@@ -481,7 +481,7 @@ impl CollectorState {
             *counted = true;
             self.shard_counters[self.calling_shard()]
                 .connections
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
     }
 
@@ -610,12 +610,16 @@ impl CollectorState {
         // there). One TLS read when off the home path; soak tests pin zero.
         if let Some(current) = crate::reactor::current_shard() {
             if current != shard_index % self.reactor_shards {
-                self.cross_shard_ingest.fetch_add(1, Ordering::Relaxed);
+                self.cross_shard_ingest.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             }
         }
         let telemetry = self.stage_telemetry();
         let watchers = self.subs.matching(key);
         if watchers.is_empty() {
+            // hb-lint: hot-path — the steady-state ingest loop; the
+            // counting-allocator test (tests/ingest_alloc.rs) pins this
+            // branch to zero allocations once an app is registered.
+            //
             // The common, zero-subscriber path: absorb straight off the
             // iterator with no materialization. get_mut first: the common
             // case (entry already exists) costs one lookup and zero
@@ -628,19 +632,20 @@ impl CollectorState {
             if let Some(entry) = shard.get_mut(key) {
                 let accounted = Self::absorb(entry, dropped_total, beats);
                 drop(shard);
-                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 telemetry.observe(&telemetry.ingest, started);
                 return;
             }
             let config = &self.config;
             let entry = shard
-                .entry(key.to_string())
+                .entry(key.to_string()) // hb-lint: allow(alloc): first-ever batch for a new app; one-time registration, off the steady-state path
                 .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
             let accounted = Self::absorb(entry, dropped_total, beats);
             drop(shard);
-            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             telemetry.observe(&telemetry.ingest, started);
             return;
+            // hb-lint: end-hot-path
         }
         // Subscribed path. The batch is materialized only when some
         // watcher actually wants the records; snapshot/health-only
@@ -669,7 +674,7 @@ impl CollectorState {
                     dropped_total,
                     beats.into_iter().inspect(|_| count += 1),
                 );
-                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+                self.beats_accounted.fetch_add(accounted, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 self.collect_ingest_events(key, entry, count, &watchers, &mut pending);
             }
             // Lap the clock at the lock boundary: one read closes the
@@ -702,7 +707,7 @@ impl CollectorState {
                     .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config)),
             };
             let accounted = Self::absorb(entry, dropped_total, beats.iter().copied());
-            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             self.collect_ingest_events(key, entry, beats.len(), &watchers, &mut pending);
         }
         telemetry.lap(&telemetry.ingest, &mut mark);
@@ -1021,7 +1026,7 @@ impl CollectorState {
         let session = link.begin_session();
         // The downstream view widened (or at least changed): our own
         // upward announcement must follow, so the relay re-announces.
-        self.path_epoch.fetch_add(1, Ordering::Release);
+        self.path_epoch.fetch_add(1, Ordering::Release); // ordering: Release-bumps the epoch after the uplink path swap; pairs with the Acquire load in path_epoch()
         for entry in self.subs.all_active() {
             self.propagate_entry_to_link(&entry, &link);
         }
@@ -1032,7 +1037,7 @@ impl CollectorState {
     /// every child hello). The relay worker reconnects upward when it
     /// changes, so the announced path vector is never stale.
     pub(crate) fn path_epoch(&self) -> u64 {
-        self.path_epoch.load(Ordering::Acquire)
+        self.path_epoch.load(Ordering::Acquire) // ordering: pairs with the Release bump so a fresh epoch observes the swapped path
     }
 
     /// The path vector this collector announces upward: its own node name
@@ -1076,14 +1081,14 @@ impl CollectorState {
             UplinkRejectReason::Loop => &self.uplink_rejected_loop,
             UplinkRejectReason::Auth => &self.uplink_rejected_auth,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// `(loop, auth)` refused-uplink counters.
     pub fn uplink_rejections(&self) -> (u64, u64) {
         (
-            self.uplink_rejected_loop.load(Ordering::Relaxed),
-            self.uplink_rejected_auth.load(Ordering::Relaxed),
+            self.uplink_rejected_loop.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            self.uplink_rejected_auth.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
         )
     }
 
@@ -1241,7 +1246,7 @@ impl CollectorState {
                 .entry(key.clone())
                 .or_insert_with(|| AppEntry::new(0, heartbeats::DEFAULT_WINDOW as u32, config));
             let accounted = Self::absorb(entry, dropped_total, beats.iter().copied());
-            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed);
+            self.beats_accounted.fetch_add(accounted, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         link.count_relayed_beats(relayed);
         if let Some(tap) = &self.upstream_tap {
@@ -1484,12 +1489,12 @@ impl CollectorState {
 
     /// Total producer connections accepted since start.
     pub fn connections_total(&self) -> u64 {
-        self.connections_total.load(Ordering::Relaxed)
+        self.connections_total.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Total frames ingested since start.
     pub fn frames_total(&self) -> u64 {
-        self.frames_total.load(Ordering::Relaxed)
+        self.frames_total.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Beats accounted for by ingest since start: records absorbed into the
@@ -1497,18 +1502,18 @@ impl CollectorState {
     /// relaxed load — cheap enough to spin on (benches do), unlike
     /// [`snapshots`](Self::snapshots) which walks every registry partition.
     pub fn beats_accounted(&self) -> u64 {
-        self.beats_accounted.load(Ordering::Relaxed)
+        self.beats_accounted.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Producer connections dropped for protocol violations.
     pub fn protocol_errors(&self) -> u64 {
-        self.protocol_errors.load(Ordering::Relaxed)
+        self.protocol_errors.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Observer requests answered since start (query lines plus binary
     /// query frames; subscription control and pushed events not included).
     pub fn queries_total(&self) -> u64 {
-        self.queries_total.load(Ordering::Relaxed)
+        self.queries_total.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Events enqueued toward subscribers since start.
@@ -1523,7 +1528,7 @@ impl CollectorState {
 
     /// Connections evicted by the reactor's idle timer.
     pub fn evicted_total(&self) -> u64 {
-        self.evicted_total.load(Ordering::Relaxed)
+        self.evicted_total.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// The resolved number of reactor I/O shards (`--io-threads auto`
@@ -1682,6 +1687,12 @@ impl CollectorState {
                 "hb_collector_shard_apps{{shard=\"{shard}\"}} {apps}\n"
             ));
         }
+        out.push_str("# HELP hb_collector_apps Applications currently registered.\n");
+        out.push_str("# TYPE hb_collector_apps gauge\n");
+        out.push_str(&format!(
+            "hb_collector_apps {}\n",
+            shard_apps.iter().sum::<u64>()
+        ));
         out.push_str("# HELP hb_collector_idle_evicted_total Connections evicted by the idle timer.\n");
         out.push_str("# TYPE hb_collector_idle_evicted_total counter\n");
         out.push_str(&format!(
@@ -2138,7 +2149,7 @@ impl Collector {
             factory: {
                 let state = Arc::clone(&state);
                 Arc::new(move |peer| {
-                    state.connections_total.fetch_add(1, Ordering::Relaxed);
+                    state.connections_total.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                     crate::log!(Level::Debug, "producer connected peer={peer}");
                     Box::new(ProducerHandler::new(Arc::clone(&state))) as Box<dyn Handler>
                 })
@@ -2293,7 +2304,7 @@ impl Handler for ProducerHandler {
                                 view.iter(),
                             ),
                             None => {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: beats before hello, dropping producer"
@@ -2303,7 +2314,7 @@ impl Handler for ProducerHandler {
                         },
                         FrameEvent::Control(Frame::Hello(hello)) => {
                             if self.link.is_some() {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: producer hello on a link connection"
@@ -2352,7 +2363,7 @@ impl Handler for ProducerHandler {
                                     self.state.target(handle.app(), min_bps, max_bps)
                                 }
                                 None => {
-                                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                     crate::log!(
                                         Level::Warn,
                                         "protocol error: target before hello, dropping producer"
@@ -2374,7 +2385,7 @@ impl Handler for ProducerHandler {
                                 || self.link.is_some()
                                 || self.pending_auth.is_some()
                             {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: node hello on an established connection"
@@ -2407,7 +2418,7 @@ impl Handler for ProducerHandler {
                         FrameEvent::Control(Frame::NodeAuth { mac }) => {
                             let Some((node, pid, path, nonce)) = self.pending_auth.take()
                             else {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: node auth without a pending challenge"
@@ -2434,7 +2445,7 @@ impl Handler for ProducerHandler {
                         }
                         FrameEvent::Control(Frame::RelayEvent { seq, event }) => {
                             let Some((link, _)) = &self.link else {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: relay event before node hello"
@@ -2447,7 +2458,7 @@ impl Handler for ProducerHandler {
                         }
                         FrameEvent::Control(Frame::Event(event)) => {
                             let Some((link, _)) = &self.link else {
-                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                                 crate::log!(
                                     Level::Warn,
                                     "protocol error: forwarded event before node hello"
@@ -2461,7 +2472,7 @@ impl Handler for ProducerHandler {
                         // HelloAck is collector → producer; receiving any
                         // of them here is a protocol violation.
                         FrameEvent::Control(_) => {
-                            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                             crate::log!(
                                 Level::Warn,
                                 "protocol error: unexpected control frame on ingest port app={}",
@@ -2486,7 +2497,7 @@ impl Handler for ProducerHandler {
                     return true; // need more bytes
                 }
                 Err(err) => {
-                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                     crate::log!(
                         Level::Warn,
                         "protocol error: bad frame from app={}: {err:?}",
@@ -2501,7 +2512,7 @@ impl Handler for ProducerHandler {
     fn on_eof(&mut self, _out: &mut OutBuf) {
         if self.decoder.has_partial() {
             // The stream died mid-frame: truncation, not a clean goodbye.
-            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            self.state.protocol_errors.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             crate::log!(
                 Level::Warn,
                 "producer stream truncated mid-frame app={}",
@@ -2638,7 +2649,7 @@ impl ObserverHandler {
             Frame::HistoryReq { app, limit } => {
                 let telemetry = self.state.stage_telemetry();
                 let started = telemetry.start();
-                self.state.queries_total.fetch_add(1, Ordering::Relaxed);
+                self.state.queries_total.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 let found = self.state.history(&app, limit as usize);
                 let known = found.is_some();
                 let (total, mut samples) = found.unwrap_or_default();
@@ -2659,7 +2670,7 @@ impl ObserverHandler {
             Frame::HealthReq { app } => {
                 let telemetry = self.state.stage_telemetry();
                 let started = telemetry.start();
-                self.state.queries_total.fetch_add(1, Ordering::Relaxed);
+                self.state.queries_total.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 let report = self.state.health(&app);
                 let known = report.is_some();
                 let reply = Frame::Health(HealthFrame {
@@ -2687,7 +2698,7 @@ impl Handler for ObserverHandler {
             if out.pending() > MAX_PENDING_REPLIES {
                 return false; // pipelining flood: answers outpace the reads
             }
-            let avail = &self.buf[consumed..];
+            let avail = &self.buf[consumed..]; // hb-lint: allow(index): consumed counts whole frames already parsed out of buf
             if avail.is_empty() {
                 break;
             }
@@ -2696,7 +2707,7 @@ impl Handler for ObserverHandler {
             // words like HELP/HISTORY, and the magic contains no newline).
             let magic = crate::wire::MAGIC.to_le_bytes();
             let prefix_len = avail.len().min(magic.len());
-            if avail[..prefix_len] == magic[..prefix_len] {
+            if avail[..prefix_len] == magic[..prefix_len] { // hb-lint: allow(index): prefix_len is min(avail.len(), magic.len())
                 if avail.len() < crate::wire::HEADER_LEN {
                     break; // could still become a frame; wait for more
                 }
@@ -2719,7 +2730,7 @@ impl Handler for ObserverHandler {
                 let Some(nl) = avail.iter().position(|&b| b == b'\n') else {
                     break;
                 };
-                let text = String::from_utf8_lossy(&avail[..nl]);
+                let text = String::from_utf8_lossy(&avail[..nl]); // hb-lint: allow(index): nl came from a find() on avail
                 // Writing to an OutBuf cannot fail; treat the impossible
                 // as QUIT.
                 let keep_open = handle_query(text.trim(), &self.state, out).unwrap_or(false);
@@ -2736,7 +2747,7 @@ impl Handler for ObserverHandler {
         // line is tiny.
         let magic = crate::wire::MAGIC.to_le_bytes();
         let prefix = self.buf.len().min(magic.len());
-        let limit = if self.buf[..prefix] == magic[..prefix] {
+        let limit = if self.buf[..prefix] == magic[..prefix] { // hb-lint: allow(index): prefix is min(buf.len(), magic.len())
             crate::wire::HEADER_LEN + crate::wire::MAX_PAYLOAD
         } else {
             MAX_QUERY_LINE
@@ -2893,7 +2904,7 @@ fn handle_query_inner(
     // VERSION is subscription negotiation, not an observation poll; it must
     // not disturb the "zero requests while pushed" accounting.
     if command.is_some() && command != Some("VERSION") {
-        state.queries_total.fetch_add(1, Ordering::Relaxed);
+        state.queries_total.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
     match command {
         None => Ok(true), // blank line

@@ -113,11 +113,11 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total faults of every kind injected so far.
     pub fn total_faults(&self) -> u64 {
-        self.fragments.load(Ordering::Relaxed)
-            + self.corruptions.load(Ordering::Relaxed)
-            + self.truncations.load(Ordering::Relaxed)
-            + self.delays.load(Ordering::Relaxed)
-            + self.resets.load(Ordering::Relaxed)
+        self.fragments.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
+            + self.corruptions.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
+            + self.truncations.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
+            + self.delays.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
+            + self.resets.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 }
 
@@ -154,12 +154,12 @@ impl FaultProxy {
             thread::spawn(move || {
                 let mut index = 0u64;
                 for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
+                    if shutdown.load(Ordering::SeqCst) { // ordering: control-plane toggle; SeqCst keeps the rare path simple
                         break;
                     }
                     let Ok(client) = stream else { break };
-                    if partitioned.load(Ordering::SeqCst) {
-                        stats.refused.fetch_add(1, Ordering::Relaxed);
+                    if partitioned.load(Ordering::SeqCst) { // ordering: control-plane toggle; SeqCst keeps the rare path simple
+                        stats.refused.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                         let _ = client.shutdown(Shutdown::Both);
                         continue;
                     }
@@ -167,7 +167,7 @@ impl FaultProxy {
                         let _ = client.shutdown(Shutdown::Both);
                         continue;
                     };
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    stats.connections.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                     {
                         let mut live = conns.lock().unwrap_or_else(|e| e.into_inner());
                         live.retain(|c| c.peer_addr().is_ok());
@@ -218,7 +218,7 @@ impl FaultProxy {
     /// Hard partition: refuse new connections (and keep refusing until
     /// lifted). Combine with [`sever`](Self::sever) to also kill live ones.
     pub fn partition(&self, on: bool) {
-        self.partitioned.store(on, Ordering::SeqCst);
+        self.partitioned.store(on, Ordering::SeqCst); // ordering: control-plane toggle; SeqCst keeps the rare path simple
     }
 
     /// Resets every live proxied connection right now.
@@ -231,7 +231,7 @@ impl FaultProxy {
 
     /// Stops accepting, severs everything, and unblocks the accept loop.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst); // ordering: control-plane toggle; SeqCst keeps the rare path simple
         self.sever();
         // Poke the listener so `incoming()` observes the flag.
         let _ = TcpStream::connect(&self.addr);
@@ -302,7 +302,7 @@ fn faulty_pipe(
         };
         let chunk = &mut buf[..n];
         if rng.roll(config.reset_prob) {
-            stats.resets.fetch_add(1, Ordering::Relaxed);
+            stats.resets.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             break;
         }
         let truncate = rng.roll(config.truncate_prob);
@@ -318,14 +318,14 @@ fn faulty_pipe(
             let at = rng.below(keep as u64) as usize;
             let bit = 1u8 << rng.below(8);
             chunk[at] ^= bit;
-            stats.corruptions.fetch_add(1, Ordering::Relaxed);
+            stats.corruptions.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         if rng.roll(config.delay_prob) {
             let ns = config.max_delay.as_nanos() as u64;
             if ns > 0 {
                 thread::sleep(Duration::from_nanos(rng.below(ns)));
             }
-            stats.delays.fetch_add(1, Ordering::Relaxed);
+            stats.delays.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         let fragment = rng.roll(config.fragment_prob) && keep > 1;
         let split = if fragment {
@@ -340,7 +340,7 @@ fn faulty_pipe(
             if to.write_all(piece).is_err() {
                 break 'conn;
             }
-            stats.bytes.fetch_add(piece.len() as u64, Ordering::Relaxed);
+            stats.bytes.fetch_add(piece.len() as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             if fragment {
                 // A tiny pause between fragments defeats coalescing often
                 // enough to actually exercise the partial-read paths.
@@ -348,10 +348,10 @@ fn faulty_pipe(
             }
         }
         if fragment {
-            stats.fragments.fetch_add(1, Ordering::Relaxed);
+            stats.fragments.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         if truncate {
-            stats.truncations.fetch_add(1, Ordering::Relaxed);
+            stats.truncations.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             break;
         }
     }

@@ -82,7 +82,7 @@ impl FrameDecoder {
     /// needed. Protocol violations (bad magic, CRC mismatch, oversized
     /// payload) are permanent errors: the stream cannot be resynchronized.
     pub fn next_frame(&mut self) -> Result<Option<Frame>> {
-        let avail = &self.buf[self.start..];
+        let avail = &self.buf[self.start..]; // hb-lint: allow(index): start <= buf.len() is the FrameBuf invariant
         if avail.len() < HEADER_LEN {
             return Ok(None);
         }
@@ -91,7 +91,7 @@ impl FrameDecoder {
         if avail.len() < total {
             return Ok(None);
         }
-        let frame = Frame::decode_payload(kind, &avail[HEADER_LEN..total], crc)?;
+        let frame = Frame::decode_payload(kind, &avail[HEADER_LEN..total], crc)?; // hb-lint: allow(index): avail.len() >= total checked just above
         self.start += total;
         Ok(Some(frame))
     }
@@ -103,7 +103,7 @@ impl FrameDecoder {
     /// `next_event` call, which is exactly the consume-then-continue shape
     /// of a handler loop.
     pub fn next_event(&mut self) -> Result<Option<FrameEvent<'_>>> {
-        let avail = &self.buf[self.start..];
+        let avail = &self.buf[self.start..]; // hb-lint: allow(index): start <= buf.len() is the FrameBuf invariant
         if avail.len() < HEADER_LEN {
             return Ok(None);
         }
@@ -116,7 +116,7 @@ impl FrameDecoder {
         // dead-prefix) bytes, which outlive it because push() only compacts
         // on the *next* call.
         self.start += total;
-        let payload = &self.buf[self.start - payload_len..self.start];
+        let payload = &self.buf[self.start - payload_len..self.start]; // hb-lint: allow(index): start was just advanced past a frame of payload_len bytes
         if crc32(payload) != crc {
             return Err(NetError::Protocol("payload CRC mismatch".into()));
         }
@@ -205,7 +205,7 @@ fn read_exact_or_eof<R: Read>(
     let mut filled = 0;
     let mut stalls = 0;
     while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
+        match reader.read(&mut buf[filled..]) { // hb-lint: allow(index): filled < buf.len() is the loop condition
             Ok(0) => {
                 return Ok(if filled == 0 {
                     ReadOutcome::Eof

@@ -206,14 +206,14 @@ impl OutBuf {
     /// tests elsewhere in the crate that inspect a handler's output).
     pub(crate) fn iter_slices(&self) -> impl Iterator<Item = &[u8]> {
         let head_at = self.head_at;
-        let tail = &self.tail[self.tail_at..];
+        let tail = &self.tail[self.tail_at..]; // hb-lint: allow(index): tail_at <= tail.len(): advanced only by consumed byte counts
         self.segs
             .iter()
             .enumerate()
             .map(move |(i, seg)| {
                 let bytes = seg.bytes();
                 if i == 0 {
-                    &bytes[head_at..]
+                    &bytes[head_at..] // hb-lint: allow(index): head_at <= first segment len: advanced only by consumed byte counts
                 } else {
                     bytes
                 }
@@ -406,7 +406,7 @@ impl std::fmt::Debug for Reactor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Reactor")
             .field("io_threads", &self.threads.len())
-            .field("evicted", &self.evicted.load(Ordering::Relaxed))
+            .field("evicted", &self.evicted.load(Ordering::Relaxed)) // ordering: monitoring read; staleness is acceptable
             .finish()
     }
 }
@@ -470,7 +470,7 @@ impl Reactor {
                 Err(err) => {
                     // Don't leak the threads already running: stop and join
                     // them before reporting the failure.
-                    stop.store(true, Ordering::SeqCst);
+                    stop.store(true, Ordering::SeqCst); // ordering: shutdown flag; SeqCst keeps the rare path simple
                     for handle in threads {
                         let _ = handle.join();
                     }
@@ -493,14 +493,14 @@ impl Reactor {
 
     /// Connections evicted by the idle timer so far.
     pub fn evicted_total(&self) -> u64 {
-        self.evicted.load(Ordering::Relaxed)
+        self.evicted.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Signals all I/O shards to stop and joins them. The thread count is
     /// fixed, so this never races connection churn (unlike joining
     /// per-connection threads).
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst); // ordering: shutdown flag; SeqCst keeps the rare path simple
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -508,6 +508,7 @@ impl Reactor {
         // drained for the last time; fire the close callbacks now that all
         // threads are joined.
         for queue in self.queues.iter() {
+            // hb-lint: allow(panic): handoff-queue mutex poisoning implies a prior panic on another shard; propagating it is the only sane response
             for mut injected in queue.lock().unwrap().drain(..) {
                 injected.handler.on_close();
             }
@@ -609,7 +610,7 @@ impl IoThread {
     fn run(mut self) {
         let listener_count = self.listeners.len() as u64;
         let mut events = Vec::with_capacity(128);
-        while !self.stop.load(Ordering::SeqCst) {
+        while !self.stop.load(Ordering::SeqCst) { // ordering: shutdown flag; SeqCst keeps the rare path simple
             events.clear();
             // Three clock reads per iteration split the loop into a parked
             // span (inside the poller) and a busy span (everything else) —
@@ -652,7 +653,8 @@ impl IoThread {
         for token in tokens {
             self.close(token);
         }
-        for mut injected in self.queues[self.shard].lock().unwrap().drain(..) {
+        // hb-lint: allow(panic): handoff-queue mutex poisoning implies a prior panic on another shard; propagating it is the only sane response
+        for mut injected in self.queues[self.shard].lock().unwrap().drain(..) { // hb-lint: allow(index): shard < queues.len(): one queue per shard by construction
             injected.handler.on_close();
         }
     }
@@ -661,7 +663,8 @@ impl IoThread {
     /// from the acceptor, migrations toward their home shard).
     fn drain_handoff(&mut self) {
         let injected = {
-            let mut queue = self.queues[self.shard].lock().unwrap();
+            // hb-lint: allow(panic): handoff-queue mutex poisoning implies a prior panic on another shard; propagating it is the only sane response
+            let mut queue = self.queues[self.shard].lock().unwrap(); // hb-lint: allow(index): shard < queues.len(): one queue per shard by construction
             if queue.is_empty() {
                 return;
             }
@@ -714,14 +717,14 @@ impl IoThread {
     /// round-robin across all shards.
     fn accept_all(&mut self, index: usize) {
         loop {
-            let accepted = self.listeners[index].0.accept();
+            let accepted = self.listeners[index].0.accept(); // hb-lint: allow(index): index < listeners.len(): tokens map to registered listeners
             match accepted {
                 Ok((stream, peer)) => {
                     if sys::set_nonblocking(&stream).is_err() {
                         continue;
                     }
                     stream.set_nodelay(true).ok();
-                    let handler = (self.listeners[index].1)(peer);
+                    let handler = (self.listeners[index].1)(peer); // hb-lint: allow(index): index < listeners.len(): tokens map to registered listeners
                     let target = self.next_rr % self.nshards;
                     self.next_rr = self.next_rr.wrapping_add(1);
                     let injected = Injected {
@@ -732,7 +735,8 @@ impl IoThread {
                     if target == self.shard {
                         self.install(injected);
                     } else {
-                        self.queues[target].lock().unwrap().push(injected);
+                        // hb-lint: allow(panic): handoff-queue mutex poisoning implies a prior panic on another shard; propagating it is the only sane response
+                        self.queues[target].lock().unwrap().push(injected); // hb-lint: allow(index): target < queues.len(): shard_of() reduces modulo the shard count
                     }
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -761,7 +765,7 @@ impl IoThread {
                             break;
                         }
                         Ok(n) => {
-                            if !conn.handler.on_data(&self.scratch[..n], &mut conn.out) {
+                            if !conn.handler.on_data(&self.scratch[..n], &mut conn.out) { // hb-lint: allow(index): read() never returns more than scratch.len()
                                 conn.closing = true;
                                 break;
                             }
@@ -806,7 +810,8 @@ impl IoThread {
     fn migrate(&mut self, token: u64, target: usize) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.deregister(sys::raw_fd(&conn.stream));
-            self.queues[target].lock().unwrap().push(Injected {
+            // hb-lint: allow(panic): handoff-queue mutex poisoning implies a prior panic on another shard; propagating it is the only sane response
+            self.queues[target].lock().unwrap().push(Injected { // hb-lint: allow(index): target < queues.len(): shard_of() reduces modulo the shard count
                 stream: conn.stream,
                 handler: conn.handler,
                 out: conn.out,
@@ -944,7 +949,7 @@ impl IoThread {
                 .get(&token)
                 .and_then(|conn| conn.stream.peer_addr().ok());
             self.close(token);
-            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.evicted.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             match peer {
                 Some(peer) => crate::log!(
                     Level::Warn,
@@ -986,7 +991,7 @@ impl WheelRearm<'_> {
         let ticks = (delay.as_nanos() / self.tick.as_nanos().max(1)) as usize;
         let ahead = ticks.clamp(1, self.slots.len() - 1);
         let slot = (self.current + ahead) % self.slots.len();
-        self.slots[slot].push(token);
+        self.slots[slot].push(token); // hb-lint: allow(index): slot was reduced modulo slots.len()
     }
 }
 
@@ -1003,7 +1008,7 @@ impl TimerWheel {
     /// Arms a new token to fire one full rotation from now.
     fn insert(&mut self, token: u64) {
         let slots = self.slots.len();
-        self.slots[(self.current + slots - 1) % slots].push(token);
+        self.slots[(self.current + slots - 1) % slots].push(token); // hb-lint: allow(index): index was reduced modulo slots.len()
     }
 
     /// Fires every slot whose tick has elapsed since the last advance.
@@ -1017,7 +1022,7 @@ impl TimerWheel {
         while now.duration_since(self.last_advance) >= self.tick {
             self.last_advance += self.tick;
             self.current = (self.current + 1) % self.slots.len();
-            let fired = std::mem::take(&mut self.slots[self.current]);
+            let fired = std::mem::take(&mut self.slots[self.current]); // hb-lint: allow(index): current was reduced modulo slots.len()
             let current = self.current;
             let tick = self.tick;
             let mut rearm = WheelRearm {
@@ -1163,6 +1168,8 @@ mod sys {
         Ok(())
     }
 
+    // hb-lint: hot-path — per-readiness syscall wrappers; iovec arrays live
+    // on the stack so no poll cycle ever touches the allocator.
     /// One scatter-read (`readv`) filling `scratch` through two iovecs —
     /// a single syscall can deliver the whole buffer.
     pub fn read_scattered(stream: &TcpStream, scratch: &mut [u8]) -> io::Result<usize> {
@@ -1202,7 +1209,7 @@ mod sys {
             if count == iov.len() {
                 break;
             }
-            iov[count] = libc::iovec {
+            iov[count] = libc::iovec { // hb-lint: allow(index): count == iov.len() breaks the loop just above
                 iov_base: slice.as_ptr() as *mut libc::c_void,
                 iov_len: slice.len(),
             };
@@ -1217,6 +1224,7 @@ mod sys {
         }
         Ok(n as usize)
     }
+    // hb-lint: end-hot-path
 }
 
 /// Degraded fallback poller for targets without `epoll`: after a short

@@ -90,13 +90,13 @@ impl SubscriberQueue {
 
     /// Events shed from this queue because the subscriber was slow.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Cursored events evicted from a replay ring before a resume could
     /// use them (bounded-buffer accounting, like the rollup tap).
     pub fn replay_dropped(&self) -> u64 {
-        self.replay_dropped.load(Ordering::Relaxed)
+        self.replay_dropped.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// The retained cursored events of `sub_id` with cursor `>= from`, in
@@ -116,7 +116,7 @@ impl SubscriberQueue {
 
     /// Subscriptions currently registered against this queue.
     pub fn active_subs(&self) -> usize {
-        self.active.load(Ordering::Relaxed)
+        self.active.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Events currently queued.
@@ -189,7 +189,7 @@ impl SubscriberQueue {
         let ring = replay.entry(sub_id).or_default();
         if ring.len() >= self.capacity {
             ring.pop_front();
-            self.replay_dropped.fetch_add(1, Ordering::Relaxed);
+            self.replay_dropped.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
         ring.push_back((cursor, bytes));
     }
@@ -290,7 +290,7 @@ impl SubEntry {
 
     /// True while the subscription is registered.
     pub fn is_active(&self) -> bool {
-        self.active.load(Ordering::Relaxed)
+        self.active.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// True if this subscription numbers its event stream (federation
@@ -302,7 +302,7 @@ impl SubEntry {
     /// The last delivery cursor assigned to this subscription's stream
     /// (`0` = nothing delivered yet).
     pub fn last_cursor(&self) -> u64 {
-        self.next_cursor.load(Ordering::Relaxed)
+        self.next_cursor.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// True if a snapshot event is due for `app` (and records the emission
@@ -465,8 +465,8 @@ impl SubscriptionRegistry {
             }),
         });
         entries.push(Arc::clone(&entry));
-        self.count.store(entries.len(), Ordering::Release);
-        queue.active.fetch_add(1, Ordering::Relaxed);
+        self.count.store(entries.len(), Ordering::Release); // ordering: publishes the rebuilt entry table size; pairs with the Acquire count loads on the fan-out path
+        queue.active.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         Ok(entry)
     }
 
@@ -476,7 +476,7 @@ impl SubscriptionRegistry {
     pub fn unregister(&self, queue: &Arc<SubscriberQueue>, sub_id: u32) -> bool {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let removed = self.remove_locked(&mut entries, queue, sub_id);
-        self.count.store(entries.len(), Ordering::Release);
+        self.count.store(entries.len(), Ordering::Release); // ordering: publishes the rebuilt entry table size; pairs with the Acquire count loads on the fan-out path
         removed
     }
 
@@ -494,10 +494,10 @@ impl SubscriptionRegistry {
                 // (which re-checks under the same lock) cannot enqueue after
                 // the purge.
                 let inner = queue.inner.lock().unwrap_or_else(|e| e.into_inner());
-                entry.active.store(false, Ordering::Release);
+                entry.active.store(false, Ordering::Release); // ordering: marks the entry dead before the table shrinks; pairs with the fan-out's Acquire
                 drop(inner);
                 queue.purge(sub_id);
-                queue.active.fetch_sub(1, Ordering::Relaxed);
+                queue.active.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 removed = true;
             }
             !hit
@@ -511,19 +511,19 @@ impl SubscriptionRegistry {
         entries.retain(|entry| {
             let hit = Arc::ptr_eq(&entry.queue, queue);
             if hit {
-                entry.active.store(false, Ordering::Release);
-                queue.active.fetch_sub(1, Ordering::Relaxed);
+                entry.active.store(false, Ordering::Release); // ordering: marks the entry dead before the table shrinks; pairs with the fan-out's Acquire
+                queue.active.fetch_sub(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             }
             !hit
         });
-        self.count.store(entries.len(), Ordering::Release);
+        self.count.store(entries.len(), Ordering::Release); // ordering: publishes the rebuilt entry table size; pairs with the Acquire count loads on the fan-out path
     }
 
     /// The subscriptions whose patterns match `app`. The zero-subscriber
     /// fast path — the common case on a collector nobody subscribed to —
     /// is one atomic load and an unallocated empty `Vec`.
     pub fn matching(&self, app: &str) -> Vec<Arc<SubEntry>> {
-        if self.count.load(Ordering::Acquire) == 0 {
+        if self.count.load(Ordering::Acquire) == 0 { // ordering: pairs with the Release store of the rebuilt table; zero short-circuits the fan-out
             return Vec::new();
         }
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -536,7 +536,7 @@ impl SubscriptionRegistry {
 
     /// The active subscriptions registered against `queue`.
     pub fn entries_for(&self, queue: &Arc<SubscriberQueue>) -> Vec<Arc<SubEntry>> {
-        if self.count.load(Ordering::Acquire) == 0 {
+        if self.count.load(Ordering::Acquire) == 0 { // ordering: pairs with the Release store of the rebuilt table; zero short-circuits the fan-out
             return Vec::new();
         }
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -549,13 +549,13 @@ impl SubscriptionRegistry {
 
     /// Subscriptions currently registered.
     pub fn active(&self) -> usize {
-        self.count.load(Ordering::Acquire)
+        self.count.load(Ordering::Acquire) // ordering: pairs with the Release store of the rebuilt table
     }
 
     /// Every currently active subscription, regardless of queue. Federation
     /// replays these down a freshly (re)connected child link.
     pub fn all_active(&self) -> Vec<Arc<SubEntry>> {
-        if self.count.load(Ordering::Acquire) == 0 {
+        if self.count.load(Ordering::Acquire) == 0 { // ordering: pairs with the Release store of the rebuilt table; zero short-circuits the fan-out
             return Vec::new();
         }
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -568,12 +568,12 @@ impl SubscriptionRegistry {
 
     /// Events enqueued toward subscribers since start.
     pub fn events_enqueued(&self) -> u64 {
-        self.events_enqueued.load(Ordering::Relaxed)
+        self.events_enqueued.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Events shed because a subscriber queue was full.
     pub fn events_dropped(&self) -> u64 {
-        self.events_dropped.load(Ordering::Relaxed)
+        self.events_dropped.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// One consistent `(enqueued, dropped)` reading: `dropped` is loaded
@@ -581,8 +581,8 @@ impl SubscriptionRegistry {
     /// [`deliver`](Self::deliver), so the pair can never show more drops
     /// than enqueues — even when the scrape races a delivery.
     pub fn event_counters(&self) -> (u64, u64) {
-        let dropped = self.events_dropped.load(Ordering::Acquire);
-        let enqueued = self.events_enqueued.load(Ordering::Relaxed).max(dropped);
+        let dropped = self.events_dropped.load(Ordering::Acquire); // ordering: pairs with the Release drop increment so dropped <= enqueued holds in snapshots
+        let enqueued = self.events_enqueued.load(Ordering::Relaxed).max(dropped); // ordering: relaxed is fine; max(dropped) repairs any straggling read
         (enqueued, dropped)
     }
 
@@ -696,14 +696,14 @@ impl SubscriptionRegistry {
         // shard) produced the event. Non-cursored subscriptions ride with
         // cursor 0 — the wire encoding already carries that placeholder.
         let cursor = if entry.cursored {
-            entry.next_cursor.fetch_add(1, Ordering::Relaxed) + 1
+            entry.next_cursor.fetch_add(1, Ordering::Relaxed) + 1 // ordering: cursor allocation; the atomic increment alone gives per-entry uniqueness
         } else {
             0
         };
         let mut dropped = false;
         if inner.len() >= entry.queue.capacity {
             inner.pop_front();
-            entry.queue.dropped.fetch_add(1, Ordering::Relaxed);
+            entry.queue.dropped.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             dropped = true;
         }
         inner.push_back((entry.sub_id, bytes, cursor, Instant::now()));
@@ -712,9 +712,9 @@ impl SubscriptionRegistry {
         // snapshot readers load `dropped` first with acquire — whatever drop
         // count a scrape observes, the matching enqueues are visible too.
         // (The queue lock serializes writers, so the pair never interleaves.)
-        self.events_enqueued.fetch_add(1, Ordering::Relaxed);
+        self.events_enqueued.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         if dropped {
-            self.events_dropped.fetch_add(1, Ordering::Release);
+            self.events_dropped.fetch_add(1, Ordering::Release); // ordering: pairs with the Acquire load in stats so dropped never exceeds enqueued there
         }
         drop(inner);
         if dropped {

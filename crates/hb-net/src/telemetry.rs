@@ -90,9 +90,9 @@ impl LatencyHisto {
     /// Records one observation of `ns` nanoseconds.
     #[inline]
     pub fn record(&self, ns: u64) {
-        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// Records one observation of an elapsed [`Duration`].
@@ -103,7 +103,7 @@ impl LatencyHisto {
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// A point-in-time copy of the counters. Taken bucket by bucket without
@@ -111,9 +111,9 @@ impl LatencyHisto {
     /// observations — never torn within one counter.
     pub fn snapshot(&self) -> HistoSnapshot {
         HistoSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
-            count: self.count.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)), // ordering: monitoring read; staleness is acceptable
+            sum_ns: self.sum_ns.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            count: self.count.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
         }
     }
 }
@@ -229,21 +229,21 @@ impl PipelineTelemetry {
 
     /// True while stage timing is being recorded.
     pub fn enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::Relaxed) // ordering: sampling toggle; a stale read just samples one extra loop
     }
 
     /// Enables or disables stage timing at runtime. Disabled stages cost
     /// one relaxed atomic load each (this flag); histograms keep whatever
     /// they already recorded.
     pub fn set_enabled(&self, enabled: bool) {
-        self.enabled.store(enabled, Ordering::Relaxed);
+        self.enabled.store(enabled, Ordering::Relaxed); // ordering: sampling toggle; a stale read just samples one extra loop
     }
 
     /// Starts timing one stage: `None` (and nothing else — the one atomic
     /// load) when disabled.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
-        if self.enabled.load(Ordering::Relaxed) {
+        if self.enabled.load(Ordering::Relaxed) { // ordering: sampling toggle; a stale read just samples one extra loop
             Some(Instant::now())
         } else {
             None
@@ -286,22 +286,22 @@ impl ThreadStats {
     #[inline]
     pub fn add_busy(&self, elapsed: Duration) {
         self.busy_ns
-            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// Adds time spent parked in the poller.
     #[inline]
     pub fn add_wait(&self, elapsed: Duration) {
         self.wait_ns
-            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// Counts one readiness-loop iteration and the events it dispatched.
     #[inline]
     pub fn add_loop(&self, dispatched: usize) {
-        self.loops.fetch_add(1, Ordering::Relaxed);
+        self.loops.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         self.dispatches
-            .fetch_add(dispatched as u64, Ordering::Relaxed);
+            .fetch_add(dispatched as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 }
 
@@ -366,10 +366,10 @@ impl ReactorThreads {
             .enumerate()
             .map(|(index, stats)| ThreadStatsSnapshot {
                 index,
-                busy_ns: stats.busy_ns.load(Ordering::Relaxed),
-                wait_ns: stats.wait_ns.load(Ordering::Relaxed),
-                loops: stats.loops.load(Ordering::Relaxed),
-                dispatches: stats.dispatches.load(Ordering::Relaxed),
+                busy_ns: stats.busy_ns.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+                wait_ns: stats.wait_ns.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+                loops: stats.loops.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+                dispatches: stats.dispatches.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
             })
             .collect()
     }
@@ -512,7 +512,7 @@ impl fmt::Debug for Journal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Journal")
             .field("capacity", &self.slots.len())
-            .field("written", &self.head.load(Ordering::Relaxed))
+            .field("written", &self.head.load(Ordering::Relaxed)) // ordering: debug display only
             .finish()
     }
 }
@@ -529,7 +529,7 @@ impl Journal {
     /// Entries ever written (the retained window is the last
     /// `capacity` of these).
     pub fn written(&self) -> u64 {
-        self.head.load(Ordering::Relaxed)
+        self.head.load(Ordering::Relaxed) // ordering: monotone write count; readers tolerate staleness
     }
 
     /// Appends one preformatted entry.
@@ -541,12 +541,12 @@ impl Journal {
         };
         let _ = buf.write_fmt(args);
         let ts_ms = wall_clock_ns() / 1_000_000;
-        let n = self.head.fetch_add(1, Ordering::Relaxed);
+        let n = self.head.fetch_add(1, Ordering::Relaxed); // ordering: slot claim needs only atomicity; the odd/even seq protocol orders the payload
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
-        slot.seq.store(2 * n + 1, Ordering::Release);
-        slot.ts_ms.store(ts_ms, Ordering::Relaxed);
+        slot.seq.store(2 * n + 1, Ordering::Release); // ordering: odd seq marks the slot busy before the payload writes; pairs with the reader's Acquire
+        slot.ts_ms.store(ts_ms, Ordering::Relaxed); // ordering: slot payload; ordered by the odd/even seq stores around it
         slot.meta
-            .store(level as u64 | ((buf.len as u64) << 8), Ordering::Relaxed);
+            .store(level as u64 | ((buf.len as u64) << 8), Ordering::Relaxed); // ordering: slot payload; ordered by the odd/even seq stores around it
         for (index, word) in slot.msg.iter().enumerate() {
             let mut chunk = [0u8; 8];
             let at = index * 8;
@@ -556,33 +556,33 @@ impl Journal {
             } else if at >= buf.len.next_multiple_of(8) {
                 break; // remaining words are stale; length masks them out
             }
-            word.store(u64::from_le_bytes(chunk), Ordering::Relaxed);
+            word.store(u64::from_le_bytes(chunk), Ordering::Relaxed); // ordering: slot payload; ordered by the odd/even seq stores around it
         }
-        slot.seq.store(2 * n + 2, Ordering::Release);
+        slot.seq.store(2 * n + 2, Ordering::Release); // ordering: even seq publishes the payload; pairs with the reader's Acquire
     }
 
     /// The most recent `limit` entries, oldest first. Entries overwritten
     /// or mid-write while being copied are skipped.
     pub fn latest(&self, limit: usize) -> Vec<JournalEntry> {
-        let head = self.head.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire); // ordering: snapshot of the claim counter, ordered before the slot reads
         let capacity = self.slots.len() as u64;
         let span = (limit as u64).min(capacity).min(head);
         let mut entries = Vec::with_capacity(span as usize);
         for n in (head - span)..head {
             let slot = &self.slots[(n % capacity) as usize];
             let committed = 2 * n + 2;
-            if slot.seq.load(Ordering::Acquire) != committed {
+            if slot.seq.load(Ordering::Acquire) != committed { // ordering: acquires the payload published by the even-seq Release store
                 continue;
             }
-            let ts_ms = slot.ts_ms.load(Ordering::Relaxed);
-            let meta = slot.meta.load(Ordering::Relaxed);
+            let ts_ms = slot.ts_ms.load(Ordering::Relaxed); // ordering: slot payload; torn reads are rejected by the seq re-check below
+            let meta = slot.meta.load(Ordering::Relaxed); // ordering: slot payload; torn reads are rejected by the seq re-check below
             let mut raw = [0u8; JOURNAL_MSG_CAP];
             for (index, word) in slot.msg.iter().enumerate() {
                 raw[index * 8..(index + 1) * 8]
-                    .copy_from_slice(&word.load(Ordering::Relaxed).to_le_bytes());
+                    .copy_from_slice(&word.load(Ordering::Relaxed).to_le_bytes()); // ordering: slot payload; torn reads are rejected by the seq re-check below
             }
-            std::sync::atomic::fence(Ordering::Acquire);
-            if slot.seq.load(Ordering::Relaxed) != committed {
+            std::sync::atomic::fence(Ordering::Acquire); // ordering: orders the payload reads before the seq re-check (seqlock reader idiom)
+            if slot.seq.load(Ordering::Relaxed) != committed { // ordering: the fence above orders the payload reads; a relaxed re-check suffices
                 continue; // overwritten while copying
             }
             let len = ((meta >> 8) as usize).min(JOURNAL_MSG_CAP);
@@ -625,30 +625,30 @@ pub fn journal() -> &'static Journal {
 
 /// Sets the minimum level recorded into the journal.
 pub fn set_journal_level(level: Level) {
-    JOURNAL_LEVEL.store(level as u8, Ordering::Relaxed);
+    JOURNAL_LEVEL.store(level as u8, Ordering::Relaxed); // ordering: log-level gate; stale reads keep the old verbosity briefly
 }
 
 /// Echoes journal entries at `level` and above to stderr; `None` silences
 /// stderr (the library default — embedding programs own their stderr).
 pub fn set_stderr_level(level: Option<Level>) {
-    STDERR_LEVEL.store(level.map(|l| l as u8).unwrap_or(STDERR_OFF), Ordering::Relaxed);
+    STDERR_LEVEL.store(level.map(|l| l as u8).unwrap_or(STDERR_OFF), Ordering::Relaxed); // ordering: log-level gate; stale reads keep the old verbosity briefly
 }
 
 /// True if `level` passes either sink's threshold — the one check the
 /// [`log!`](crate::log!) macro performs before formatting anything.
 #[inline]
 pub fn level_enabled(level: Level) -> bool {
-    level as u8 >= JOURNAL_LEVEL.load(Ordering::Relaxed)
-        || level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed)
+    level as u8 >= JOURNAL_LEVEL.load(Ordering::Relaxed) // ordering: log-level gate; stale reads keep the old verbosity briefly
+        || level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed) // ordering: log-level gate; stale reads keep the old verbosity briefly
 }
 
 /// Routes one formatted record to the enabled sinks. Called by
 /// [`log!`](crate::log!); prefer the macro.
 pub fn dispatch(level: Level, args: fmt::Arguments<'_>) {
-    if level as u8 >= JOURNAL_LEVEL.load(Ordering::Relaxed) {
+    if level as u8 >= JOURNAL_LEVEL.load(Ordering::Relaxed) { // ordering: log-level gate; stale reads keep the old verbosity briefly
         journal().record(level, args);
     }
-    if level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed) {
+    if level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed) { // ordering: log-level gate; stale reads keep the old verbosity briefly
         eprintln!("hb-collector[{level}] {args}");
     }
 }

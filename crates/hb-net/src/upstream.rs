@@ -163,14 +163,14 @@ impl UpstreamTap {
     /// the producer's cumulative drop counter carried by the batch.
     pub(crate) fn capture(&self, app: &str, producer_dropped: u64, beats: Vec<WireBeat>) {
         self.captured_beats
-            .fetch_add(beats.len() as u64, Ordering::Relaxed);
+            .fetch_add(beats.len() as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         while inner.items.len() >= self.capacity {
             let Some(shed) = inner.items.pop_front() else {
                 break;
             };
             self.dropped_beats
-                .fetch_add(shed.beats.len() as u64, Ordering::Relaxed);
+                .fetch_add(shed.beats.len() as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             let drops = inner.drops.entry(shed.app.clone()).or_default();
             drops.tap_dropped += shed.beats.len() as u64;
             drops.producer_dropped = drops.producer_dropped.max(shed.producer_dropped);
@@ -212,12 +212,12 @@ impl UpstreamTap {
     /// Beats shed from the tap since start (the leaf-side loss counter the
     /// federation soak reconciles against the root).
     pub fn dropped_beats(&self) -> u64 {
-        self.dropped_beats.load(Ordering::Relaxed)
+        self.dropped_beats.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Beats captured into the tap since start.
     pub fn captured_beats(&self) -> u64 {
-        self.captured_beats.load(Ordering::Relaxed)
+        self.captured_beats.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     fn len(&self) -> usize {
@@ -239,28 +239,28 @@ pub struct UpstreamStats {
 impl UpstreamStats {
     /// True while the relay holds an established, acknowledged link.
     pub fn connected(&self) -> bool {
-        self.connected.load(Ordering::Relaxed)
+        self.connected.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Beats forwarded to the parent (first transmissions only).
     pub fn forwarded_beats(&self) -> u64 {
-        self.forwarded_beats.load(Ordering::Relaxed)
+        self.forwarded_beats.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Propagated-subscription event frames forwarded to the parent.
     pub fn forwarded_events(&self) -> u64 {
-        self.forwarded_events.load(Ordering::Relaxed)
+        self.forwarded_events.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Successful link establishments after the first (each preceded by a
     /// backoff walk).
     pub fn reconnects(&self) -> u64 {
-        self.reconnects.load(Ordering::Relaxed)
+        self.reconnects.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 
     /// Rollup events re-sent after a reconnect because no ack covered them.
     pub fn retransmits(&self) -> u64 {
-        self.retransmits.load(Ordering::Relaxed)
+        self.retransmits.load(Ordering::Relaxed) // ordering: monitoring read; staleness is acceptable
     }
 }
 
@@ -279,7 +279,7 @@ impl RouteState {
     /// Highest cursor delivered through this route (the resume point is
     /// one past it).
     pub(crate) fn last_seen_cursor(&self) -> u64 {
-        self.last_cursor.load(Ordering::Acquire)
+        self.last_cursor.load(Ordering::Acquire) // ordering: pairs with the AcqRel fetch_update that advances the cursor
     }
 }
 
@@ -357,8 +357,8 @@ impl UpstreamLink {
     /// present at close. Routes deliberately survive — their watermarks
     /// are the resume points the new session subscribes from.
     pub(crate) fn begin_session(&self) -> u64 {
-        let session = self.session.fetch_add(1, Ordering::AcqRel) + 1;
-        self.connected.store(true, Ordering::Release);
+        let session = self.session.fetch_add(1, Ordering::AcqRel) + 1; // ordering: a new session orders after the old one's teardown and before its own stores
+        self.connected.store(true, Ordering::Release); // ordering: publishes the session flip; pairs with Acquire readers
         self.outbox.lock().unwrap_or_else(|e| e.into_inner()).clear();
         session
     }
@@ -366,14 +366,14 @@ impl UpstreamLink {
     /// The current session token (only the connection holding it may act
     /// for the link).
     pub(crate) fn current_session(&self) -> u64 {
-        self.session.load(Ordering::Acquire)
+        self.session.load(Ordering::Acquire) // ordering: pairs with the AcqRel session bump; a stale session sees it lost
     }
 
     /// Ends `session` if it is still the current one. Routes are kept for
     /// resume; stale ones are retired by `collect_dead_routes`.
     pub(crate) fn end_session(&self, session: u64) {
-        if self.session.load(Ordering::Acquire) == session {
-            self.connected.store(false, Ordering::Release);
+        if self.session.load(Ordering::Acquire) == session { // ordering: pairs with the AcqRel session bump; only the current session may clear the flag
+            self.connected.store(false, Ordering::Release); // ordering: publishes the disconnect; pairs with Acquire readers
         }
     }
 
@@ -389,11 +389,11 @@ impl UpstreamLink {
     }
 
     pub(crate) fn is_connected(&self) -> bool {
-        self.connected.load(Ordering::Acquire)
+        self.connected.load(Ordering::Acquire) // ordering: pairs with the Release writers so observers see applied state
     }
 
     pub(crate) fn last_applied(&self) -> u64 {
-        self.last_applied.load(Ordering::Acquire)
+        self.last_applied.load(Ordering::Acquire) // ordering: pairs with the AcqRel apply claim; readers see a fully applied seq
     }
 
     /// Atomically claims rollup sequence `seq`, returning `true` exactly
@@ -404,31 +404,31 @@ impl UpstreamLink {
     /// apply the window twice.
     pub(crate) fn claim_seq(&self, seq: u64) -> bool {
         self.last_applied
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| { // ordering: CAS claim of the apply watermark; one winner per seq (the PR 9 reconnect-overlap fix)
                 (seq > cur).then_some(seq)
             })
             .is_ok()
     }
 
     pub(crate) fn count_duplicate(&self) {
-        self.duplicate_events.fetch_add(1, Ordering::Relaxed);
+        self.duplicate_events.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     pub(crate) fn count_relayed_beats(&self, n: u64) {
-        self.relayed_beats.fetch_add(n, Ordering::Relaxed);
+        self.relayed_beats.fetch_add(n, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     pub(crate) fn count_relayed_event(&self) {
-        self.relayed_events.fetch_add(1, Ordering::Relaxed);
+        self.relayed_events.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     pub(crate) fn count_oversize(&self) {
-        self.oversize_names.fetch_add(1, Ordering::Relaxed);
+        self.oversize_names.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
     }
 
     /// Allocates a fresh downlink subscription id and records its route.
     pub(crate) fn add_route(&self, entry: Arc<SubEntry>) -> u32 {
-        let id = self.next_downlink.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_downlink.fetch_add(1, Ordering::Relaxed); // ordering: downlink-id allocation; only atomicity matters
         self.routes.lock().unwrap_or_else(|e| e.into_inner()).insert(
             id,
             Arc::new(RouteState {
@@ -502,16 +502,16 @@ impl UpstreamLink {
         // load-then-store pair would deliver the same cursor twice.
         match route
             .last_cursor
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |last| {
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |last| { // ordering: CAS claim of the event cursor; one winner per seq (the PR 9 reconnect-overlap fix)
                 (cursor > last).then_some(cursor)
             }) {
             Err(_) => {
-                self.event_duplicates.fetch_add(1, Ordering::Relaxed);
+                self.event_duplicates.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 CursorVerdict::Duplicate
             }
             Ok(last) if cursor > last + 1 => {
                 let skipped = cursor - last - 1;
-                self.event_gaps.fetch_add(skipped, Ordering::Relaxed);
+                self.event_gaps.fetch_add(skipped, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
                 CursorVerdict::Gap(skipped)
             }
             Ok(_) => CursorVerdict::Fresh,
@@ -521,8 +521,8 @@ impl UpstreamLink {
     /// `(event_duplicates, event_gaps)` — the event plane's QoS ledger.
     pub(crate) fn event_counters(&self) -> (u64, u64) {
         (
-            self.event_duplicates.load(Ordering::Relaxed),
-            self.event_gaps.load(Ordering::Relaxed),
+            self.event_duplicates.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            self.event_gaps.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
         )
     }
 
@@ -546,10 +546,10 @@ impl UpstreamLink {
     pub(crate) fn counters(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.last_applied(),
-            self.relayed_beats.load(Ordering::Relaxed),
-            self.relayed_events.load(Ordering::Relaxed),
-            self.duplicate_events.load(Ordering::Relaxed),
-            self.oversize_names.load(Ordering::Relaxed),
+            self.relayed_beats.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            self.relayed_events.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            self.duplicate_events.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
+            self.oversize_names.load(Ordering::Relaxed), // ordering: monitoring read; staleness is acceptable
         )
     }
 }
@@ -591,7 +591,7 @@ impl UpstreamRelay {
 
     /// Signals the relay to exit and joins its thread.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release); // ordering: pairs with the worker's Acquire polls
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -745,7 +745,7 @@ impl RelayWorker {
 
     fn run(mut self) {
         let mut backoff = self.config.backoff_min;
-        while !self.stop.load(Ordering::Acquire) {
+        while !self.stop.load(Ordering::Acquire) { // ordering: pairs with the Release store in stop()
             // A session only resets the backoff once it was *established*
             // (RelayAck received). A parent that accepts the TCP connect
             // but refuses the handshake — wrong secret, relay cycle —
@@ -770,7 +770,7 @@ impl RelayWorker {
             let bound = backoff.as_nanos().max(1) as u64;
             let wait = Duration::from_nanos(self.jitter_next() % bound);
             let deadline = Instant::now() + wait;
-            while Instant::now() < deadline && !self.stop.load(Ordering::Acquire) {
+            while Instant::now() < deadline && !self.stop.load(Ordering::Acquire) { // ordering: pairs with the Release store in stop()
                 std::thread::sleep(self.config.tick.min(Duration::from_millis(20)));
             }
             backoff = (backoff * 2).min(self.config.backoff_max);
@@ -825,7 +825,7 @@ impl RelayWorker {
         let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
         let mut resumed = false;
         while !resumed {
-            if self.stop.load(Ordering::Acquire) || Instant::now() > deadline {
+            if self.stop.load(Ordering::Acquire) || Instant::now() > deadline { // ordering: pairs with the Release store in stop()
                 return false;
             }
             if !self.flush(&mut stream) || !self.read_frames(&mut stream, &mut decoder, &mut resumed)
@@ -839,9 +839,9 @@ impl RelayWorker {
 
         self.sessions += 1;
         if self.sessions > 1 {
-            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
-        self.stats.connected.store(true, Ordering::Release);
+        self.stats.connected.store(true, Ordering::Release); // ordering: publishes the reconnect; pairs with Acquire readers
         crate::log!(
             Level::Info,
             "upstream link established parent={} node={} resume_seq={}",
@@ -851,7 +851,7 @@ impl RelayWorker {
         );
 
         loop {
-            if self.stop.load(Ordering::Acquire) {
+            if self.stop.load(Ordering::Acquire) { // ordering: pairs with the Release store in stop()
                 return true;
             }
             if self.state.path_epoch() != path_epoch {
@@ -944,7 +944,7 @@ impl RelayWorker {
         if retransmits > 0 {
             self.stats
                 .retransmits
-                .fetch_add(retransmits, Ordering::Relaxed);
+                .fetch_add(retransmits, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
     }
 
@@ -1035,7 +1035,7 @@ impl RelayWorker {
             };
             self.stats
                 .forwarded_beats
-                .fetch_add(item.beats.len() as u64, Ordering::Relaxed);
+                .fetch_add(item.beats.len() as u64, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
             let dropped_total = item.producer_dropped + tap_dropped;
             if item.beats.len() <= MAX_EVENT_BEATS {
                 self.send_rollup(&item.app, dropped_total, &item.beats);
@@ -1104,7 +1104,7 @@ impl RelayWorker {
         if forwarded > 0 {
             self.stats
                 .forwarded_events
-                .fetch_add(forwarded, Ordering::Relaxed);
+                .fetch_add(forwarded, Ordering::Relaxed); // ordering: relaxed counter; read only for monitoring totals
         }
     }
 
@@ -1131,7 +1131,7 @@ impl RelayWorker {
     /// intact and cursor numbering unbroken. Unacked rollups are kept for
     /// retransmission. Only the stop path tears the subscriptions down.
     fn teardown_link(&mut self) {
-        if self.stats.connected.swap(false, Ordering::AcqRel) {
+        if self.stats.connected.swap(false, Ordering::AcqRel) { // ordering: single teardown winner; orders the disconnect against the session state
             crate::log!(
                 Level::Warn,
                 "upstream link down parent={} node={} ({} rollups unacked, {} subs held)",
@@ -1141,7 +1141,7 @@ impl RelayWorker {
                 self.subs.len()
             );
         }
-        if self.stop.load(Ordering::Acquire) {
+        if self.stop.load(Ordering::Acquire) { // ordering: pairs with the Release store in stop()
             for (_, p) in self.subs.drain() {
                 self.state.unsubscribe_propagated(&p.sub);
             }

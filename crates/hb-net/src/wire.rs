@@ -227,11 +227,11 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
     // match currently extends to.
     let (mut star, mut mark) = (usize::MAX, 0usize);
     while ni < n.len() {
-        if pi < p.len() && p[pi] == b'*' {
+        if pi < p.len() && p[pi] == b'*' { // hb-lint: allow(index): pi < p.len() guards on this line
             star = pi;
             mark = ni;
             pi += 1;
-        } else if pi < p.len() && p[pi] == n[ni] {
+        } else if pi < p.len() && p[pi] == n[ni] { // hb-lint: allow(index): pi/ni bounded by the matcher loop conditions
             pi += 1;
             ni += 1;
         } else if star != usize::MAX {
@@ -243,7 +243,7 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
             return false;
         }
     }
-    while pi < p.len() && p[pi] == b'*' {
+    while pi < p.len() && p[pi] == b'*' { // hb-lint: allow(index): pi < p.len() guards on this line
         pi += 1;
     }
     pi == p.len()
@@ -271,11 +271,11 @@ pub fn glob_overlaps_prefix(pattern: &str, prefix: &str) -> bool {
     let (mut pi, mut ni) = (0usize, 0usize);
     let (mut star, mut mark) = (usize::MAX, 0usize);
     while ni < n.len() {
-        if pi < p.len() && p[pi] == b'*' {
+        if pi < p.len() && p[pi] == b'*' { // hb-lint: allow(index): pi < p.len() guards on this line
             star = pi;
             mark = ni;
             pi += 1;
-        } else if pi < p.len() && p[pi] == n[ni] {
+        } else if pi < p.len() && p[pi] == n[ni] { // hb-lint: allow(index): pi/ni bounded by the matcher loop conditions
             pi += 1;
             ni += 1;
         } else if star != usize::MAX {
@@ -671,9 +671,9 @@ impl<'a> BeatsView<'a> {
                 if payload.len() < BATCH_PREFIX_LEN {
                     return Err(NetError::Protocol("beat batch payload truncated".into()));
                 }
-                let dropped_total = get_u64(payload, 0);
-                let count = get_u32(payload, 8) as usize;
-                let records = &payload[BATCH_PREFIX_LEN..];
+                let dropped_total = read_u64(payload, 0)?;
+                let count = read_u32(payload, 8)? as usize;
+                let records = &payload[BATCH_PREFIX_LEN..]; // hb-lint: allow(index): payload.len() >= BATCH_PREFIX_LEN checked above
                 if records.len() != count * BEAT_LEN {
                     return Err(NetError::Protocol(format!(
                         "beat batch of {count} records should be {} bytes, got {}",
@@ -683,7 +683,7 @@ impl<'a> BeatsView<'a> {
                 }
                 // Validate every scope byte now so iteration cannot fail.
                 for i in 0..count {
-                    let scope = records[i * BEAT_LEN + BEAT_LEN - 1];
+                    let scope = records[i * BEAT_LEN + BEAT_LEN - 1]; // hb-lint: allow(index): records.len() == count * BEAT_LEN checked above
                     if scope > 1 {
                         return Err(NetError::Protocol(format!(
                             "invalid beat scope byte {scope}"
@@ -699,7 +699,7 @@ impl<'a> BeatsView<'a> {
             }
             KIND_BEATS_COMPACT => {
                 let (dropped_total, prefix) = get_varint(payload, 0)?;
-                let records = &payload[prefix..];
+                let records = &payload[prefix..]; // hb-lint: allow(index): payload.len() >= prefix checked above
                 // Walk every record once: the count is implicit (the
                 // payload length delimits the batch) and the walk rejects
                 // malformed varints, unknown flags and trailing garbage.
@@ -777,6 +777,7 @@ pub struct BeatsIter<'a> {
     state: DeltaState,
 }
 
+// hb-lint: hot-path — per-record decode; runs once per beat on every ingest.
 impl Iterator for BeatsIter<'_> {
     type Item = WireBeat;
 
@@ -793,16 +794,16 @@ impl Iterator for BeatsIter<'_> {
             self.at = next;
             Some(beat)
         } else {
-            let bytes = &self.records[self.at..self.at + BEAT_LEN];
+            let bytes = self.records.get(self.at..self.at + BEAT_LEN)?;
             self.at += BEAT_LEN;
             Some(WireBeat {
                 record: HeartbeatRecord::new(
-                    get_u64(bytes, 0),
-                    get_u64(bytes, 8),
-                    Tag::new(get_u64(bytes, 16)),
-                    BeatThreadId(get_u32(bytes, 24)),
+                    get_u64(bytes, 0)?,
+                    get_u64(bytes, 8)?,
+                    Tag::new(get_u64(bytes, 16)?),
+                    BeatThreadId(get_u32(bytes, 24)?),
                 ),
-                scope: if bytes[28] == 1 {
+                scope: if *bytes.get(28)? == 1 {
                     BeatScope::Local
                 } else {
                     BeatScope::Global
@@ -817,6 +818,7 @@ impl Iterator for BeatsIter<'_> {
 }
 
 impl ExactSizeIterator for BeatsIter<'_> {}
+// hb-lint: end-hot-path
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -830,16 +832,34 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u16(bytes: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes(bytes[at..at + 2].try_into().expect("bounds checked"))
+/// Reads a little-endian u16 at `at`; `None` when out of bounds.
+fn get_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?))
 }
 
-fn get_u32(bytes: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+/// Reads a little-endian u32 at `at`; `None` when out of bounds.
+fn get_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
 }
 
-fn get_u64(bytes: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+/// Reads a little-endian u64 at `at`; `None` when out of bounds.
+fn get_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
+/// [`get_u16`] with a truncated-payload protocol error for decode paths.
+fn read_u16(bytes: &[u8], at: usize) -> Result<u16> {
+    get_u16(bytes, at).ok_or_else(|| NetError::Protocol(format!("u16 field at {at} truncated")))
+}
+
+/// [`get_u32`] with a truncated-payload protocol error for decode paths.
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32> {
+    get_u32(bytes, at).ok_or_else(|| NetError::Protocol(format!("u32 field at {at} truncated")))
+}
+
+/// [`get_u64`] with a truncated-payload protocol error for decode paths.
+fn read_u64(bytes: &[u8], at: usize) -> Result<u64> {
+    get_u64(bytes, at).ok_or_else(|| NetError::Protocol(format!("u64 field at {at} truncated")))
 }
 
 /// Appends `v` as an LEB128 varint (7 value bits per byte, high bit =
@@ -1008,7 +1028,7 @@ fn get_name(payload: &[u8], at: usize) -> Result<(String, usize)> {
     if payload.len() < at + 2 {
         return Err(NetError::Protocol("name length truncated".into()));
     }
-    let len = get_u16(payload, at) as usize;
+    let len = read_u16(payload, at)? as usize;
     if len > MAX_NAME_LEN {
         return Err(NetError::Protocol(format!(
             "application name of {len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
@@ -1018,7 +1038,7 @@ fn get_name(payload: &[u8], at: usize) -> Result<(String, usize)> {
     if payload.len() < end {
         return Err(NetError::Protocol("name truncated".into()));
     }
-    let name = std::str::from_utf8(&payload[at + 2..end])
+    let name = std::str::from_utf8(&payload[at + 2..end]) // hb-lint: allow(index): end <= payload.len() checked just above
         .map_err(|_| NetError::Protocol("application name is not UTF-8".into()))?
         .to_string();
     if !valid_app_name(&name) {
@@ -1036,7 +1056,7 @@ fn get_pattern(payload: &[u8], at: usize) -> Result<(String, usize)> {
     if payload.len() < at + 2 {
         return Err(NetError::Protocol("pattern length truncated".into()));
     }
-    let len = get_u16(payload, at) as usize;
+    let len = read_u16(payload, at)? as usize;
     if len > MAX_NAME_LEN {
         return Err(NetError::Protocol(format!(
             "pattern of {len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
@@ -1046,7 +1066,7 @@ fn get_pattern(payload: &[u8], at: usize) -> Result<(String, usize)> {
     if payload.len() < end {
         return Err(NetError::Protocol("pattern truncated".into()));
     }
-    let pattern = std::str::from_utf8(&payload[at + 2..end])
+    let pattern = std::str::from_utf8(&payload[at + 2..end]) // hb-lint: allow(index): end <= payload.len() checked just above
         .map_err(|_| NetError::Protocol("pattern is not UTF-8".into()))?
         .to_string();
     if !valid_subscribe_pattern(&pattern) {
@@ -1066,7 +1086,7 @@ fn put_opt_f64(buf: &mut Vec<u8>, value: Option<f64>) {
 /// Decodes the optional-f64 convention: NaN means `None`; any other
 /// non-finite value is a protocol violation.
 fn get_opt_f64(bytes: &[u8], at: usize) -> Result<Option<f64>> {
-    let value = f64::from_bits(get_u64(bytes, at));
+    let value = f64::from_bits(read_u64(bytes, at)?);
     if value.is_nan() {
         Ok(None)
     } else if value.is_finite() {
@@ -1087,10 +1107,10 @@ fn encode_sample(buf: &mut Vec<u8>, sample: &HistorySample) {
 fn decode_sample(bytes: &[u8]) -> Result<HistorySample> {
     debug_assert_eq!(bytes.len(), SAMPLE_LEN);
     Ok(HistorySample {
-        seq: get_u64(bytes, 0),
-        timestamp_ns: get_u64(bytes, 8),
-        tag: get_u64(bytes, 16),
-        interval_ns: get_u64(bytes, 24),
+        seq: read_u64(bytes, 0)?,
+        timestamp_ns: read_u64(bytes, 8)?,
+        tag: read_u64(bytes, 16)?,
+        interval_ns: read_u64(bytes, 24)?,
         rate_bps: get_opt_f64(bytes, 32)?,
     })
 }
@@ -1282,16 +1302,19 @@ impl Frame {
         put_u32(buf, MAGIC);
         // Stamp the lowest version that defines the kind, so version-1
         // peers keep accepting every frame they understand.
-        buf.push(wire_version(self.kind()).expect("own kinds are versioned"));
+        // Every variant's kind is in the version table; fall back to the
+        // current version rather than panic if a new kind misses a row
+        // (hb-lint's wire-kind check catches the table gap itself).
+        buf.push(wire_version(self.kind()).unwrap_or(VERSION));
         buf.push(self.kind());
         put_u32(buf, 0); // payload_len, patched below
         put_u32(buf, 0); // crc, patched below
         let payload_at = buf.len();
         self.encode_payload(buf);
         let payload_len = (buf.len() - payload_at) as u32;
-        let crc = crc32(&buf[payload_at..]);
-        buf[header_at + 6..header_at + 10].copy_from_slice(&payload_len.to_le_bytes());
-        buf[header_at + 10..header_at + 14].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(&buf[payload_at..]); // hb-lint: allow(index): payload_at <= buf.len(): the payload was appended above
+        buf[header_at + 6..header_at + 10].copy_from_slice(&payload_len.to_le_bytes()); // hb-lint: allow(index): patches the header this function wrote at header_at
+        buf[header_at + 10..header_at + 14].copy_from_slice(&crc.to_le_bytes()); // hb-lint: allow(index): patches the header this function wrote at header_at
     }
 
     /// Encodes the frame into a fresh buffer.
@@ -1310,17 +1333,17 @@ impl Frame {
                 bytes.len()
             )));
         }
-        let magic = get_u32(bytes, 0);
+        let magic = read_u32(bytes, 0)?;
         if magic != MAGIC {
             return Err(NetError::Protocol(format!("bad magic {magic:#010x}")));
         }
-        let version = bytes[4];
+        let version = bytes[4]; // hb-lint: allow(index): bytes.len() >= HEADER_LEN checked at entry
         if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(NetError::Protocol(format!(
                 "unsupported protocol version {version}"
             )));
         }
-        let kind = bytes[5];
+        let kind = bytes[5]; // hb-lint: allow(index): bytes.len() >= HEADER_LEN checked at entry
         match wire_version(kind) {
             None => return Err(NetError::Protocol(format!("unknown frame kind {kind}"))),
             Some(required) if version < required => {
@@ -1330,13 +1353,13 @@ impl Frame {
             }
             Some(_) => {}
         }
-        let payload_len = get_u32(bytes, 6) as usize;
+        let payload_len = read_u32(bytes, 6)? as usize;
         if payload_len > MAX_PAYLOAD {
             return Err(NetError::Protocol(format!(
                 "payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
             )));
         }
-        Ok((kind, payload_len, get_u32(bytes, 10)))
+        Ok((kind, payload_len, read_u32(bytes, 10)?))
     }
 
     /// Decodes a validated payload into a frame.
@@ -1356,9 +1379,9 @@ impl Frame {
                 if payload.len() < 10 {
                     return Err(NetError::Protocol("hello payload truncated".into()));
                 }
-                let pid = get_u32(payload, 0);
-                let default_window = get_u32(payload, 4);
-                let name_len = get_u16(payload, 8) as usize;
+                let pid = read_u32(payload, 0)?;
+                let default_window = read_u32(payload, 4)?;
+                let name_len = read_u16(payload, 8)? as usize;
                 if name_len > MAX_NAME_LEN {
                     return Err(NetError::Protocol(format!(
                         "application name of {name_len} bytes exceeds the {MAX_NAME_LEN}-byte limit"
@@ -1371,7 +1394,7 @@ impl Frame {
                         10 + name_len
                     )));
                 }
-                let app = std::str::from_utf8(&payload[10..])
+                let app = std::str::from_utf8(&payload[10..]) // hb-lint: allow(index): payload.len() == 10 + name_len checked just above
                     .map_err(|_| NetError::Protocol("application name is not UTF-8".into()))?
                     .to_string();
                 if !valid_app_name(&app) {
@@ -1414,8 +1437,8 @@ impl Frame {
                         payload.len()
                     )));
                 }
-                let min_bps = f64::from_bits(get_u64(payload, 0));
-                let max_bps = f64::from_bits(get_u64(payload, 8));
+                let min_bps = f64::from_bits(read_u64(payload, 0)?);
+                let max_bps = f64::from_bits(read_u64(payload, 8)?);
                 if !min_bps.is_finite() || !max_bps.is_finite() {
                     return Err(NetError::Protocol("non-finite target rate".into()));
                 }
@@ -1431,7 +1454,7 @@ impl Frame {
                 if payload.len() < 6 {
                     return Err(NetError::Protocol("history request truncated".into()));
                 }
-                let limit = get_u32(payload, 0);
+                let limit = read_u32(payload, 0)?;
                 let (app, end) = get_name(payload, 4)?;
                 if end != payload.len() {
                     return Err(NetError::Protocol("history request trailing bytes".into()));
@@ -1442,9 +1465,9 @@ impl Frame {
                 if payload.len() < 15 {
                     return Err(NetError::Protocol("history payload truncated".into()));
                 }
-                let known = payload[0] != 0;
-                let count = get_u32(payload, 1) as usize;
-                let total = get_u64(payload, 5);
+                let known = payload[0] != 0; // hb-lint: allow(index): payload.len() >= 15 checked at the top of the arm
+                let count = read_u32(payload, 1)? as usize;
+                let total = read_u64(payload, 5)?;
                 let (app, samples_at) = get_name(payload, 13)?;
                 if payload.len() != samples_at + count * SAMPLE_LEN {
                     return Err(NetError::Protocol(format!(
@@ -1456,7 +1479,7 @@ impl Frame {
                 let mut samples = Vec::with_capacity(count);
                 for i in 0..count {
                     let at = samples_at + i * SAMPLE_LEN;
-                    samples.push(decode_sample(&payload[at..at + SAMPLE_LEN])?);
+                    samples.push(decode_sample(&payload[at..at + SAMPLE_LEN])?); // hb-lint: allow(index): at + SAMPLE_LEN <= payload.len(): exact length checked above
                 }
                 Ok(Frame::History(HistoryChunk {
                     app,
@@ -1477,11 +1500,11 @@ impl Frame {
                 if payload.len() < FIXED + 2 {
                     return Err(NetError::Protocol("health payload truncated".into()));
                 }
-                let known = payload[0] != 0;
-                let status = HealthStatus::from_u8(payload[1]).ok_or_else(|| {
-                    NetError::Protocol(format!("invalid health status byte {}", payload[1]))
+                let known = payload[0] != 0; // hb-lint: allow(index): payload.len() checked at the top of the arm
+                let status = HealthStatus::from_u8(payload[1]).ok_or_else(|| { // hb-lint: allow(index): payload.len() checked at the top of the arm
+                    NetError::Protocol(format!("invalid health status byte {}", payload[1])) // hb-lint: allow(index): payload.len() checked at the top of the arm
                 })?;
-                let reasons = HealthReason::unpack(get_u16(payload, 2));
+                let reasons = HealthReason::unpack(read_u16(payload, 2)?);
                 let (app, end) = get_name(payload, FIXED)?;
                 if end != payload.len() {
                     return Err(NetError::Protocol("health payload trailing bytes".into()));
@@ -1492,11 +1515,11 @@ impl Frame {
                     report: HealthReport {
                         status,
                         reasons,
-                        window_beats: get_u32(payload, 4),
-                        missing: get_u32(payload, 8),
-                        duplicated: get_u32(payload, 12),
-                        reordered: get_u32(payload, 16),
-                        silent_ns: get_u64(payload, 20),
+                        window_beats: read_u32(payload, 4)?,
+                        missing: read_u32(payload, 8)?,
+                        duplicated: read_u32(payload, 12)?,
+                        reordered: read_u32(payload, 16)?,
+                        silent_ns: read_u64(payload, 20)?,
                         window_rate_bps: get_opt_f64(payload, 28)?,
                         jitter_cv: get_opt_f64(payload, 36)?,
                     },
@@ -1509,7 +1532,7 @@ impl Frame {
                         payload.len()
                     )));
                 }
-                let max_version = payload[0];
+                let max_version = payload[0]; // hb-lint: allow(index): payload length checked at the top of the arm
                 if max_version < MIN_VERSION {
                     return Err(NetError::Protocol(format!(
                         "hello-ack advertises impossible version {max_version}"
@@ -1521,8 +1544,8 @@ impl Frame {
                 if payload.len() < 15 {
                     return Err(NetError::Protocol("subscribe payload truncated".into()));
                 }
-                let sub_id = get_u32(payload, 0);
-                let interests = payload[4];
+                let sub_id = read_u32(payload, 0)?;
+                let interests = payload[4]; // hb-lint: allow(index): payload length checked at the top of the arm
                 // One source of truth for the bit layout: the shared
                 // Interest mask.
                 let valid = heartbeats::observe::Interest::from_bits(interests)
@@ -1532,7 +1555,7 @@ impl Frame {
                         "invalid subscription interest mask {interests:#04x}"
                     )));
                 }
-                let min_interval_ns = get_u64(payload, 5);
+                let min_interval_ns = read_u64(payload, 5)?;
                 let (pattern, end) = get_pattern(payload, 13)?;
                 // The resume cursor is a trailing varint; its absence (the
                 // pre-resume encoding) means "start fresh".
@@ -1560,9 +1583,9 @@ impl Frame {
                         payload.len()
                     )));
                 }
-                let sub_id = get_u32(payload, 0);
-                let status = SubStatus::from_u8(payload[4]).ok_or_else(|| {
-                    NetError::Protocol(format!("invalid sub-ack status byte {}", payload[4]))
+                let sub_id = read_u32(payload, 0)?;
+                let status = SubStatus::from_u8(payload[4]).ok_or_else(|| { // hb-lint: allow(index): payload length checked at the top of the arm
+                    NetError::Protocol(format!("invalid sub-ack status byte {}", payload[4])) // hb-lint: allow(index): payload length checked at the top of the arm
                 })?;
                 Ok(Frame::SubAck { sub_id, status })
             }
@@ -1575,15 +1598,15 @@ impl Frame {
                     )));
                 }
                 Ok(Frame::Unsubscribe {
-                    sub_id: get_u32(payload, 0),
+                    sub_id: read_u32(payload, 0)?,
                 })
             }
             KIND_NODE_HELLO => {
                 if payload.len() < 6 {
                     return Err(NetError::Protocol("node hello truncated".into()));
                 }
-                let pid = get_u32(payload, 0);
-                let name_len = get_u16(payload, 4) as usize;
+                let pid = read_u32(payload, 0)?;
+                let name_len = read_u16(payload, 4)? as usize;
                 if name_len > MAX_NODE_LEN {
                     return Err(NetError::Protocol(format!(
                         "node name of {name_len} bytes exceeds the {MAX_NODE_LEN}-byte limit"
@@ -1596,7 +1619,7 @@ impl Frame {
                         payload.len(),
                     )));
                 }
-                let node = std::str::from_utf8(&payload[6..name_end])
+                let node = std::str::from_utf8(&payload[6..name_end]) // hb-lint: allow(index): name_end <= payload.len() checked just above
                     .map_err(|_| NetError::Protocol("node name is not UTF-8".into()))?
                     .to_string();
                 if !valid_node_name(&node) {
@@ -1610,7 +1633,7 @@ impl Frame {
                 // ancestry announced".
                 let mut path = Vec::new();
                 if payload.len() > name_end {
-                    let count = payload[name_end] as usize;
+                    let count = payload[name_end] as usize; // hb-lint: allow(index): name_end < payload.len(): count byte checked above
                     if count > MAX_PATH_NODES {
                         return Err(NetError::Protocol(format!(
                             "node path of {count} entries exceeds the {MAX_PATH_NODES}-entry limit"
@@ -1632,7 +1655,7 @@ impl Frame {
                         if payload.len() < end {
                             return Err(NetError::Protocol("node path truncated".into()));
                         }
-                        let entry = std::str::from_utf8(&payload[at + 1..end])
+                        let entry = std::str::from_utf8(&payload[at + 1..end]) // hb-lint: allow(index): end <= payload.len() checked just above
                             .map_err(|_| {
                                 NetError::Protocol("node path entry is not UTF-8".into())
                             })?
@@ -1686,7 +1709,10 @@ impl Frame {
                 })?;
                 Ok(Frame::NodeAuth { mac })
             }
-            _ => unreachable!("kind validated by decode_header"),
+            // decode_header validates the kind, but decode_payload is a
+            // public entry point — treat an unknown kind as the protocol
+            // error it is instead of trusting the caller.
+            _ => Err(NetError::Protocol(format!("unknown frame kind {kind}"))),
         }
     }
 
@@ -1704,7 +1730,7 @@ impl Frame {
                 bytes.len()
             )));
         }
-        let frame = Self::decode_payload(kind, &bytes[HEADER_LEN..total], crc)?;
+        let frame = Self::decode_payload(kind, &bytes[HEADER_LEN..total], crc)?; // hb-lint: allow(index): bytes.len() >= total checked just above
         Ok((frame, total))
     }
 }
@@ -1739,7 +1765,7 @@ fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
                 (None, None) => None,
                 _ => return Err(NetError::Protocol("half-set snapshot event target".into())),
             };
-            let alive = match payload[at + 24] {
+            let alive = match payload[at + 24] { // hb-lint: allow(index): payload.len() == at + 25 checked above
                 0 => false,
                 1 => true,
                 other => {
@@ -1760,17 +1786,17 @@ fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
             if payload.len() != at + 8 {
                 return Err(NetError::Protocol("health event length mismatch".into()));
             }
-            let from = HealthStatus::from_u8(payload[at]).ok_or_else(|| {
-                NetError::Protocol(format!("invalid health status byte {}", payload[at]))
+            let from = HealthStatus::from_u8(payload[at]).ok_or_else(|| { // hb-lint: allow(index): payload.len() == at + 8 checked above
+                NetError::Protocol(format!("invalid health status byte {}", payload[at])) // hb-lint: allow(index): payload.len() == at + 8 checked above
             })?;
-            let to = HealthStatus::from_u8(payload[at + 1]).ok_or_else(|| {
-                NetError::Protocol(format!("invalid health status byte {}", payload[at + 1]))
+            let to = HealthStatus::from_u8(payload[at + 1]).ok_or_else(|| { // hb-lint: allow(index): payload.len() == at + 8 checked above
+                NetError::Protocol(format!("invalid health status byte {}", payload[at + 1])) // hb-lint: allow(index): payload.len() == at + 8 checked above
             })?;
             EventPayload::HealthTransition {
                 from,
                 to,
-                reasons: HealthReason::unpack(get_u16(payload, at + 2)),
-                window_beats: get_u32(payload, at + 4),
+                reasons: HealthReason::unpack(read_u16(payload, at + 2)?),
+                window_beats: read_u32(payload, at + 4)?,
             }
         }
         EVENT_BEATS => {
@@ -1806,7 +1832,7 @@ fn decode_event_payload(payload: &[u8], at: usize) -> Result<EventFrame> {
 /// subscription's real monotone cursor here — a splice on the freshly
 /// appended tail instead of a full re-encode.
 pub fn splice_event_cursor(buf: &mut Vec<u8>, frame_at: usize, cursor: u64) -> Result<()> {
-    let (kind, payload_len, _crc) = Frame::decode_header(&buf[frame_at..])?;
+    let (kind, payload_len, _crc) = Frame::decode_header(&buf[frame_at..])?; // hb-lint: allow(index): decode_header re-validates the slice it is given
     if kind != KIND_EVENT {
         return Err(NetError::Protocol("cursor splice on a non-event frame".into()));
     }
@@ -1817,22 +1843,22 @@ pub fn splice_event_cursor(buf: &mut Vec<u8>, frame_at: usize, cursor: u64) -> R
     }
     // Walk to the cursor field: sub_id varint, event-kind byte, name,
     // sent_at varint — the same prefix decode_event_payload consumes.
-    let payload = &buf[payload_at..payload_end];
+    let payload = &buf[payload_at..payload_end]; // hb-lint: allow(index): payload_end <= buf.len() checked just above
     let (_sub_id, at) = get_varint(payload, 0)?;
     let at = at + 1; // event kind
     if payload.len() < at + 2 {
         return Err(NetError::Protocol("cursor splice: name truncated".into()));
     }
-    let at = at + 2 + get_u16(payload, at) as usize;
+    let at = at + 2 + read_u16(payload, at)? as usize;
     let (_sent_at, at) = get_varint(payload, at)?;
     let (_old, after) = get_varint(payload, at)?;
     let mut scratch = Vec::with_capacity(10);
     put_varint(&mut scratch, cursor);
     buf.splice(payload_at + at..payload_at + after, scratch.iter().copied());
     let new_len = payload_len - (after - at) + scratch.len();
-    let crc = crc32(&buf[payload_at..payload_at + new_len]);
-    buf[frame_at + 6..frame_at + 10].copy_from_slice(&(new_len as u32).to_le_bytes());
-    buf[frame_at + 10..frame_at + 14].copy_from_slice(&crc.to_le_bytes());
+    let crc = crc32(&buf[payload_at..payload_at + new_len]); // hb-lint: allow(index): splice_at stays inside the validated payload
+    buf[frame_at + 6..frame_at + 10].copy_from_slice(&(new_len as u32).to_le_bytes()); // hb-lint: allow(index): patches the header at frame_at validated by decode_header
+    buf[frame_at + 10..frame_at + 14].copy_from_slice(&crc.to_le_bytes()); // hb-lint: allow(index): patches the header at frame_at validated by decode_header
     Ok(())
 }
 
@@ -1902,7 +1928,8 @@ impl BatchEncoder {
         self.compact = compact;
         self.state = DeltaState::default();
         put_u32(&mut self.buf, MAGIC);
-        self.buf.push(wire_version(kind).expect("beats are versioned"));
+        // Both beat kinds are in the version table; see encode_into.
+        self.buf.push(wire_version(kind).unwrap_or(VERSION));
         self.buf.push(kind);
         put_u32(&mut self.buf, 0); // payload_len, patched by finish()
         put_u32(&mut self.buf, 0); // crc, patched by finish()
@@ -1949,16 +1976,16 @@ impl BatchEncoder {
     /// length), payload length and CRC — and returns the complete encoded
     /// frame.
     pub fn finish(&mut self) -> &[u8] {
-        assert!(self.open, "finish called before begin");
+        debug_assert!(self.open, "finish called before begin");
         self.open = false;
         if !self.compact {
             let count_at = HEADER_LEN + 8;
-            self.buf[count_at..count_at + 4].copy_from_slice(&self.count.to_le_bytes());
+            self.buf[count_at..count_at + 4].copy_from_slice(&self.count.to_le_bytes()); // hb-lint: allow(index): finish() patches the header begin() wrote into self.buf
         }
         let payload_len = (self.buf.len() - HEADER_LEN) as u32;
-        let crc = crc32(&self.buf[HEADER_LEN..]);
-        self.buf[6..10].copy_from_slice(&payload_len.to_le_bytes());
-        self.buf[10..14].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(&self.buf[HEADER_LEN..]); // hb-lint: allow(index): finish() patches the header begin() wrote into self.buf
+        self.buf[6..10].copy_from_slice(&payload_len.to_le_bytes()); // hb-lint: allow(index): finish() patches the header begin() wrote into self.buf
+        self.buf[10..14].copy_from_slice(&crc.to_le_bytes()); // hb-lint: allow(index): finish() patches the header begin() wrote into self.buf
         &self.buf
     }
 }

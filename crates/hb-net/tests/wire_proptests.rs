@@ -363,3 +363,90 @@ proptest! {
         }
     }
 }
+
+/// Expands one random seed into a history sample with a finite-or-absent
+/// rate (NaN is the wire's None sentinel, so `Some(NaN)` is unrepresentable).
+fn sample_from(s: u64) -> hb_net::HistorySample {
+    hb_net::HistorySample {
+        seq: s,
+        timestamp_ns: s.rotate_left(17),
+        tag: s ^ 0xA5A5,
+        interval_ns: s >> 3,
+        rate_bps: if s.is_multiple_of(2) {
+            None
+        } else {
+            Some((s % 100_000) as f64 / 7.0)
+        },
+    }
+}
+
+proptest! {
+    /// Every query/control frame kind round-trips exactly: Bye, HistoryReq,
+    /// History, HealthReq, Health, HelloAck, SubAck and Unsubscribe. Keeps
+    /// the long tail of small frames honest — no kind ships without an
+    /// encode→decode property (hb-lint's wire-kind check enforces this
+    /// coverage).
+    #[test]
+    fn control_frames_roundtrip(
+        name_seed in prop::collection::vec(97u8..123, 1..16),
+        limit in any::<u32>(),
+        total in any::<u64>(),
+        known in any::<bool>(),
+        max_version in any::<u8>(),
+        sub_id in any::<u32>(),
+        status_byte in 0u8..3,
+        sample_seeds in prop::collection::vec(any::<u64>(), 0..5),
+        health_sel in 0u8..4,
+        window_beats in any::<u32>(),
+        silent_ns in any::<u64>(),
+    ) {
+        use hb_net::wire::{HealthFrame, HistoryChunk, SubStatus};
+        use hb_net::{HealthReason, HealthReport, HealthStatus};
+
+        let app = String::from_utf8(name_seed).unwrap();
+        let report = HealthReport {
+            status: HealthStatus::from_u8(health_sel).unwrap(),
+            reasons: if health_sel == 3 {
+                vec![]
+            } else {
+                vec![HealthReason::Silent, HealthReason::SequenceAnomaly]
+            },
+            window_beats,
+            window_rate_bps: if window_beats.is_multiple_of(2) {
+                None
+            } else {
+                Some(f64::from(window_beats) / 3.0)
+            },
+            jitter_cv: if window_beats.is_multiple_of(3) {
+                Some(f64::from(window_beats % 1000) / 999.0)
+            } else {
+                None
+            },
+            missing: window_beats / 7,
+            duplicated: window_beats / 11,
+            reordered: window_beats / 13,
+            silent_ns,
+        };
+        let frames = vec![
+            Frame::Bye,
+            Frame::HistoryReq { app: app.clone(), limit },
+            Frame::History(HistoryChunk {
+                app: app.clone(),
+                known,
+                total,
+                samples: sample_seeds.iter().map(|&s| sample_from(s)).collect(),
+            }),
+            Frame::HealthReq { app: app.clone() },
+            Frame::Health(HealthFrame { app: app.clone(), known, report }),
+            Frame::HelloAck { max_version },
+            Frame::SubAck { sub_id, status: SubStatus::from_u8(status_byte).unwrap() },
+            Frame::Unsubscribe { sub_id },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let (decoded, used) = Frame::decode(&bytes).unwrap();
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+}
